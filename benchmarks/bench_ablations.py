@@ -1,0 +1,127 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+1. **Lemma 1 pruning** — building the OPQ with and without the domination
+   pruning rule must produce the same Pareto frontier, but the pruned
+   enumeration visits far fewer nodes.
+2. **Power-of-two partitioning (OPQ-Extended)** — compare against the naive
+   alternative of treating every heterogeneous task at the maximum threshold
+   (a single OPQ), quantifying how much the partition saves.
+3. **Baseline column budget** — the CIP baseline's cost/time trade-off as the
+   number of sampled columns per task grows.
+4. **Reliability requirement premium** — compare the full SLADE optimum proxy
+   (OPQ-Based) against the rod-cutting lower bound that ignores redundancy,
+   quantifying what the reliability constraint actually costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_config, report
+from repro.algorithms.baseline import CIPBaselineSolver
+from repro.algorithms.dp_relaxed import RelaxedDPSolver
+from repro.algorithms.greedy import GreedySolver
+from repro.algorithms.opq import OPQSolver, build_optimal_priority_queue
+from repro.algorithms.opq_extended import OPQExtendedSolver
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.smic import smic_bin_set
+from repro.datasets.thresholds import normal_thresholds
+
+
+class TestLemma1Pruning:
+    @pytest.mark.parametrize("use_pruning", (True, False), ids=("pruned", "unpruned"))
+    def test_enumeration_cost(self, benchmark, use_pruning):
+        bins = smic_bin_set(20)  # low confidences -> deep enumeration
+        queue = benchmark.pedantic(
+            build_optimal_priority_queue,
+            args=(bins, 0.95),
+            kwargs={"use_pruning": use_pruning},
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["nodes"] = queue.stats["nodes"]
+        benchmark.extra_info["queue_size"] = len(queue)
+
+    def test_pruning_preserves_the_frontier_and_cuts_nodes(self, benchmark):
+        bins = smic_bin_set(14)
+        pruned = benchmark.pedantic(
+            build_optimal_priority_queue, args=(bins, 0.95),
+            kwargs={"use_pruning": True}, rounds=1, iterations=1,
+        )
+        unpruned = build_optimal_priority_queue(bins, 0.95, use_pruning=False)
+        assert [c.counts for c in pruned] == [c.counts for c in unpruned]
+        assert pruned.stats["nodes"] < unpruned.stats["nodes"]
+        report(
+            "Ablation — Lemma 1 pruning (SMIC menu, |B|=14, t=0.95)",
+            f"  nodes visited with pruning    : {pruned.stats['nodes']}\n"
+            f"  nodes visited without pruning : {unpruned.stats['nodes']}\n"
+            f"  frontier size (identical)     : {len(pruned)}",
+        )
+
+
+class TestPartitioningAblation:
+    def test_partition_versus_single_opq_at_tmax(self, benchmark):
+        config = bench_config("jelly")
+        thresholds = normal_thresholds(
+            config.n, mu=0.9, sigma=0.05, seed=config.seed, clip=(0.6, 0.99)
+        )
+        bins = jelly_bin_set(20)
+        problem = SladeProblem.heterogeneous(thresholds, bins, name="ablation-partition")
+
+        partitioned = benchmark.pedantic(
+            OPQExtendedSolver().solve, args=(problem,), rounds=1, iterations=1
+        )
+        # Naive alternative: treat every task at the maximum threshold.
+        flat_problem = SladeProblem.homogeneous(config.n, max(thresholds), bins)
+        flat = OPQSolver().solve(flat_problem)
+
+        report(
+            "Ablation — threshold partitioning (Jelly, Normal(0.9, 0.05))",
+            f"  OPQ-Extended (partitioned) : {partitioned.total_cost:10.2f} USD\n"
+            f"  single OPQ at t_max        : {flat.total_cost:10.2f} USD",
+        )
+        # Solving everything at t_max can only be more expensive.
+        assert partitioned.total_cost <= flat.total_cost + 1e-9
+
+
+class TestBaselineColumnBudget:
+    @pytest.mark.parametrize("columns_per_task", (0, 2, 6), ids=("c0", "c2", "c6"))
+    def test_column_budget(self, benchmark, columns_per_task):
+        problem = SladeProblem.homogeneous(400, 0.9, jelly_bin_set(20))
+        solver = CIPBaselineSolver(
+            chunk_size=100, random_columns_per_task=columns_per_task, seed=0,
+            verify=False,
+        )
+        result = benchmark.pedantic(solver.solve, args=(problem,), rounds=1, iterations=1)
+        benchmark.extra_info["total_cost"] = result.total_cost
+        assert result.plan.is_feasible(problem.task)
+
+
+class TestReliabilityPremium:
+    def test_redundancy_premium_over_single_coverage(self, benchmark):
+        """How much does demanding 0.95 reliability cost versus merely looking
+        at every task once with the biggest bin?"""
+        bins = jelly_bin_set(20)
+        problem = SladeProblem.homogeneous(2_000, 0.95, bins)
+        with_reliability = benchmark.pedantic(
+            OPQSolver().solve, args=(problem,), rounds=1, iterations=1
+        ).total_cost
+        single_pass = RelaxedDPSolver(allow_unrelaxed=True).solve(problem).total_cost
+        premium = with_reliability / single_pass
+        report(
+            "Ablation — reliability premium (Jelly, n=2000, t=0.95)",
+            f"  single-coverage lower bound : {single_pass:10.2f} USD\n"
+            f"  reliability-aware plan      : {with_reliability:10.2f} USD\n"
+            f"  premium factor              : {premium:10.2f}x",
+        )
+        assert premium >= 1.0
+
+    def test_greedy_premium_matches_opq_within_factor(self, benchmark):
+        bins = jelly_bin_set(20)
+        problem = SladeProblem.homogeneous(2_000, 0.95, bins)
+        opq = OPQSolver().solve(problem).total_cost
+        greedy = benchmark.pedantic(
+            GreedySolver().solve, args=(problem,), rounds=1, iterations=1
+        ).total_cost
+        assert opq <= greedy <= opq * 2.0

@@ -1,0 +1,91 @@
+"""Benchmarks for the extensions beyond the paper's core algorithms.
+
+These are not paper artefacts; they quantify the extensions documented in
+DESIGN.md so regressions in their behaviour are caught the same way as in the
+reproduced figures:
+
+* optimality gap of the OPQ-Based solver against the Lemma 2 lower bound,
+* streaming (online) regret against the offline OPQ-Based plan,
+* budgeted decomposition throughput (bisection over forward solves),
+* plan serialisation round-trip time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_config, report
+from repro.algorithms.budgeted import BudgetedDecomposer
+from repro.algorithms.online import OnlineDecomposer
+from repro.algorithms.opq import OPQSolver
+from repro.analysis.bounds import lower_bound, optimality_gap
+from repro.core.problem import SladeProblem
+from repro.core.task import AtomicTask
+from repro.datasets.jelly import jelly_bin_set
+from repro.io.serialization import plan_from_dict, plan_to_dict
+
+
+class TestOptimalityGap:
+    def test_opq_gap_against_lower_bound(self, benchmark):
+        config = bench_config("jelly")
+        problem = SladeProblem.homogeneous(config.n, 0.9, jelly_bin_set(20))
+        plan = OPQSolver().solve(problem).plan
+        gap = benchmark.pedantic(
+            optimality_gap, args=(plan, problem), rounds=1, iterations=1
+        )
+        report(
+            "Extension — OPQ-Based optimality gap (Jelly, t=0.9)",
+            f"  lower bound : {lower_bound(problem):10.2f} USD\n"
+            f"  OPQ plan    : {plan.total_cost:10.2f} USD\n"
+            f"  gap         : {gap:10.3f}x (Theorem 2 allows log n)",
+        )
+        assert 1.0 - 1e-9 <= gap <= 1.25
+
+
+class TestStreamingRegret:
+    def test_online_regret_vs_offline(self, benchmark):
+        config = bench_config("jelly")
+        bins = jelly_bin_set(20)
+        n, threshold = config.n, 0.9
+
+        def run_stream():
+            stream = OnlineDecomposer(bins)
+            stream.submit_many(AtomicTask(i, threshold) for i in range(n))
+            stream.flush()
+            return stream
+
+        stream = benchmark.pedantic(run_stream, rounds=1, iterations=1)
+        offline = OPQSolver().solve(SladeProblem.homogeneous(n, threshold, bins))
+        regret = stream.total_cost / offline.total_cost - 1.0
+        report(
+            "Extension — streaming regret (Jelly, t=0.9)",
+            f"  offline OPQ-Based : {offline.total_cost:10.2f} USD\n"
+            f"  online stream     : {stream.total_cost:10.2f} USD\n"
+            f"  regret            : {regret * 100:10.2f}%",
+        )
+        assert 0.0 <= regret <= 0.15
+
+
+class TestBudgetedThroughput:
+    @pytest.mark.parametrize("budget", (10.0, 30.0), ids=("tight", "generous"))
+    def test_budgeted_decomposition(self, benchmark, budget):
+        config = bench_config("jelly")
+        decomposer = BudgetedDecomposer(jelly_bin_set(20))
+        result = benchmark.pedantic(
+            decomposer.decompose, args=(config.n, budget), rounds=1, iterations=1
+        )
+        benchmark.extra_info["reliability"] = result.reliability
+        assert result.cost <= budget + 1e-9
+
+
+class TestSerializationRoundTrip:
+    def test_plan_round_trip(self, benchmark):
+        config = bench_config("jelly")
+        problem = SladeProblem.homogeneous(config.n, 0.9, jelly_bin_set(20))
+        plan = OPQSolver().solve(problem).plan
+
+        def round_trip():
+            return plan_from_dict(plan_to_dict(plan))
+
+        restored = benchmark(round_trip)
+        assert restored.total_cost == pytest.approx(plan.total_cost)

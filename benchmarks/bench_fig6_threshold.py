@@ -1,0 +1,74 @@
+"""Figures 6a-6d: homogeneous cost and running time versus reliability threshold.
+
+For both datasets (Jelly → 6a/6c, SMIC → 6b/6d) the benchmark runs Greedy,
+OPQ-Based and the CIP baseline across the paper's threshold grid, times each
+solver with ``pytest-benchmark`` (the running-time panels), records the
+decomposition costs (the cost panels) and asserts the paper's qualitative
+conclusions: cost decreases with lower thresholds, OPQ-Based is the most
+cost-effective, the baseline the least.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import THRESHOLD_GRID, bench_config, report
+from repro.algorithms.registry import create_solver
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.smic import smic_bin_set
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_sweep_table
+from repro.experiments.sweeps import sweep_threshold
+
+SOLVERS = ("greedy", "opq", "baseline")
+
+
+def _bins_for(dataset: str, max_cardinality: int = 20):
+    return jelly_bin_set(max_cardinality) if dataset == "jelly" else smic_bin_set(max_cardinality)
+
+
+@pytest.mark.parametrize("dataset", ["jelly", "smic"], ids=["fig6a_6c_jelly", "fig6b_6d_smic"])
+@pytest.mark.parametrize("solver_name", SOLVERS)
+@pytest.mark.parametrize("threshold", THRESHOLD_GRID)
+def test_solver_time_vs_threshold(benchmark, dataset, solver_name, threshold):
+    """Running-time panels (Figures 6c/6d): time one solver at one threshold."""
+    config = bench_config(dataset)
+    problem = SladeProblem.homogeneous(
+        config.n, threshold, _bins_for(dataset), name=f"{dataset}-t{threshold}"
+    )
+    options = dict(config.solver_options.get(solver_name, {}))
+    options["verify"] = False
+
+    def run():
+        return create_solver(solver_name, **options).solve(problem)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["total_cost"] = result.total_cost
+    benchmark.extra_info["n"] = problem.n
+    assert result.plan.is_feasible(problem.task)
+
+
+@pytest.mark.parametrize("dataset", ["jelly", "smic"], ids=["fig6a_jelly", "fig6b_smic"])
+def test_cost_vs_threshold_shape(benchmark, dataset):
+    """Cost panels (Figures 6a/6b): regenerate the series and check the shape."""
+    config = bench_config(dataset)
+    sweep = benchmark.pedantic(
+        sweep_threshold, args=(config,), kwargs={"thresholds": THRESHOLD_GRID},
+        rounds=1, iterations=1,
+    )
+    report(f"Figure 6{'a' if dataset == 'jelly' else 'b'} — {dataset}: threshold vs cost "
+           f"(n={config.n})", format_sweep_table(sweep, metric="total_cost"))
+    report(f"Figure 6{'c' if dataset == 'jelly' else 'd'} — {dataset}: threshold vs time "
+           f"(n={config.n})", format_sweep_table(sweep, metric="elapsed_seconds"))
+
+    lowest, highest = min(THRESHOLD_GRID), max(THRESHOLD_GRID)
+    for solver in SOLVERS:
+        series = dict(sweep.series(solver))
+        # Cost decreases (weakly) when the reliability threshold decreases.
+        assert series[lowest] <= series[highest] + 1e-9
+    for threshold in THRESHOLD_GRID:
+        costs = {r.solver: r.total_cost for r in sweep.rows if r.x == threshold}
+        # OPQ-Based is the most cost-effective, the baseline the least.
+        assert costs["opq"] <= costs["greedy"] * 1.02 + 1e-9
+        assert costs["baseline"] >= costs["opq"] - 1e-9

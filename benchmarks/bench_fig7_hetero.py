@@ -1,0 +1,82 @@
+"""Figures 7a-7d: heterogeneous cost and running time versus sigma and mu.
+
+Per-task reliability thresholds are drawn from a Normal distribution (the
+paper's default).  The sweeps vary its standard deviation (7a/7b) and its mean
+(7c/7d) on the Jelly dataset and compare Greedy, OPQ-Extended and the CIP
+baseline, checking the paper's qualitative conclusions: cost rises with the
+mean, the baseline is the least effective, and running time grows with sigma
+(more distinct thresholds mean more OPQ constructions for OPQ-Extended).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import MU_GRID, SIGMA_GRID, bench_config, report
+from repro.algorithms.registry import create_solver
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.thresholds import normal_thresholds
+from repro.experiments.report import format_sweep_table
+from repro.experiments.sweeps import sweep_hetero_mu, sweep_hetero_sigma
+
+SOLVERS = ("greedy", "opq-extended", "baseline")
+
+
+@pytest.mark.parametrize("solver_name", SOLVERS)
+@pytest.mark.parametrize("sigma", (min(SIGMA_GRID), max(SIGMA_GRID)))
+def test_solver_time_vs_sigma(benchmark, solver_name, sigma):
+    """Running-time panel (Figure 7b) at the extremes of the sigma grid."""
+    config = bench_config("jelly")
+    thresholds = normal_thresholds(config.n, mu=config.mu, sigma=sigma, seed=config.seed)
+    problem = SladeProblem.heterogeneous(thresholds, jelly_bin_set(20),
+                                         name=f"jelly-sigma{sigma}")
+    options = dict(config.solver_options.get(solver_name, {}))
+    options["verify"] = False
+
+    def run():
+        return create_solver(solver_name, **options).solve(problem)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["total_cost"] = result.total_cost
+    assert result.plan.is_feasible(problem.task)
+
+
+def test_cost_vs_sigma_shape(benchmark):
+    """Cost panel (Figure 7a)."""
+    config = bench_config("jelly")
+    sweep = benchmark.pedantic(
+        sweep_hetero_sigma, args=(config,), kwargs={"sigmas": SIGMA_GRID},
+        rounds=1, iterations=1,
+    )
+    report(f"Figure 7a — jelly: sigma vs cost (mu={config.mu}, n={config.n})",
+           format_sweep_table(sweep, metric="total_cost"))
+    report("Figure 7b — jelly: sigma vs time",
+           format_sweep_table(sweep, metric="elapsed_seconds"))
+
+    for sigma in SIGMA_GRID:
+        costs = {r.solver: r.total_cost for r in sweep.rows if r.x == sigma}
+        # Both dedicated heuristics clearly beat the baseline.
+        assert costs["baseline"] >= costs["opq-extended"] - 1e-9
+        assert costs["baseline"] >= costs["greedy"] - 1e-9
+
+
+def test_cost_vs_mu_shape(benchmark):
+    """Cost panel (Figure 7c): cost decreases with decreasing mean threshold."""
+    config = bench_config("jelly")
+    sweep = benchmark.pedantic(
+        sweep_hetero_mu, args=(config,), kwargs={"mus": MU_GRID},
+        rounds=1, iterations=1,
+    )
+    report(f"Figure 7c — jelly: mu vs cost (sigma={config.sigma}, n={config.n})",
+           format_sweep_table(sweep, metric="total_cost"))
+    report("Figure 7d — jelly: mu vs time",
+           format_sweep_table(sweep, metric="elapsed_seconds"))
+
+    lowest, highest = min(MU_GRID), max(MU_GRID)
+    for solver in SOLVERS:
+        series = dict(sweep.series(solver))
+        assert series[lowest] <= series[highest] + 1e-9
+    for mu in MU_GRID:
+        costs = {r.solver: r.total_cost for r in sweep.rows if r.x == mu}
+        assert costs["baseline"] >= costs["opq-extended"] - 1e-9

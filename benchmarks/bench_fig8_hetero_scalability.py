@@ -1,0 +1,75 @@
+"""Figures 8a-8b: heterogeneous running time versus the number of tasks.
+
+Both datasets, Normal(0.9, 0.03) thresholds, ``n`` swept over the scale grid.
+The paper's observation: the overall tendency resembles the homogeneous case,
+but OPQ-Extended pays extra for building one optimal priority queue per
+threshold group.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SCALE_GRID, bench_config, report
+from repro.algorithms.registry import create_solver
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.smic import smic_bin_set
+from repro.datasets.thresholds import normal_thresholds
+from repro.experiments.report import format_sweep_table
+from repro.experiments.sweeps import sweep_hetero_scale
+
+SOLVERS = ("greedy", "opq-extended", "baseline")
+
+
+def _bins_for(dataset: str):
+    return jelly_bin_set(20) if dataset == "jelly" else smic_bin_set(20)
+
+
+@pytest.mark.parametrize("dataset", ["jelly", "smic"], ids=["fig8a_jelly", "fig8b_smic"])
+@pytest.mark.parametrize("solver_name", SOLVERS)
+@pytest.mark.parametrize("n", (min(SCALE_GRID), max(SCALE_GRID)))
+def test_hetero_solver_time_vs_scale(benchmark, dataset, solver_name, n):
+    """Running-time panels (Figures 8a/8b)."""
+    config = bench_config(dataset, n=n)
+    thresholds = normal_thresholds(n, mu=config.mu, sigma=config.sigma, seed=config.seed)
+    problem = SladeProblem.heterogeneous(
+        thresholds, _bins_for(dataset), name=f"{dataset}-hetero-n{n}"
+    )
+    options = dict(config.solver_options.get(solver_name, {}))
+    options["verify"] = False
+
+    def run():
+        return create_solver(solver_name, **options).solve(problem)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["total_cost"] = result.total_cost
+    benchmark.extra_info["n"] = n
+    assert result.plan.is_feasible(problem.task)
+
+
+@pytest.mark.parametrize("dataset", ["jelly", "smic"], ids=["fig8a_jelly", "fig8b_smic"])
+def test_hetero_time_vs_scale_shape(benchmark, dataset):
+    """Regenerate the full Figure 8 series and check the growth trends."""
+    config = bench_config(dataset)
+    sweep = benchmark.pedantic(
+        sweep_hetero_scale, args=(config,), kwargs={"n_values": SCALE_GRID},
+        rounds=1, iterations=1,
+    )
+    panel = "a" if dataset == "jelly" else "b"
+    report(f"Figure 8{panel} — {dataset}: n vs time (heterogeneous)",
+           format_sweep_table(sweep, metric="elapsed_seconds"))
+    report(f"Figure 8{panel} (companion) — {dataset}: n vs cost (heterogeneous)",
+           format_sweep_table(sweep, metric="total_cost"))
+
+    smallest, largest = min(SCALE_GRID), max(SCALE_GRID)
+    for solver in SOLVERS:
+        cost_series = dict(sweep.series(solver))
+        assert cost_series[largest] > cost_series[smallest]
+    # The CIP baseline is the slowest of the three at scale, as in the paper.
+    # (The paper also reports Greedy slower than OPQ-Extended; our Greedy uses
+    # a heap instead of the paper's full re-sort and is therefore faster — the
+    # deviation is documented in EXPERIMENTS.md.)
+    times = {r.solver: r.elapsed_seconds for r in sweep.rows if r.x == largest}
+    assert times["baseline"] >= times["opq-extended"]
+    assert times["baseline"] >= times["greedy"]

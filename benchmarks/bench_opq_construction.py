@@ -1,0 +1,63 @@
+"""Tables 3-5 and Algorithm 2: optimal priority queue construction.
+
+Benchmarks the OPQ construction cost as a function of the reliability
+threshold and the menu size, verifies the paper's worked queue contents
+(Tables 3, 4 and 5), and cross-checks Lemma 2 (the head element has the lowest
+unit cost) on the evaluation menus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.algorithms.opq import build_optimal_priority_queue
+from repro.core.bins import TaskBinSet
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.smic import smic_bin_set
+
+TABLE1 = TaskBinSet.from_triples(
+    [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)], name="table1"
+)
+
+
+@pytest.mark.parametrize("threshold", (0.87, 0.9, 0.95, 0.97, 0.99))
+@pytest.mark.parametrize(
+    "bins", (jelly_bin_set(20), smic_bin_set(20)), ids=("jelly", "smic")
+)
+def test_opq_construction_time(benchmark, bins, threshold):
+    """Time Algorithm 2 on the evaluation menus across thresholds."""
+    queue = benchmark(build_optimal_priority_queue, bins, threshold)
+    benchmark.extra_info["queue_size"] = len(queue)
+    benchmark.extra_info["nodes"] = queue.stats["nodes"]
+    # Lemma 2: the head has the lowest unit cost on the frontier.
+    head_uc = queue.head.unit_cost
+    assert all(comb.unit_cost >= head_uc - 1e-12 for comb in queue)
+
+
+def test_table3_contents(benchmark):
+    """Table 3: the OPQ of the Table 1 menu at t = 0.95."""
+    queue = benchmark(build_optimal_priority_queue, TABLE1, 0.95)
+    rows = [(dict(c.counts), c.lcm, round(c.unit_cost, 4)) for c in queue]
+    report("Table 3 — OPQ of the Table 1 menu (t = 0.95)",
+           "\n".join(f"  Comb {counts}  LCM={lcm}  UC={uc}" for counts, lcm, uc in rows))
+    assert rows == [({3: 2}, 3, 0.16), ({2: 2}, 2, 0.18), ({1: 2}, 1, 0.20)]
+
+
+def test_table4_and_table5_contents(benchmark):
+    """Tables 4-5: the OPQ set of the heterogeneous running example."""
+    table4 = benchmark.pedantic(
+        build_optimal_priority_queue, args=(TABLE1, 0.632), rounds=1, iterations=1
+    )
+    table5 = build_optimal_priority_queue(TABLE1, 0.86)
+    report(
+        "Tables 4-5 — OPQ set of the heterogeneous running example",
+        "\n".join(
+            [
+                "  OPQ0 (t=0.632): " + ", ".join(str(c) for c in table4),
+                "  OPQ1 (t=0.86):  " + ", ".join(str(c) for c in table5),
+            ]
+        ),
+    )
+    assert [dict(c.counts) for c in table4] == [{3: 1}, {2: 1}, {1: 1}]
+    assert [dict(c.counts) for c in table5] == [{1: 1}]

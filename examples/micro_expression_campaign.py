@@ -1,0 +1,67 @@
+"""Micro-expression screening campaign (the paper's Example 3 / SMIC dataset).
+
+A campaign records thousands of portrait photos and asks the crowd to label
+each as showing a positive or negative micro-expression.  The task is *hard*:
+even trained workers hover around 70-85% accuracy, so reaching a high
+reliability per photo requires several independent reviews — exactly the
+regime where choosing bin sizes carefully pays off.
+
+The example compares all three solvers from the paper on the SMIC menu across
+several reliability targets, and shows how the per-photo cost reacts.
+
+Run with::
+
+    python examples/micro_expression_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro import CIPBaselineSolver, GreedySolver, OPQSolver, SladeProblem
+from repro.datasets import smic_bin_set
+
+N_PHOTOS = 3_000
+TARGETS = (0.85, 0.90, 0.95, 0.97)
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Micro-expression screening campaign (SMIC)")
+    print("=" * 70)
+
+    bins = smic_bin_set(max_cardinality=20)
+    print("\nTask bin menu (minimum in-time price per cardinality):")
+    sample = [1, 5, 10, 15, 20]
+    print("  cardinality : " + "  ".join(f"{l:>5}" for l in sample))
+    print("  confidence  : " + "  ".join(f"{bins[l].confidence:>5.2f}" for l in sample))
+    print("  cost (USD)  : " + "  ".join(f"{bins[l].cost:>5.2f}" for l in sample))
+
+    solvers = [
+        OPQSolver(),
+        GreedySolver(),
+        CIPBaselineSolver(chunk_size=128, seed=0),
+    ]
+
+    print(f"\nDecomposing {N_PHOTOS} photos at different reliability targets:")
+    header = f"  {'target':>6} | " + " | ".join(f"{s.name:>18}" for s in solvers)
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for target in TARGETS:
+        problem = SladeProblem.homogeneous(
+            N_PHOTOS, target, bins, name=f"smic-{target}"
+        )
+        cells = []
+        for solver in solvers:
+            result = solver.solve(problem)
+            cents_per_photo = result.plan.cost_per_task(problem.task) * 100
+            cells.append(f"{result.total_cost:7.2f} ({cents_per_photo:4.2f}c)")
+        print(f"  {target:>6} | " + " | ".join(f"{c:>18}" for c in cells))
+
+    print("\nReading the table:")
+    print("  * cost per photo rises steeply with the reliability target because")
+    print("    SMIC workers are only ~70-85% accurate — more reviews are needed;")
+    print("  * the OPQ-Based plans are the cheapest (or tied with Greedy), and")
+    print("    the CIP baseline the most expensive, matching the paper's Figure 6b.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: decompose a large-scale crowdsourcing task with SLADE.
+
+This walks through the paper's running example (Table 1 / Example 4) and then
+scales the same workflow up to a 10,000-task job on the synthetic Jelly menu:
+
+1. describe the available task bins ``(cardinality, confidence, cost)``,
+2. build a SLADE problem (atomic tasks + reliability threshold),
+3. solve it with the Greedy heuristic and the OPQ-Based approximation,
+4. inspect the resulting decomposition plans.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import GreedySolver, OPQSolver, SladeProblem, TaskBinSet
+from repro.datasets import jelly_bin_set
+
+
+def running_example() -> None:
+    """The four-task running example the paper solves by hand."""
+    print("=" * 70)
+    print("Running example (Table 1, four atomic tasks, threshold 0.95)")
+    print("=" * 70)
+
+    # Table 1: an l-cardinality bin is (cardinality, confidence, cost).
+    bins = TaskBinSet.from_triples(
+        [(1, 0.90, 0.10), (2, 0.85, 0.18), (3, 0.80, 0.24)], name="table1"
+    )
+    problem = SladeProblem.homogeneous(n=4, threshold=0.95, bins=bins)
+
+    for solver in (GreedySolver(), OPQSolver()):
+        result = solver.solve(problem)
+        print(f"\n{solver.name} plan — total cost {result.total_cost:.2f} USD")
+        for assignment in result.plan:
+            tasks = ", ".join(f"a{i + 1}" for i in assignment.task_ids)
+            print(f"  {assignment.task_bin}: [{tasks}]")
+    print()
+    print("The paper derives 0.74 for Greedy (Example 5) and 0.68 for")
+    print("OPQ-Based (Example 9); the optimum is 0.66 (Example 4).")
+
+
+def large_scale_example() -> None:
+    """A 10,000-task decomposition on the synthetic Jelly menu."""
+    print()
+    print("=" * 70)
+    print("Large-scale example (Jelly menu, n = 10,000, threshold 0.9)")
+    print("=" * 70)
+
+    bins = jelly_bin_set(max_cardinality=20)
+    problem = SladeProblem.homogeneous(n=10_000, threshold=0.9, bins=bins)
+
+    for solver in (GreedySolver(), OPQSolver()):
+        result = solver.solve(problem)
+        usage = sorted(result.plan.bin_usage().items())
+        top = ", ".join(f"{count}x {l}-bins" for l, count in usage[-3:])
+        print(
+            f"{solver.name:>8}: cost {result.total_cost:8.2f} USD "
+            f"({result.plan.cost_per_task(problem.task) * 100:.2f} cents/task), "
+            f"{len(result.plan)} postings, {result.elapsed_seconds * 1000:.0f} ms "
+            f"[{top}]"
+        )
+
+    naive = 2 * bins[1].cost * problem.n
+    print(f"\nNaive plan (two singleton bins per task): {naive:.2f} USD")
+    print("Batching with SLADE cuts the spend by roughly an order of magnitude")
+    print("while guaranteeing every atomic task a reliability of at least 0.9.")
+
+
+if __name__ == "__main__":
+    running_example()
+    large_scale_example()

@@ -1,0 +1,69 @@
+"""Reproduce the Section 2 motivation study (Figure 3) on the simulated crowd.
+
+The paper's motivation experiments measure how worker confidence and effective
+per-task cost change as atomic tasks are packed into larger bins, and how the
+offered reward limits which bin sizes finish within the response-time
+threshold.  This script regenerates all three panels (Jelly per price, SMIC
+per price, Jelly per difficulty) and prints the observations that motivate the
+SLADE problem.
+
+Run with::
+
+    python examples/reproduce_motivation.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.motivation import difficulty_series, motivation_series
+from repro.experiments.report import format_series
+
+CARDINALITIES = tuple(range(2, 31, 4))
+
+
+def panel_a_jelly() -> None:
+    print("=" * 70)
+    print("Figure 3a — Jelly: confidence vs cardinality per price")
+    print("=" * 70)
+    series = motivation_series(
+        dataset="jelly", cardinalities=CARDINALITIES, probes_per_cardinality=3, seed=3
+    )
+    print(format_series(series.confidence))
+    for cost in sorted(series.in_time):
+        print(f"  cost {cost}: completes in time up to cardinality "
+              f"{series.usable_range(cost)}")
+    high, low = series.confidence_drop(0.10)
+    print(f"  confidence drop at $0.10: {high:.3f} -> {low:.3f}, while the per-task")
+    print(f"  cost drops from {0.10 / CARDINALITIES[0]:.4f} to "
+          f"{0.10 / CARDINALITIES[-1]:.4f} USD — the mismatch SLADE exploits.")
+
+
+def panel_b_smic() -> None:
+    print()
+    print("=" * 70)
+    print("Figure 3b — SMIC: confidence vs cardinality per price")
+    print("=" * 70)
+    series = motivation_series(
+        dataset="smic", cardinalities=CARDINALITIES, probes_per_cardinality=3, seed=3
+    )
+    print(format_series(series.confidence))
+    print("  SMIC confidence sits well below Jelly at every cardinality —")
+    print("  micro-expression labelling is genuinely harder (Example 3).")
+
+
+def panel_c_difficulty() -> None:
+    print()
+    print("=" * 70)
+    print("Figure 3c — Jelly: confidence vs cardinality per difficulty level")
+    print("=" * 70)
+    curves = difficulty_series(
+        difficulties=(1, 2, 3), cardinalities=tuple(range(2, 21, 3)), cost=0.10, seed=3
+    )
+    print(format_series(curves, series_label="difficulty"))
+    print("  Harder dot-counting variants (difficulty 3) lose confidence faster")
+    print("  as bins grow, which is why bin menus must be calibrated per task type.")
+
+
+if __name__ == "__main__":
+    panel_a_jelly()
+    panel_b_smic()
+    panel_c_difficulty()

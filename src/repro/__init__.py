@@ -1,0 +1,83 @@
+"""SLADE: a smart large-scale task decomposer for crowdsourcing.
+
+This package reproduces the system described in *"SLADE: A Smart Large-Scale
+Task Decomposer in Crowdsourcing"* (Tong et al.).  It decomposes a large-scale
+crowdsourcing task — thousands to millions of simple binary-choice *atomic*
+tasks — into batches of *task bins* of varying cardinality so that every atomic
+task reaches its reliability threshold at minimal total incentive cost.
+
+Quickstart
+----------
+>>> from repro import TaskBinSet, SladeProblem, OPQSolver
+>>> bins = TaskBinSet.from_triples([(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)])
+>>> problem = SladeProblem.homogeneous(n=4, threshold=0.95, bins=bins)
+>>> result = OPQSolver().solve(problem)
+>>> round(result.total_cost, 2)
+0.68
+
+The public surface re-exports the core data model, the solvers, the crowd
+simulation substrate, and the dataset generators; see ``DESIGN.md`` for the
+full system inventory.
+"""
+
+from repro.algorithms import (
+    BudgetedDecomposer,
+    BudgetedResult,
+    CIPBaselineSolver,
+    ExactSolver,
+    GreedySolver,
+    OnlineDecomposer,
+    OPQExtendedSolver,
+    OPQSolver,
+    RelaxedDPSolver,
+    SolveResult,
+    Solver,
+    available_solvers,
+    create_solver,
+)
+from repro.core import (
+    AtomicTask,
+    BinAssignment,
+    CrowdsourcingTask,
+    DecompositionPlan,
+    InfeasiblePlanError,
+    InvalidBinError,
+    InvalidProblemError,
+    SladeError,
+    SladeProblem,
+    TaskBin,
+    TaskBinSet,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "AtomicTask",
+    "CrowdsourcingTask",
+    "TaskBin",
+    "TaskBinSet",
+    "BinAssignment",
+    "DecompositionPlan",
+    "SladeProblem",
+    "SladeError",
+    "InvalidBinError",
+    "InvalidProblemError",
+    "InfeasiblePlanError",
+    # solvers
+    "Solver",
+    "SolveResult",
+    "GreedySolver",
+    "OPQSolver",
+    "OPQExtendedSolver",
+    "CIPBaselineSolver",
+    "RelaxedDPSolver",
+    "ExactSolver",
+    "available_solvers",
+    "create_solver",
+    # extensions beyond the paper's core algorithms
+    "BudgetedDecomposer",
+    "BudgetedResult",
+    "OnlineDecomposer",
+]

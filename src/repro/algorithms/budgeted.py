@@ -1,0 +1,197 @@
+"""Budget-constrained decomposition: the dual of the SLADE problem.
+
+SLADE minimises cost subject to per-task reliability thresholds.  Requesters
+often face the inverse question — *"I have B dollars; how reliable can I make
+every atomic task?"* — which the paper lists as the natural companion problem
+(its motivation experiments already fix budgets per bin).  This module answers
+it by binary search over the uniform reliability target:
+
+* for a candidate threshold ``t`` the homogeneous SLADE solver (OPQ-Based by
+  default) gives a near-minimal cost ``C(t)``;
+* ``C(t)`` is non-decreasing in ``t``, so the largest affordable ``t`` can be
+  found by bisection on the residual scale (where the search space is smooth);
+* the plan returned is the SLADE plan for that threshold, so it inherits the
+  underlying solver's approximation behaviour.
+
+Because ``C(t)`` is produced by an approximation algorithm the result is a
+near-optimal feasible answer, not a proven optimum — the docstrings and the
+result object are explicit about which guarantee the caller gets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algorithms.base import SolveResult, Solver
+from repro.algorithms.opq import OPQSolver
+from repro.core.bins import TaskBinSet
+from repro.core.errors import InvalidProblemError
+from repro.core.plan import DecompositionPlan
+from repro.core.problem import SladeProblem
+from repro.utils.logmath import (
+    reliability_from_residual,
+    residual_from_reliability,
+)
+
+
+@dataclass(frozen=True)
+class BudgetedResult:
+    """Outcome of a budget-constrained decomposition.
+
+    Attributes
+    ----------
+    reliability:
+        The uniform reliability target the budget affords.
+    plan:
+        The decomposition plan achieving it (every task meets ``reliability``).
+    cost:
+        The plan's total cost (never exceeds the budget).
+    budget:
+        The budget that was given.
+    iterations:
+        Number of bisection steps performed.
+    """
+
+    reliability: float
+    plan: DecompositionPlan
+    cost: float
+    budget: float
+    iterations: int
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the budget actually spent."""
+        if self.budget <= 0.0:
+            return 0.0
+        return self.cost / self.budget
+
+
+class BudgetedDecomposer:
+    """Maximise the uniform reliability of a task set under a budget.
+
+    Parameters
+    ----------
+    bins:
+        The task bin menu.
+    solver:
+        The homogeneous SLADE solver used to price each candidate threshold;
+        defaults to :class:`~repro.algorithms.opq.OPQSolver`.
+    min_reliability, max_reliability:
+        Search interval for the reliability target.  The upper end is capped
+        below 1.0 because no finite plan reaches certainty.
+    tolerance:
+        Bisection stops once the bracket width (in residual space) drops below
+        this value.
+    max_iterations:
+        Hard cap on bisection steps.
+    """
+
+    def __init__(
+        self,
+        bins: TaskBinSet,
+        solver: Optional[Solver] = None,
+        min_reliability: float = 0.5,
+        max_reliability: float = 0.999,
+        tolerance: float = 1e-3,
+        max_iterations: int = 40,
+    ) -> None:
+        if not 0.0 < min_reliability < max_reliability < 1.0:
+            raise InvalidProblemError(
+                "reliability search interval must satisfy "
+                f"0 < min < max < 1; got [{min_reliability}, {max_reliability}]"
+            )
+        if tolerance <= 0.0:
+            raise InvalidProblemError(f"tolerance must be positive; got {tolerance}")
+        if max_iterations < 1:
+            raise InvalidProblemError(
+                f"max_iterations must be at least 1; got {max_iterations}"
+            )
+        self.bins = bins
+        self.solver = solver or OPQSolver(verify=False)
+        self.min_reliability = min_reliability
+        self.max_reliability = max_reliability
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+
+    # -- internals -----------------------------------------------------------------
+
+    def _cost_at(self, n: int, reliability: float) -> SolveResult:
+        problem = SladeProblem.homogeneous(
+            n, reliability, self.bins, name=f"budgeted-t{reliability:.4f}"
+        )
+        return self.solver.solve(problem)
+
+    # -- public API -------------------------------------------------------------------
+
+    def decompose(self, n: int, budget: float) -> BudgetedResult:
+        """Find the highest uniform reliability affordable for ``n`` tasks.
+
+        Parameters
+        ----------
+        n:
+            Number of atomic tasks.
+        budget:
+            Total incentive budget (same unit as the bin costs).
+
+        Returns
+        -------
+        BudgetedResult
+            The affordable reliability, its plan and the realised cost.
+
+        Raises
+        ------
+        InvalidProblemError
+            If even the minimum reliability of the search interval does not
+            fit in the budget.
+        """
+        if n <= 0:
+            raise InvalidProblemError(f"n must be positive; got {n}")
+        if budget <= 0.0:
+            raise InvalidProblemError(f"budget must be positive; got {budget}")
+
+        low = residual_from_reliability(self.min_reliability)
+        high = residual_from_reliability(self.max_reliability)
+
+        cheapest = self._cost_at(n, self.min_reliability)
+        if cheapest.total_cost > budget:
+            raise InvalidProblemError(
+                f"a budget of {budget} cannot even fund reliability "
+                f"{self.min_reliability} (cheapest plan costs "
+                f"{cheapest.total_cost:.2f})"
+            )
+
+        best_result = cheapest
+        best_residual = low
+        iterations = 0
+
+        # Does the budget already cover the top of the search interval?
+        top = self._cost_at(n, self.max_reliability)
+        if top.total_cost <= budget:
+            return BudgetedResult(
+                reliability=self.max_reliability,
+                plan=top.plan,
+                cost=top.total_cost,
+                budget=budget,
+                iterations=iterations,
+            )
+
+        while high - low > self.tolerance and iterations < self.max_iterations:
+            iterations += 1
+            middle = (low + high) / 2.0
+            reliability = reliability_from_residual(middle)
+            result = self._cost_at(n, reliability)
+            if result.total_cost <= budget:
+                low = middle
+                best_result = result
+                best_residual = middle
+            else:
+                high = middle
+
+        return BudgetedResult(
+            reliability=reliability_from_residual(best_residual),
+            plan=best_result.plan,
+            cost=best_result.total_cost,
+            budget=budget,
+            iterations=iterations,
+        )

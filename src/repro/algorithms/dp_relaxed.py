@@ -1,0 +1,84 @@
+"""Section 4.2: exact dynamic program for the relaxed SLADE variant.
+
+The relaxed variant assumes every task bin's confidence already meets the
+largest reliability threshold (``r_j >= t_max`` for all bins ``b_j``): a single
+posting of any bin satisfies every task it contains, so the problem degenerates
+to covering ``n`` tasks with bins of capacities ``l`` and costs ``c_l`` — the
+ROD CUTTING problem, solvable exactly in ``O(n m)`` time and ``O(n)`` space.
+
+The solver refuses instances that are not actually relaxed (it would silently
+produce infeasible plans otherwise); it is used both as a fast exact optimum
+for relaxed instances and as a lower-bound generator in the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.algorithms.base import Solver
+from repro.core.errors import InvalidProblemError
+from repro.core.plan import DecompositionPlan
+from repro.core.problem import SladeProblem
+
+
+class RelaxedDPSolver(Solver):
+    """Rod-cutting dynamic program for the relaxed SLADE variant.
+
+    Parameters
+    ----------
+    allow_unrelaxed:
+        When ``True``, the solver skips the relaxed-variant check and treats
+        every bin as sufficient for one assignment anyway.  The resulting plan
+        is then a *lower bound* on cost, not necessarily feasible; the ablation
+        benchmarks use this to gauge how much the reliability requirement
+        inflates cost.  The default is ``False``.
+    verify:
+        See :class:`~repro.algorithms.base.Solver`.  Automatically disabled
+        when ``allow_unrelaxed`` is set, since the plan may be infeasible by
+        design.
+    """
+
+    name = "dp-relaxed"
+
+    def __init__(self, allow_unrelaxed: bool = False, verify: bool = True) -> None:
+        super().__init__(verify=verify and not allow_unrelaxed)
+        self.allow_unrelaxed = allow_unrelaxed
+
+    def _solve(self, problem: SladeProblem) -> DecompositionPlan:
+        if not self.allow_unrelaxed and not problem.is_relaxed_variant():
+            raise InvalidProblemError(
+                "instance is not the relaxed variant (some bin confidence is "
+                "below the maximum threshold); use GreedySolver / OPQSolver, or "
+                "pass allow_unrelaxed=True for a lower-bound plan"
+            )
+
+        n = problem.n
+        bins = problem.bins.bins()
+
+        # best_cost[j] = minimum cost to cover j tasks; best_bin[j] = cardinality
+        # of the last bin in an optimal cover of j tasks.
+        best_cost: List[float] = [0.0] + [float("inf")] * n
+        best_bin: List[Optional[int]] = [None] * (n + 1)
+        for j in range(1, n + 1):
+            for task_bin in bins:
+                previous = max(0, j - task_bin.cardinality)
+                candidate = best_cost[previous] + task_bin.cost
+                if candidate < best_cost[j]:
+                    best_cost[j] = candidate
+                    best_bin[j] = task_bin.cardinality
+
+        plan = DecompositionPlan(solver=self.name)
+        task_ids = [atomic.task_id for atomic in problem.task]
+        j = n
+        cursor = 0
+        while j > 0:
+            cardinality = best_bin[j]
+            if cardinality is None:  # pragma: no cover - dp always fills table
+                raise InvalidProblemError("dynamic program failed to cover all tasks")
+            members = task_ids[cursor:cursor + min(cardinality, j)]
+            plan.add(problem.bins[cardinality], members)
+            cursor += len(members)
+            j -= len(members)
+
+        self.record("optimal_cost", best_cost[n])
+        return plan

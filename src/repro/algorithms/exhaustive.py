@@ -1,0 +1,131 @@
+"""Exact solver for tiny SLADE instances (test oracle).
+
+The SLADE problem is NP-hard (Theorem 1), so no polynomial exact algorithm is
+expected; this module provides a uniform-cost search over complete plan states
+that is practical only for a handful of atomic tasks and small bin sets.  Its
+single purpose is to provide ground-truth optima for the unit tests and for
+the worked examples in the paper (Examples 4, 9 and 11), so the approximation
+quality of the production solvers can be asserted rather than assumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, List, Tuple
+
+from repro.algorithms.base import Solver
+from repro.core.errors import InvalidProblemError
+from repro.core.plan import DecompositionPlan
+from repro.core.problem import SladeProblem
+from repro.utils.logmath import RESIDUAL_EPSILON, residual_from_reliability
+
+
+class ExactSolver(Solver):
+    """Optimal SLADE solver via uniform-cost search (exponential time).
+
+    Parameters
+    ----------
+    max_tasks:
+        Hard limit on the number of atomic tasks; larger instances are
+        rejected so the oracle cannot be accidentally unleashed on a
+        benchmark-sized problem.
+    residual_quantum:
+        Residual values are quantised to this granularity when forming search
+        states, which keeps the visited-set finite in the presence of floating
+        point noise without affecting optimality at the tolerances the tests
+        assert.
+    verify:
+        See :class:`~repro.algorithms.base.Solver`.
+    """
+
+    name = "exact"
+
+    def __init__(
+        self,
+        max_tasks: int = 8,
+        residual_quantum: float = 1e-6,
+        verify: bool = True,
+    ) -> None:
+        super().__init__(verify=verify)
+        self.max_tasks = max_tasks
+        self.residual_quantum = residual_quantum
+
+    def _solve(self, problem: SladeProblem) -> DecompositionPlan:
+        if problem.n > self.max_tasks:
+            raise InvalidProblemError(
+                f"ExactSolver is limited to {self.max_tasks} atomic tasks; "
+                f"got {problem.n}"
+            )
+
+        task_ids = [atomic.task_id for atomic in problem.task]
+        demands = tuple(
+            residual_from_reliability(atomic.threshold) for atomic in problem.task
+        )
+        bins = problem.bins.bins()
+
+        def quantise(residuals: Tuple[float, ...]) -> Tuple[int, ...]:
+            return tuple(
+                max(0, int(math.ceil(r / self.residual_quantum - 1e-12)))
+                for r in residuals
+            )
+
+        start = demands
+        start_key = quantise(start)
+        goal_key = tuple(0 for _ in start)
+
+        # Uniform-cost search: state = remaining residual per task (quantised),
+        # action = posting one bin filled with any subset of still-unsatisfied
+        # tasks of size min(cardinality, #unsatisfied).
+        frontier: List[Tuple[float, int, Tuple[float, ...], List[Tuple[int, Tuple[int, ...]]]]] = []
+        counter = itertools.count()
+        heapq.heappush(frontier, (0.0, next(counter), start, []))
+        best_seen: Dict[Tuple[int, ...], float] = {start_key: 0.0}
+        expanded = 0
+
+        while frontier:
+            cost, _tie, residuals, actions = heapq.heappop(frontier)
+            key = quantise(residuals)
+            if key == goal_key:
+                plan = DecompositionPlan(solver=self.name)
+                for cardinality, members in actions:
+                    plan.add(problem.bins[cardinality], members)
+                self.record("expanded_states", expanded)
+                return plan
+            if cost > best_seen.get(key, float("inf")) + 1e-12:
+                continue
+            expanded += 1
+
+            unsatisfied = [
+                index for index, r in enumerate(residuals) if r > RESIDUAL_EPSILON
+            ]
+            for task_bin in bins:
+                contribution = task_bin.residual_contribution
+                if contribution <= 0.0:
+                    continue
+                size = min(task_bin.cardinality, len(unsatisfied))
+                for subset in itertools.combinations(unsatisfied, size):
+                    new_residuals = list(residuals)
+                    for index in subset:
+                        new_residuals[index] = max(0.0, new_residuals[index] - contribution)
+                    new_state = tuple(new_residuals)
+                    new_key = quantise(new_state)
+                    new_cost = cost + task_bin.cost
+                    if new_cost < best_seen.get(new_key, float("inf")) - 1e-12:
+                        best_seen[new_key] = new_cost
+                        members = tuple(task_ids[index] for index in subset)
+                        heapq.heappush(
+                            frontier,
+                            (
+                                new_cost,
+                                next(counter),
+                                new_state,
+                                actions + [(task_bin.cardinality, members)],
+                            ),
+                        )
+
+        raise InvalidProblemError(
+            "exhaustive search exhausted the frontier without satisfying every "
+            "task; the bin set cannot reach the requested thresholds"
+        )

@@ -1,0 +1,60 @@
+"""Solver registry: map algorithm names to factories.
+
+The experiment harness, the CLI, and the benchmarks refer to solvers by name
+(``"greedy"``, ``"opq"``, ``"opq-extended"``, ``"baseline"``, ...).  The
+registry centralises construction so a new solver becomes available everywhere
+by registering it once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.base import Solver
+from repro.algorithms.baseline import CIPBaselineSolver
+from repro.algorithms.dp_relaxed import RelaxedDPSolver
+from repro.algorithms.exhaustive import ExactSolver
+from repro.algorithms.greedy import GreedySolver
+from repro.algorithms.opq import OPQSolver
+from repro.algorithms.opq_extended import OPQExtendedSolver
+
+SolverFactory = Callable[..., Solver]
+
+_REGISTRY: Dict[str, SolverFactory] = {}
+
+
+def register_solver(name: str, factory: SolverFactory, overwrite: bool = False) -> None:
+    """Register a solver factory under ``name``.
+
+    Raises
+    ------
+    ValueError
+        If the name is taken and ``overwrite`` is ``False``.
+    """
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"solver {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def create_solver(name: str, **kwargs) -> Solver:
+    """Instantiate a registered solver by name, forwarding keyword arguments."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown solver {name!r}; known solvers: {known}") from None
+    return factory(**kwargs)
+
+
+def available_solvers() -> List[str]:
+    """Names of all registered solvers, sorted alphabetically."""
+    return sorted(_REGISTRY)
+
+
+# Built-in solvers.
+register_solver("greedy", GreedySolver)
+register_solver("opq", OPQSolver)
+register_solver("opq-extended", OPQExtendedSolver)
+register_solver("baseline", CIPBaselineSolver)
+register_solver("dp-relaxed", RelaxedDPSolver)
+register_solver("exact", ExactSolver)

@@ -1,0 +1,27 @@
+"""Analysis utilities on top of the core solvers.
+
+The paper's theory gives two handles that are useful far beyond the
+experiments themselves: a *lower bound* on the optimal cost (Lemma 2: ``n``
+times the head unit cost of the optimal priority queue) and the notion of an
+approximation ratio against that bound.  This package packages both, plus
+descriptive statistics over decomposition plans, so applications can audit a
+plan before spending real money on it.
+"""
+
+from repro.analysis.bounds import (
+    CostBounds,
+    lower_bound,
+    naive_upper_bound,
+    optimality_gap,
+)
+from repro.analysis.plan_stats import PlanStatistics, compare_plans, describe_plan
+
+__all__ = [
+    "CostBounds",
+    "lower_bound",
+    "naive_upper_bound",
+    "optimality_gap",
+    "PlanStatistics",
+    "describe_plan",
+    "compare_plans",
+]

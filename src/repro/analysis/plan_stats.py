@@ -1,0 +1,158 @@
+"""Descriptive statistics and comparisons of decomposition plans.
+
+A decomposition plan is ultimately a purchase order against a crowd
+marketplace; before submitting one, a requester wants to know how the spend is
+distributed over bin sizes, how much redundancy each atomic task receives, and
+how far the plan's guaranteed reliability exceeds what was asked for.
+:func:`describe_plan` collects those numbers and :func:`compare_plans` puts two
+candidate plans side by side (e.g. Greedy versus OPQ-Based) for the same
+problem instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.plan import DecompositionPlan
+from repro.core.problem import SladeProblem
+
+
+@dataclass(frozen=True)
+class PlanStatistics:
+    """Summary statistics of one decomposition plan against its problem.
+
+    Attributes
+    ----------
+    solver:
+        Name of the solver that produced the plan (if recorded).
+    total_cost:
+        Total incentive cost of the plan.
+    cost_per_task:
+        Average cost per atomic task.
+    postings:
+        Number of bins posted.
+    cost_by_cardinality:
+        Spend broken down by bin cardinality.
+    assignments_per_task:
+        Minimum / mean / maximum number of postings any atomic task appears in.
+    mean_fill_ratio:
+        Average fraction of bin capacity actually used (1.0 = every bin full).
+    min_slack, mean_slack:
+        Reliability slack = achieved reliability minus the task's threshold.
+        Negative minimum slack means the plan is infeasible.
+    feasible:
+        Whether every atomic task meets its threshold.
+    """
+
+    solver: Optional[str]
+    total_cost: float
+    cost_per_task: float
+    postings: int
+    cost_by_cardinality: Mapping[int, float]
+    assignments_per_task: Mapping[str, float]
+    mean_fill_ratio: float
+    min_slack: float
+    mean_slack: float
+    feasible: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the statistics into a plain dictionary for reports."""
+        return {
+            "solver": self.solver,
+            "total_cost": self.total_cost,
+            "cost_per_task": self.cost_per_task,
+            "postings": self.postings,
+            "cost_by_cardinality": dict(self.cost_by_cardinality),
+            "assignments_min": self.assignments_per_task["min"],
+            "assignments_mean": self.assignments_per_task["mean"],
+            "assignments_max": self.assignments_per_task["max"],
+            "mean_fill_ratio": self.mean_fill_ratio,
+            "min_slack": self.min_slack,
+            "mean_slack": self.mean_slack,
+            "feasible": self.feasible,
+        }
+
+
+def describe_plan(plan: DecompositionPlan, problem: SladeProblem) -> PlanStatistics:
+    """Compute :class:`PlanStatistics` for ``plan`` on ``problem``."""
+    cost_by_cardinality: Dict[int, float] = {}
+    fill_ratios: List[float] = []
+    assignments_count: Dict[int, int] = {atomic.task_id: 0 for atomic in problem.task}
+    for assignment in plan:
+        cardinality = assignment.task_bin.cardinality
+        cost_by_cardinality[cardinality] = (
+            cost_by_cardinality.get(cardinality, 0.0) + assignment.cost
+        )
+        fill_ratios.append(assignment.fill_ratio)
+        for task_id in assignment.task_ids:
+            if task_id in assignments_count:
+                assignments_count[task_id] += 1
+
+    counts = list(assignments_count.values())
+    reliabilities = plan.reliabilities()
+    slacks = [
+        reliabilities.get(atomic.task_id, 0.0) - atomic.threshold
+        for atomic in problem.task
+    ]
+
+    return PlanStatistics(
+        solver=plan.solver,
+        total_cost=plan.total_cost,
+        cost_per_task=plan.total_cost / problem.n,
+        postings=len(plan),
+        cost_by_cardinality=cost_by_cardinality,
+        assignments_per_task={
+            "min": float(min(counts)) if counts else 0.0,
+            "mean": sum(counts) / len(counts) if counts else 0.0,
+            "max": float(max(counts)) if counts else 0.0,
+        },
+        mean_fill_ratio=sum(fill_ratios) / len(fill_ratios) if fill_ratios else 0.0,
+        min_slack=min(slacks),
+        mean_slack=sum(slacks) / len(slacks),
+        feasible=plan.is_feasible(problem.task),
+    )
+
+
+def compare_plans(
+    plans: Mapping[str, DecompositionPlan],
+    problem: SladeProblem,
+) -> Dict[str, PlanStatistics]:
+    """Describe several candidate plans for the same problem side by side.
+
+    Parameters
+    ----------
+    plans:
+        Mapping from a label (usually the solver name) to the plan.
+    problem:
+        The shared problem instance.
+
+    Returns
+    -------
+    dict
+        Label → :class:`PlanStatistics`, in the order the plans were given.
+    """
+    return {label: describe_plan(plan, problem) for label, plan in plans.items()}
+
+
+def format_comparison(statistics: Mapping[str, PlanStatistics]) -> str:
+    """Render a plan comparison as a fixed-width text table."""
+    headers = ["plan", "cost", "cost/task", "postings", "mean fill", "min slack", "feasible"]
+    rows = [headers]
+    for label, stats in statistics.items():
+        rows.append([
+            label,
+            f"{stats.total_cost:.2f}",
+            f"{stats.cost_per_task:.4f}",
+            str(stats.postings),
+            f"{stats.mean_fill_ratio:.2f}",
+            f"{stats.min_slack:+.3f}",
+            str(stats.feasible),
+        ])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro`` or the ``slade`` console script.
+
+Three sub-commands cover the common workflows:
+
+``solve``
+    Decompose a synthetic large-scale task with a chosen solver and print the
+    plan summary.
+
+``figure``
+    Reproduce one of the paper's figures (``fig3a`` ... ``fig8b``) and print
+    the data series as a text table.
+
+``calibrate``
+    Run probe-based calibration against the simulated Jelly or SMIC platform
+    and print the resulting task-bin menu.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.algorithms.registry import available_solvers, create_solver
+from repro.core.problem import SladeProblem
+from repro.crowd.calibration import ProbeCalibrator
+from repro.crowd.presets import jelly_platform, smic_platform
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.smic import smic_bin_set
+from repro.datasets.thresholds import normal_thresholds
+from repro.experiments.config import ExperimentConfig, SweepResult
+from repro.experiments.figures import figure_ids, run_figure
+from repro.experiments.motivation import MotivationSeries
+from repro.experiments.report import format_series, format_sweep_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="slade",
+        description="SLADE: smart large-scale task decomposition for crowdsourcing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="decompose a synthetic large-scale task")
+    solve.add_argument("--solver", default="opq", choices=available_solvers())
+    solve.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
+    solve.add_argument("--n", type=int, default=10_000, help="number of atomic tasks")
+    solve.add_argument("--threshold", type=float, default=0.9,
+                       help="homogeneous reliability threshold")
+    solve.add_argument("--max-cardinality", type=int, default=20,
+                       help="largest task bin cardinality |B|")
+    solve.add_argument("--heterogeneous", action="store_true",
+                       help="draw per-task thresholds from a Normal distribution")
+    solve.add_argument("--mu", type=float, default=0.9)
+    solve.add_argument("--sigma", type=float, default=0.03)
+    solve.add_argument("--seed", type=int, default=42)
+
+    figure = sub.add_parser("figure", help="reproduce one of the paper's figures")
+    figure.add_argument("figure_id", choices=figure_ids())
+    figure.add_argument("--n", type=int, default=2_000,
+                        help="number of atomic tasks for sweep-based figures")
+    figure.add_argument("--seed", type=int, default=42)
+
+    calibrate = sub.add_parser("calibrate", help="probe the simulated platform")
+    calibrate.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
+    calibrate.add_argument("--max-cardinality", type=int, default=10)
+    calibrate.add_argument("--difficulty", type=int, default=2, choices=[1, 2, 3])
+    calibrate.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    bins = jelly_bin_set(args.max_cardinality) if args.dataset == "jelly" \
+        else smic_bin_set(args.max_cardinality)
+    if args.heterogeneous:
+        thresholds = normal_thresholds(args.n, mu=args.mu, sigma=args.sigma, seed=args.seed)
+        problem = SladeProblem.heterogeneous(thresholds, bins, name=f"{args.dataset}-cli")
+    else:
+        problem = SladeProblem.homogeneous(args.n, args.threshold, bins,
+                                           name=f"{args.dataset}-cli")
+    solver = create_solver(args.solver)
+    result = solver.solve(problem)
+    print(problem.describe())
+    print(f"solver            : {result.solver}")
+    print(f"total cost (USD)  : {result.total_cost:.2f}")
+    print(f"bins posted       : {len(result.plan)}")
+    print(f"cost per task     : {result.plan.cost_per_task(problem.task):.4f}")
+    print(f"feasible          : {result.feasible}")
+    print(f"solve time (s)    : {result.elapsed_seconds:.3f}")
+    usage = result.plan.bin_usage()
+    top = sorted(usage.items(), key=lambda kv: -kv[1])[:5]
+    print("top bin usage     : " + ", ".join(f"{l}-bin x{count}" for l, count in top))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        n=args.n,
+        seed=args.seed,
+        solver_options={"baseline": {"chunk_size": 128}},
+    )
+    result = run_figure(args.figure_id, config=config)
+    if isinstance(result, SweepResult):
+        metric = "elapsed_seconds" if args.figure_id in {
+            "fig6c", "fig6d", "fig6g", "fig6h", "fig6k", "fig6l",
+            "fig7b", "fig7d", "fig8a", "fig8b",
+        } else "total_cost"
+        print(format_sweep_table(result, metric=metric))
+    elif isinstance(result, MotivationSeries):
+        print(f"{result.dataset}: worker confidence by cardinality and price")
+        print(format_series(result.confidence))
+    else:
+        print("jelly difficulty series: confidence by cardinality and difficulty")
+        print(format_series(result, series_label="difficulty"))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    if args.dataset == "jelly":
+        platform = jelly_platform(difficulty=args.difficulty, seed=args.seed)
+        costs = (0.05, 0.08, 0.10)
+    else:
+        platform = smic_platform(seed=args.seed)
+        costs = (0.05, 0.10, 0.20)
+    calibrator = ProbeCalibrator(platform, candidate_costs=costs, seed=args.seed)
+    calibration = calibrator.calibrate(list(range(1, args.max_cardinality + 1)))
+    bins = calibration.bin_set(name=f"{args.dataset}-calibrated")
+    print(f"probe spend: {calibration.probe_spend:.2f} USD")
+    print(f"{'cardinality':>11}  {'confidence':>10}  {'cost':>6}")
+    for task_bin in bins:
+        print(f"{task_bin.cardinality:>11}  {task_bin.confidence:>10.3f}  {task_bin.cost:>6.2f}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Core data model of the SLADE reproduction.
+
+This package defines the vocabulary of the paper's problem statement
+(Section 3): atomic tasks, large-scale crowdsourcing tasks, ``l``-cardinality
+task bins, reliability, decomposition plans, and the SLADE problem instances
+the solvers in :mod:`repro.algorithms` consume.
+"""
+
+from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.errors import (
+    InfeasiblePlanError,
+    InvalidBinError,
+    InvalidProblemError,
+    SladeError,
+)
+from repro.core.plan import BinAssignment, DecompositionPlan
+from repro.core.problem import SladeProblem
+from repro.core.reliability import (
+    aggregate_reliability,
+    reliability_of_assignment,
+    required_residual,
+)
+from repro.core.task import AtomicTask, CrowdsourcingTask
+
+__all__ = [
+    "TaskBin",
+    "TaskBinSet",
+    "AtomicTask",
+    "CrowdsourcingTask",
+    "BinAssignment",
+    "DecompositionPlan",
+    "SladeProblem",
+    "aggregate_reliability",
+    "reliability_of_assignment",
+    "required_residual",
+    "SladeError",
+    "InvalidBinError",
+    "InvalidProblemError",
+    "InfeasiblePlanError",
+]

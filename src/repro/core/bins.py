@@ -1,0 +1,203 @@
+"""Task bins: the unit of work handed to a single crowd worker.
+
+Definition 1 of the paper: an ``l``-cardinality task bin is a triple
+``b_l = <l, r_l, c_l>`` where ``l`` is the maximum number of distinct atomic
+tasks packed into the bin, ``r_l`` is the *confidence* (average probability a
+worker answers each atomic task in the bin correctly), and ``c_l`` is the
+incentive cost paid for completing the whole bin.
+
+A :class:`TaskBinSet` is the menu ``B = {b_1, ..., b_m}`` the decomposer can
+draw from.  Following the paper's experiments we index bins by their
+cardinality; a set therefore holds at most one bin per cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import InvalidBinError
+from repro.utils.logmath import residual_from_reliability
+from repro.utils.validation import require_positive, require_probability_open
+
+
+@dataclass(frozen=True, order=True)
+class TaskBin:
+    """An ``l``-cardinality task bin ``<l, r_l, c_l>``.
+
+    Attributes
+    ----------
+    cardinality:
+        Maximum number of distinct atomic tasks in the bin (``l >= 1``).
+    confidence:
+        Probability ``r_l`` in ``[0, 1)`` that a worker answers each atomic
+        task in the bin correctly.
+    cost:
+        Incentive cost ``c_l > 0`` paid per posted bin.
+    """
+
+    cardinality: int
+    confidence: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 1:
+            raise InvalidBinError(
+                f"cardinality must be at least 1; got {self.cardinality}"
+            )
+        require_probability_open(self.confidence, "confidence")
+        require_positive(self.cost, "cost")
+
+    @property
+    def residual_contribution(self) -> float:
+        """Reliability contributed per assignment: ``-ln(1 - r_l)``."""
+        return residual_from_reliability(self.confidence)
+
+    @property
+    def cost_per_task(self) -> float:
+        """Average incentive cost per atomic task when the bin is full."""
+        return self.cost / self.cardinality
+
+    def __str__(self) -> str:
+        return (
+            f"b{self.cardinality}(r={self.confidence:.3f}, c={self.cost:.3f})"
+        )
+
+
+class TaskBinSet:
+    """The menu of task bins available to the decomposer.
+
+    The set is keyed by cardinality.  Iteration yields bins in increasing
+    cardinality order, matching the paper's ``b_1, ..., b_m`` notation.
+
+    Parameters
+    ----------
+    bins:
+        The task bins.  Cardinalities must be distinct.
+    name:
+        Optional label (e.g. ``"jelly-cost0.1"``) used in reports.
+    """
+
+    def __init__(self, bins: Iterable[TaskBin], name: str = "bins") -> None:
+        self.name = name
+        self._by_cardinality: Dict[int, TaskBin] = {}
+        for task_bin in bins:
+            if task_bin.cardinality in self._by_cardinality:
+                raise InvalidBinError(
+                    f"duplicate cardinality {task_bin.cardinality} in task bin set"
+                )
+            self._by_cardinality[task_bin.cardinality] = task_bin
+        if not self._by_cardinality:
+            raise InvalidBinError("a task bin set needs at least one bin")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Sequence[Tuple[int, float, float]],
+        name: str = "bins",
+    ) -> "TaskBinSet":
+        """Build a bin set from ``(cardinality, confidence, cost)`` triples.
+
+        Examples
+        --------
+        The paper's Table 1 bin set:
+
+        >>> bins = TaskBinSet.from_triples([(1, 0.9, 0.1), (2, 0.85, 0.18), (3, 0.8, 0.24)])
+        >>> len(bins)
+        3
+        """
+        return cls((TaskBin(l, r, c) for l, r, c in triples), name=name)
+
+    @classmethod
+    def from_profile(
+        cls,
+        confidences: Mapping[int, float],
+        costs: Mapping[int, float],
+        name: str = "bins",
+    ) -> "TaskBinSet":
+        """Build a bin set from aligned cardinality→confidence/cost mappings."""
+        if set(confidences) != set(costs):
+            raise InvalidBinError(
+                "confidence and cost mappings must cover the same cardinalities"
+            )
+        return cls(
+            (TaskBin(l, confidences[l], costs[l]) for l in sorted(confidences)),
+            name=name,
+        )
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_cardinality)
+
+    def __iter__(self) -> Iterator[TaskBin]:
+        for cardinality in sorted(self._by_cardinality):
+            yield self._by_cardinality[cardinality]
+
+    def __contains__(self, cardinality: int) -> bool:
+        return cardinality in self._by_cardinality
+
+    def __getitem__(self, cardinality: int) -> TaskBin:
+        try:
+            return self._by_cardinality[cardinality]
+        except KeyError:
+            raise KeyError(f"no task bin with cardinality {cardinality}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskBinSet(name={self.name!r}, m={len(self)})"
+
+    # -- derived views ----------------------------------------------------------
+
+    @property
+    def cardinalities(self) -> List[int]:
+        """Available bin cardinalities in increasing order."""
+        return sorted(self._by_cardinality)
+
+    @property
+    def max_cardinality(self) -> int:
+        """The largest cardinality in the set (the paper's ``|B|`` knob)."""
+        return max(self._by_cardinality)
+
+    @property
+    def max_confidence(self) -> float:
+        """The highest confidence of any bin in the set."""
+        return max(task_bin.confidence for task_bin in self)
+
+    @property
+    def min_confidence(self) -> float:
+        """The lowest confidence of any bin in the set."""
+        return min(task_bin.confidence for task_bin in self)
+
+    def bins(self) -> List[TaskBin]:
+        """Return the bins as a list ordered by cardinality."""
+        return list(self)
+
+    def restrict_max_cardinality(self, max_cardinality: int, name: Optional[str] = None) -> "TaskBinSet":
+        """Return a bin set containing only bins of cardinality <= ``max_cardinality``.
+
+        Used by the Figure 6e-h sweep that varies the maximum cardinality.
+        """
+        kept = [b for b in self if b.cardinality <= max_cardinality]
+        if not kept:
+            raise InvalidBinError(
+                f"no bins remain with cardinality <= {max_cardinality}"
+            )
+        return TaskBinSet(kept, name=name or f"{self.name}<= {max_cardinality}")
+
+    def is_monotone(self) -> bool:
+        """Check the paper's Section 2 observation on this bin set.
+
+        Returns ``True`` when confidence is non-increasing and per-task cost is
+        non-increasing as cardinality grows.  Solvers do not require
+        monotonicity, but the datasets in :mod:`repro.datasets` satisfy it and
+        a violation usually signals a calibration problem.
+        """
+        ordered = self.bins()
+        for previous, current in zip(ordered, ordered[1:]):
+            if current.confidence > previous.confidence + 1e-12:
+                return False
+            if current.cost_per_task > previous.cost_per_task + 1e-12:
+                return False
+        return True

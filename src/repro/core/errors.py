@@ -1,0 +1,49 @@
+"""Exception hierarchy for the SLADE reproduction.
+
+All library-raised errors derive from :class:`SladeError` so applications can
+catch misconfiguration separately from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class SladeError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidBinError(SladeError):
+    """A task bin or task bin set violates the model's assumptions.
+
+    Examples: non-positive cardinality, confidence outside ``[0, 1)``,
+    duplicate cardinalities within one bin set, or a non-positive cost.
+    """
+
+
+class InvalidProblemError(SladeError):
+    """A SLADE problem instance is malformed.
+
+    Examples: an empty task set, a threshold outside ``[0, 1)``, or a
+    mismatch between the number of tasks and the number of thresholds.
+    """
+
+
+class InfeasiblePlanError(SladeError):
+    """A decomposition plan does not satisfy every task's reliability threshold.
+
+    Raised by :meth:`repro.core.plan.DecompositionPlan.require_feasible` and by
+    solvers that cannot construct a feasible plan at all (which can only happen
+    when the bin set is empty or contains only zero-confidence bins).
+    """
+
+
+class CalibrationError(SladeError):
+    """Probe-based estimation of task bin parameters failed.
+
+    Raised by :mod:`repro.crowd.calibration` when, for instance, no probe
+    answers were collected within the response-time threshold for a
+    cardinality, so no confidence estimate exists.
+    """
+
+
+class SimulationError(SladeError):
+    """The crowd platform simulation was asked to do something unsupported."""

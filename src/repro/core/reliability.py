@@ -1,0 +1,82 @@
+"""Reliability computations (Definition 2 and Section 4.1 of the paper).
+
+The reliability of an atomic task ``a_i`` given its assigned task bins
+``B(a_i)`` is the probability that at least one assignment answers it
+correctly:
+
+    Rel(a_i, B(a_i)) = 1 - prod_{beta in B(a_i)} (1 - r_|beta|)
+
+Working directly with that product underflows for long assignment lists, so
+all solvers use the additive residual form (Equation 2).  The helpers here
+convert between the two views and evaluate assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.bins import TaskBin
+from repro.utils.logmath import (
+    reliability_from_residual,
+    residual_from_reliability,
+)
+
+
+def required_residual(threshold: float) -> float:
+    """Residual requirement ``-ln(1 - t)`` for a reliability threshold ``t``."""
+    return residual_from_reliability(threshold)
+
+
+def aggregate_reliability(confidences: Iterable[float]) -> float:
+    """Reliability achieved by assignments with the given confidences.
+
+    Parameters
+    ----------
+    confidences:
+        The confidence ``r_|beta|`` of each task bin the atomic task was
+        assigned to.  An empty iterable yields reliability ``0.0`` (the task
+        was never posted, so the probability of a correct answer is zero).
+    """
+    total_residual = 0.0
+    for confidence in confidences:
+        total_residual += residual_from_reliability(confidence)
+    return reliability_from_residual(total_residual)
+
+
+def reliability_of_assignment(bins: Sequence[TaskBin]) -> float:
+    """Reliability achieved when an atomic task is assigned to ``bins``."""
+    return aggregate_reliability(task_bin.confidence for task_bin in bins)
+
+
+def assignments_needed(confidence: float, threshold: float) -> int:
+    """Minimum number of identical bins needed to reach ``threshold``.
+
+    This is the ceiling of ``-ln(1-t) / -ln(1-r)`` and is used by upper-bound
+    estimates in the greedy solver's iteration-count analysis and by tests.
+
+    Raises
+    ------
+    ValueError
+        If ``confidence`` is zero (no number of assignments can ever help) or
+        either argument lies outside ``[0, 1)``.
+    """
+    demand = residual_from_reliability(threshold)
+    supply = residual_from_reliability(confidence)
+    if supply == 0.0:
+        raise ValueError("a zero-confidence bin can never satisfy a positive threshold")
+    if demand == 0.0:
+        return 0
+    count = int(demand // supply)
+    if count * supply < demand - 1e-12:
+        count += 1
+    return count
+
+
+def residual_shortfall(confidences: Iterable[float], threshold: float) -> float:
+    """How much residual is still missing to reach ``threshold``.
+
+    Returns ``0.0`` when the assignments already satisfy the threshold.
+    """
+    achieved = sum(residual_from_reliability(c) for c in confidences)
+    demand = residual_from_reliability(threshold)
+    return max(0.0, demand - achieved)

@@ -1,0 +1,191 @@
+"""Atomic tasks and large-scale crowdsourcing tasks.
+
+The paper models a large-scale crowdsourcing task ``T`` as a set of ``n``
+independent *atomic* tasks, each a binary-choice question of trivial cognitive
+load (Section 3.1).  Atomic tasks carry an identifier, an optional payload (for
+the simulator: the question and its ground truth), and a reliability threshold
+``t_i`` — the minimum acceptable probability of no false negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.core.errors import InvalidProblemError
+from repro.utils.logmath import residual_from_reliability
+from repro.utils.validation import require_probability_open
+
+
+@dataclass(frozen=True)
+class AtomicTask:
+    """A single binary-choice question posed to the crowd.
+
+    Attributes
+    ----------
+    task_id:
+        Unique identifier within a :class:`CrowdsourcingTask`.
+    threshold:
+        Reliability threshold ``t_i`` in ``[0, 1)``: the decomposition plan
+        must give this task at least this probability of being answered
+        correctly by at least one assigned task bin.
+    payload:
+        Optional application data, e.g. a reference to the satellite image to
+        screen.  The decomposition algorithms never look at it; the crowd
+        simulator uses ``payload.get("truth")`` as the ground-truth label.
+    """
+
+    task_id: int
+    threshold: float = 0.9
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_probability_open(self.threshold, "threshold")
+        if self.task_id < 0:
+            raise InvalidProblemError(
+                f"task_id must be non-negative; got {self.task_id}"
+            )
+
+    @property
+    def required_residual(self) -> float:
+        """The threshold expressed in residual (log) space: ``-ln(1 - t_i)``."""
+        return residual_from_reliability(self.threshold)
+
+    def with_threshold(self, threshold: float) -> "AtomicTask":
+        """Return a copy of this task with a different reliability threshold."""
+        return AtomicTask(self.task_id, threshold, self.payload)
+
+
+class CrowdsourcingTask:
+    """A large-scale crowdsourcing task: an ordered collection of atomic tasks.
+
+    The class behaves like an immutable sequence of :class:`AtomicTask`.  Task
+    identifiers must be unique; they are usually ``0..n-1`` but any distinct
+    non-negative integers are accepted (the simulator reuses upstream IDs).
+
+    Parameters
+    ----------
+    tasks:
+        The atomic tasks making up the large-scale task.
+    name:
+        Optional human-readable label used in experiment reports.
+    """
+
+    def __init__(self, tasks: Iterable[AtomicTask], name: str = "task") -> None:
+        self._tasks: List[AtomicTask] = list(tasks)
+        self.name = name
+        if not self._tasks:
+            raise InvalidProblemError("a crowdsourcing task needs at least one atomic task")
+        seen = set()
+        for task in self._tasks:
+            if task.task_id in seen:
+                raise InvalidProblemError(
+                    f"duplicate atomic task id {task.task_id} in crowdsourcing task"
+                )
+            seen.add(task.task_id)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n: int,
+        threshold: float,
+        name: str = "task",
+    ) -> "CrowdsourcingTask":
+        """Build a task of ``n`` atomic tasks sharing one reliability threshold.
+
+        This is the homogeneous SLADE setting (Section 5).
+        """
+        if n <= 0:
+            raise InvalidProblemError(f"n must be positive; got {n}")
+        require_probability_open(threshold, "threshold")
+        return cls(
+            (AtomicTask(i, threshold) for i in range(n)),
+            name=name,
+        )
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        thresholds: Sequence[float],
+        name: str = "task",
+    ) -> "CrowdsourcingTask":
+        """Build a task whose atomic tasks carry per-task thresholds.
+
+        This is the heterogeneous SLADE setting (Section 6).
+        """
+        if len(thresholds) == 0:
+            raise InvalidProblemError("thresholds must not be empty")
+        return cls(
+            (AtomicTask(i, float(t)) for i, t in enumerate(thresholds)),
+            name=name,
+        )
+
+    # -- sequence protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[AtomicTask]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index: int) -> AtomicTask:
+        return self._tasks[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CrowdsourcingTask(name={self.name!r}, n={len(self)})"
+
+    # -- derived views ----------------------------------------------------------
+
+    @property
+    def task_ids(self) -> List[int]:
+        """The atomic task identifiers, in declaration order."""
+        return [task.task_id for task in self._tasks]
+
+    @property
+    def thresholds(self) -> List[float]:
+        """Reliability thresholds aligned with :attr:`task_ids`."""
+        return [task.threshold for task in self._tasks]
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every atomic task shares the same reliability threshold."""
+        first = self._tasks[0].threshold
+        return all(task.threshold == first for task in self._tasks)
+
+    @property
+    def max_threshold(self) -> float:
+        """The largest reliability threshold among the atomic tasks."""
+        return max(task.threshold for task in self._tasks)
+
+    @property
+    def min_threshold(self) -> float:
+        """The smallest reliability threshold among the atomic tasks."""
+        return min(task.threshold for task in self._tasks)
+
+    def by_id(self, task_id: int) -> AtomicTask:
+        """Return the atomic task with the given identifier.
+
+        Raises
+        ------
+        KeyError
+            If no atomic task has that identifier.
+        """
+        for task in self._tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(f"no atomic task with id {task_id}")
+
+    def subset(self, task_ids: Iterable[int], name: Optional[str] = None) -> "CrowdsourcingTask":
+        """Return a new crowdsourcing task restricted to ``task_ids``.
+
+        Used by the heterogeneous solver to carve the task set into threshold
+        groups (Algorithm 5, lines 5-7).
+        """
+        wanted = set(task_ids)
+        subset = [task for task in self._tasks if task.task_id in wanted]
+        if len(subset) != len(wanted):
+            missing = wanted - {task.task_id for task in subset}
+            raise KeyError(f"unknown atomic task ids: {sorted(missing)}")
+        return CrowdsourcingTask(subset, name=name or f"{self.name}-subset")

@@ -1,0 +1,51 @@
+"""Simulated crowdsourcing platform.
+
+The paper's input parameters — the per-cardinality confidence ``r_l`` and cost
+``c_l`` of task bins — were measured on Amazon Mechanical Turk.  This package
+replaces the live platform with a discrete-event simulation that exposes the
+same observable behaviour:
+
+* workers with heterogeneous skill whose per-question accuracy decays with bin
+  cardinality (cognitive load, :mod:`repro.crowd.accuracy`),
+* a worker supply whose arrival rate depends on the offered reward, so cheap
+  bins of large cardinality fail to finish within the response-time threshold
+  (:mod:`repro.crowd.arrival`),
+* a platform that posts bins, collects answers and accounts for spend
+  (:mod:`repro.crowd.platform`),
+* probe-based calibration that re-derives ``(l, r_l, c_l)`` menus exactly the
+  way the paper describes (testing bins with known ground truth + counting,
+  :mod:`repro.crowd.calibration`), and
+* end-to-end execution of a decomposition plan measuring the *achieved*
+  reliability, so the planned reliability guarantees can be validated
+  empirically (:mod:`repro.crowd.execution`).
+"""
+
+from repro.crowd.accuracy import CognitiveLoadAccuracyModel
+from repro.crowd.arrival import RewardSensitiveArrivalModel
+from repro.crowd.calibration import CalibrationResult, ProbeCalibrator
+from repro.crowd.execution import ExecutionReport, PlanExecutor
+from repro.crowd.monitoring import DriftReport, QualityMonitor
+from repro.crowd.platform import CrowdPlatform, PostedBin
+from repro.crowd.presets import jelly_platform, smic_platform
+from repro.crowd.responses import AnswerAggregator, BinResponse, WorkerAnswer
+from repro.crowd.worker import SimulatedWorker, WorkerPool
+
+__all__ = [
+    "jelly_platform",
+    "smic_platform",
+    "CognitiveLoadAccuracyModel",
+    "RewardSensitiveArrivalModel",
+    "SimulatedWorker",
+    "WorkerPool",
+    "CrowdPlatform",
+    "PostedBin",
+    "WorkerAnswer",
+    "BinResponse",
+    "AnswerAggregator",
+    "ProbeCalibrator",
+    "CalibrationResult",
+    "PlanExecutor",
+    "ExecutionReport",
+    "QualityMonitor",
+    "DriftReport",
+]

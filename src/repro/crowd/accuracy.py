@@ -1,0 +1,81 @@
+"""Worker accuracy model: cognitive load versus batch size.
+
+The motivation experiments (Section 2) show that worker confidence decreases
+moderately as more atomic tasks are packed into one bin — attributed to the
+growing cognitive load, partially offset by the reduced task-switching cost of
+answering a run of similar questions.  The model here reproduces that shape:
+
+    accuracy(worker, cardinality) =
+        floor + (skill - floor) * exp(-decay * (cardinality - 1))
+
+where ``skill`` is the worker's accuracy on a single-question bin and ``floor``
+is the asymptotic accuracy on very long batches.  Task difficulty scales the
+decay rate, matching Figure 3c where harder Jelly variants decay faster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import (
+    require_in_unit_interval,
+    require_positive,
+)
+
+
+@dataclass(frozen=True)
+class CognitiveLoadAccuracyModel:
+    """Exponential cognitive-load decay of per-question accuracy.
+
+    Attributes
+    ----------
+    floor_accuracy:
+        Asymptotic accuracy for very large bins (never worse than guessing for
+        binary questions, so values below 0.5 are rejected).
+    decay:
+        Base decay rate per additional atomic task in the bin.
+    difficulty_scale:
+        Multiplier applied to ``decay``; difficulty level 2 corresponds to 1.0,
+        easier tasks use smaller values, harder tasks larger ones.
+    """
+
+    floor_accuracy: float = 0.75
+    decay: float = 0.07
+    difficulty_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_in_unit_interval(self.floor_accuracy, "floor_accuracy")
+        if self.floor_accuracy < 0.5:
+            raise ValueError(
+                "floor_accuracy below 0.5 would be worse than guessing on a "
+                f"binary question; got {self.floor_accuracy}"
+            )
+        require_positive(self.decay, "decay")
+        require_positive(self.difficulty_scale, "difficulty_scale")
+
+    def accuracy(self, skill: float, cardinality: int) -> float:
+        """Per-question accuracy of a worker with ``skill`` on a bin of ``cardinality``.
+
+        Parameters
+        ----------
+        skill:
+            The worker's accuracy on a single-question bin, in ``[0.5, 1)``.
+        cardinality:
+            Number of atomic tasks in the posted bin (at least 1).
+        """
+        require_in_unit_interval(skill, "skill")
+        if cardinality < 1:
+            raise ValueError(f"cardinality must be at least 1; got {cardinality}")
+        floor = min(self.floor_accuracy, skill)
+        span = skill - floor
+        rate = self.decay * self.difficulty_scale
+        return floor + span * math.exp(-rate * (cardinality - 1))
+
+    def expected_confidence(self, mean_skill: float, cardinality: int) -> float:
+        """Population-level confidence for a mean worker skill.
+
+        A convenience used by tests and calibration sanity checks; the platform
+        itself always evaluates per-worker accuracies.
+        """
+        return self.accuracy(mean_skill, cardinality)

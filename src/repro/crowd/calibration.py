@@ -1,0 +1,201 @@
+"""Probe-based calibration of task bin parameters.
+
+Section 3.1 of the paper explains how the ``(l, r_l, c_l)`` menu is obtained in
+practice: "when a batch of atomic tasks arrives, one can regularly issue
+testing task bins with different cardinalities.  The atomic tasks in testing
+task bins are the same as the real tasks, yet the ground truth is known to
+calculate the confidence. [...] the cost for each cardinality is calculated as
+the minimum cost that meets the response time requirement.  After obtaining the
+answers from the testing task bins, the confidence can be obtained by
+regression or counting methods."
+
+:class:`ProbeCalibrator` implements exactly that procedure against the
+simulated platform: it posts probe bins of every cardinality at every candidate
+price, counts the fraction of correct answers among in-time responses, picks
+the cheapest price whose postings finish in time, and returns both the raw
+measurements (used to regenerate Figure 3) and a ready-to-use
+:class:`~repro.core.bins.TaskBinSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.errors import CalibrationError
+from repro.crowd.platform import CrowdPlatform
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass
+class ProbeMeasurement:
+    """Raw calibration measurement for one (cardinality, cost) pair.
+
+    Attributes
+    ----------
+    cardinality:
+        Probe bin cardinality.
+    cost:
+        Reward offered per probe bin.
+    confidence:
+        Fraction of correct answers among in-time responses (``None`` when no
+        in-time responses were collected at all).
+    in_time_fraction:
+        Fraction of requested assignments answered within the threshold.
+    answers_collected:
+        Number of individual question answers that arrived in time.
+    """
+
+    cardinality: int
+    cost: float
+    confidence: Optional[float]
+    in_time_fraction: float
+    answers_collected: int
+
+    @property
+    def usable(self) -> bool:
+        """Whether this price/cardinality combination completed in time.
+
+        The paper disqualifies a bin configuration once "no enough answers are
+        obtained" within the threshold; we require at least half of the
+        requested assignments to have finished.
+        """
+        return self.confidence is not None and self.in_time_fraction >= 0.5
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of a calibration run.
+
+    Attributes
+    ----------
+    measurements:
+        Every probe measurement, keyed by ``(cardinality, cost)``.
+    selected:
+        For each cardinality, the cheapest usable measurement.
+    probe_spend:
+        Total reward paid for the probe bins.
+    """
+
+    measurements: Dict[Tuple[int, float], ProbeMeasurement]
+    selected: Dict[int, ProbeMeasurement]
+    probe_spend: float
+
+    def confidence_series(self, cost: float) -> Dict[int, float]:
+        """Measured confidence per cardinality for one price (Figure 3 series)."""
+        series = {}
+        for (cardinality, c), measurement in sorted(self.measurements.items()):
+            if c == cost and measurement.confidence is not None:
+                series[cardinality] = measurement.confidence
+        return series
+
+    def bin_set(self, name: str = "calibrated") -> TaskBinSet:
+        """Build the task bin menu from the selected measurements."""
+        if not self.selected:
+            raise CalibrationError("no cardinality produced a usable measurement")
+        bins = []
+        for cardinality, measurement in sorted(self.selected.items()):
+            confidence = min(0.999, max(1e-6, measurement.confidence or 0.0))
+            bins.append(TaskBin(cardinality, confidence, measurement.cost))
+        return TaskBinSet(bins, name=name)
+
+
+class ProbeCalibrator:
+    """Estimate the ``(l, r_l, c_l)`` menu by posting probe bins.
+
+    Parameters
+    ----------
+    platform:
+        The simulated crowd platform to probe.
+    candidate_costs:
+        Reward levels to test per bin, ascending (e.g. the paper's
+        ``[0.05, 0.08, 0.10]`` for Jelly).
+    assignments_per_probe:
+        Workers requested per probe bin (the paper uses 10).
+    probes_per_cardinality:
+        Number of distinct probe bins posted per (cardinality, cost) pair;
+        more probes sharpen the confidence estimate at higher probe spend.
+    seed:
+        Seed for generating the probe questions' ground truth.
+    """
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        candidate_costs: Sequence[float],
+        assignments_per_probe: int = 10,
+        probes_per_cardinality: int = 3,
+        seed: RandomSource = None,
+    ) -> None:
+        if not candidate_costs:
+            raise CalibrationError("candidate_costs must not be empty")
+        if assignments_per_probe < 1:
+            raise CalibrationError("assignments_per_probe must be at least 1")
+        if probes_per_cardinality < 1:
+            raise CalibrationError("probes_per_cardinality must be at least 1")
+        self.platform = platform
+        self.candidate_costs = sorted(candidate_costs)
+        self.assignments_per_probe = assignments_per_probe
+        self.probes_per_cardinality = probes_per_cardinality
+        self._rng = ensure_rng(seed)
+
+    def calibrate(self, cardinalities: Sequence[int]) -> CalibrationResult:
+        """Probe every cardinality at every candidate price.
+
+        Parameters
+        ----------
+        cardinalities:
+            The bin cardinalities to measure, e.g. ``range(1, 21)``.
+
+        Returns
+        -------
+        CalibrationResult
+            Raw measurements plus the per-cardinality cheapest usable choice.
+        """
+        if not cardinalities:
+            raise CalibrationError("cardinalities must not be empty")
+        measurements: Dict[Tuple[int, float], ProbeMeasurement] = {}
+        selected: Dict[int, ProbeMeasurement] = {}
+        spend_before = self.platform.total_spend
+
+        next_task_id = -1  # probe tasks use negative ids to avoid collisions
+        for cardinality in cardinalities:
+            for cost in self.candidate_costs:
+                probe_bin = TaskBin(cardinality, 0.5, cost)
+                correct = 0
+                answered = 0
+                in_time_responses = 0
+                requested = 0
+                for _ in range(self.probes_per_cardinality):
+                    truths = {}
+                    for _ in range(cardinality):
+                        truths[next_task_id] = bool(self._rng.random() < 0.5)
+                        next_task_id -= 1
+                    posting = self.platform.post_bin(
+                        probe_bin, truths, assignments=self.assignments_per_probe
+                    )
+                    requested += self.assignments_per_probe
+                    for response in posting.in_time_responses:
+                        in_time_responses += 1
+                        for task_id, answer in response.answers.items():
+                            answered += 1
+                            if answer == truths[task_id]:
+                                correct += 1
+                confidence = correct / answered if answered else None
+                measurement = ProbeMeasurement(
+                    cardinality=cardinality,
+                    cost=cost,
+                    confidence=confidence,
+                    in_time_fraction=in_time_responses / requested if requested else 0.0,
+                    answers_collected=answered,
+                )
+                measurements[(cardinality, cost)] = measurement
+                if cardinality not in selected and measurement.usable:
+                    selected[cardinality] = measurement
+
+        return CalibrationResult(
+            measurements=measurements,
+            selected=selected,
+            probe_spend=self.platform.total_spend - spend_before,
+        )

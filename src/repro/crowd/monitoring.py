@@ -1,0 +1,182 @@
+"""Quality-drift monitoring for long-running crowdsourcing jobs.
+
+Section 3.1 of the paper notes that real marketplaces "use a set of different
+task bins as real-time probes to monitor the quality of the current work flow"
+and that the bin parameters are re-estimated "regularly".  A decomposition plan
+computed from stale confidences silently loses its reliability guarantee when
+the worker population drifts (new workers, fatigue, adversarial behaviour).
+
+:class:`QualityMonitor` closes that loop for long-running jobs:
+
+* production answers with known ground truth (the interleaved probe questions)
+  are recorded per bin cardinality in a sliding window,
+* the observed accuracy is compared against the confidence the current bin
+  menu assumes,
+* when the shortfall exceeds a configurable tolerance for enough observations,
+  the monitor flags the cardinality as drifted and can produce a *corrected*
+  bin menu, which the requester feeds back into the decomposer for the
+  remaining tasks.
+
+The monitor is deliberately platform-agnostic: it consumes plain observations
+(`record(cardinality, correct)`), so it works against the simulator in this
+repository and against a real marketplace's probe results alike.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Drift assessment for one bin cardinality.
+
+    Attributes
+    ----------
+    cardinality:
+        The bin cardinality being monitored.
+    assumed_confidence:
+        The confidence the current menu assumes for this cardinality.
+    observed_accuracy:
+        Accuracy measured over the sliding window (``None`` when there are not
+        yet enough observations).
+    observations:
+        Number of probe answers in the window.
+    drifted:
+        Whether the observed accuracy falls short of the assumed confidence by
+        more than the monitor's tolerance.
+    """
+
+    cardinality: int
+    assumed_confidence: float
+    observed_accuracy: Optional[float]
+    observations: int
+    drifted: bool
+
+    @property
+    def shortfall(self) -> float:
+        """How far observed accuracy sits below the assumed confidence."""
+        if self.observed_accuracy is None:
+            return 0.0
+        return max(0.0, self.assumed_confidence - self.observed_accuracy)
+
+
+class QualityMonitor:
+    """Sliding-window monitor of per-cardinality worker accuracy.
+
+    Parameters
+    ----------
+    bins:
+        The bin menu the running decomposition plan was computed from.
+    window:
+        Number of most recent probe answers kept per cardinality.
+    min_observations:
+        Minimum number of answers before a cardinality can be flagged.
+    tolerance:
+        Allowed shortfall between assumed confidence and observed accuracy
+        before the cardinality counts as drifted (absolute probability).
+    """
+
+    def __init__(
+        self,
+        bins: TaskBinSet,
+        window: int = 200,
+        min_observations: int = 30,
+        tolerance: float = 0.05,
+    ) -> None:
+        if window < 1:
+            raise SimulationError(f"window must be at least 1; got {window}")
+        if min_observations < 1:
+            raise SimulationError(
+                f"min_observations must be at least 1; got {min_observations}"
+            )
+        if min_observations > window:
+            raise SimulationError("min_observations cannot exceed the window size")
+        if not 0.0 < tolerance < 1.0:
+            raise SimulationError(
+                f"tolerance must lie strictly between 0 and 1; got {tolerance}"
+            )
+        self.bins = bins
+        self.window = window
+        self.min_observations = min_observations
+        self.tolerance = tolerance
+        self._observations: Dict[int, Deque[bool]] = {
+            task_bin.cardinality: deque(maxlen=window) for task_bin in bins
+        }
+
+    # -- data intake -----------------------------------------------------------------
+
+    def record(self, cardinality: int, correct: bool) -> None:
+        """Record one probe answer for a bin of the given cardinality."""
+        if cardinality not in self._observations:
+            raise SimulationError(
+                f"the monitored menu has no bin of cardinality {cardinality}"
+            )
+        self._observations[cardinality].append(bool(correct))
+
+    def record_many(self, observations: Iterable[Tuple[int, bool]]) -> None:
+        """Record a batch of ``(cardinality, correct)`` probe answers."""
+        for cardinality, correct in observations:
+            self.record(cardinality, correct)
+
+    # -- assessment -------------------------------------------------------------------
+
+    def observed_accuracy(self, cardinality: int) -> Optional[float]:
+        """Accuracy over the window for one cardinality (``None`` if too few)."""
+        answers = self._observations.get(cardinality)
+        if answers is None:
+            raise SimulationError(
+                f"the monitored menu has no bin of cardinality {cardinality}"
+            )
+        if len(answers) < self.min_observations:
+            return None
+        return sum(answers) / len(answers)
+
+    def report(self, cardinality: int) -> DriftReport:
+        """Drift assessment for one cardinality."""
+        assumed = self.bins[cardinality].confidence
+        observed = self.observed_accuracy(cardinality)
+        drifted = observed is not None and observed < assumed - self.tolerance
+        return DriftReport(
+            cardinality=cardinality,
+            assumed_confidence=assumed,
+            observed_accuracy=observed,
+            observations=len(self._observations[cardinality]),
+            drifted=drifted,
+        )
+
+    def reports(self) -> List[DriftReport]:
+        """Drift assessments for every cardinality in the menu."""
+        return [self.report(cardinality) for cardinality in self.bins.cardinalities]
+
+    def drifted_cardinalities(self) -> List[int]:
+        """Cardinalities whose observed accuracy fell below tolerance."""
+        return [report.cardinality for report in self.reports() if report.drifted]
+
+    @property
+    def needs_recalibration(self) -> bool:
+        """Whether any monitored cardinality has drifted."""
+        return bool(self.drifted_cardinalities())
+
+    # -- remediation --------------------------------------------------------------------
+
+    def corrected_bin_set(self, name: Optional[str] = None) -> TaskBinSet:
+        """Return a menu whose confidences reflect the observed accuracies.
+
+        Cardinalities with enough observations take their measured accuracy
+        (clamped away from the degenerate endpoints); the rest keep their
+        assumed confidence.  Feeding the corrected menu back into a solver
+        restores the reliability guarantee for the remaining tasks.
+        """
+        corrected = []
+        for task_bin in self.bins:
+            observed = self.observed_accuracy(task_bin.cardinality)
+            confidence = task_bin.confidence if observed is None else observed
+            confidence = min(0.999, max(1e-6, confidence))
+            corrected.append(TaskBin(task_bin.cardinality, confidence, task_bin.cost))
+        return TaskBinSet(corrected, name=name or f"{self.bins.name}-recalibrated")

@@ -1,0 +1,195 @@
+"""The simulated crowdsourcing platform.
+
+The platform plays the role AMT plays in the paper: requesters post task bins
+with a per-bin reward, workers arrive according to the reward-sensitive supply
+model, answer the questions with cognitive-load-degraded accuracy, and the
+platform keeps the books (spend, postings, in-time versus overtime responses).
+
+The simulation is intentionally requester-centric: time advances per posting
+(arrival times are sampled from the Poisson supply process) rather than via a
+global event queue, which is sufficient for every behaviour the paper relies
+on — confidence per cardinality, in-time completion versus the response-time
+threshold, and total spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bins import TaskBin
+from repro.core.errors import SimulationError
+from repro.crowd.accuracy import CognitiveLoadAccuracyModel
+from repro.crowd.arrival import RewardSensitiveArrivalModel
+from repro.crowd.responses import BinResponse
+from repro.crowd.worker import WorkerPool
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass
+class PostedBin:
+    """Book-keeping record of one bin posting.
+
+    Attributes
+    ----------
+    posting_id:
+        Platform-assigned identifier.
+    task_bin:
+        The posted bin (cardinality, confidence estimate, reward).
+    task_ids:
+        The atomic tasks contained in the posting.
+    assignments:
+        Number of workers requested for this posting.
+    responses:
+        Collected worker responses (in-time and overtime).
+    cost:
+        Reward paid out: one bin cost per in-time response (workers who miss
+        the deadline are not paid, as is standard practice for expired HITs).
+    """
+
+    posting_id: int
+    task_bin: TaskBin
+    task_ids: Sequence[int]
+    assignments: int
+    responses: List[BinResponse] = field(default_factory=list)
+    cost: float = 0.0
+
+    @property
+    def in_time_responses(self) -> List[BinResponse]:
+        """Responses that arrived within the response-time threshold."""
+        return [r for r in self.responses if r.in_time]
+
+
+class CrowdPlatform:
+    """Requester-facing facade of the simulated crowd marketplace.
+
+    Parameters
+    ----------
+    worker_pool:
+        Population of simulated workers; defaults to a 200-worker pool with
+        mean skill 0.9 (the Jelly regime).
+    accuracy_model:
+        Cognitive-load accuracy decay; defaults mirror the Jelly dataset.
+    arrival_model:
+        Reward-sensitive worker supply.
+    response_time_minutes:
+        Platform-wide response-time threshold after which a posting's missing
+        answers are considered overtime (40 minutes for Jelly, 30 for SMIC).
+    seed:
+        Seed or generator driving arrival-time draws.
+    """
+
+    def __init__(
+        self,
+        worker_pool: Optional[WorkerPool] = None,
+        accuracy_model: Optional[CognitiveLoadAccuracyModel] = None,
+        arrival_model: Optional[RewardSensitiveArrivalModel] = None,
+        response_time_minutes: float = 40.0,
+        seed: RandomSource = None,
+    ) -> None:
+        if response_time_minutes <= 0:
+            raise SimulationError(
+                f"response_time_minutes must be positive; got {response_time_minutes}"
+            )
+        self._rng = ensure_rng(seed)
+        self.worker_pool = worker_pool or WorkerPool(seed=self._rng)
+        self.accuracy_model = accuracy_model or CognitiveLoadAccuracyModel()
+        self.arrival_model = arrival_model or RewardSensitiveArrivalModel()
+        self.response_time_minutes = response_time_minutes
+        self._postings: List[PostedBin] = []
+
+    # -- posting ------------------------------------------------------------------
+
+    def post_bin(
+        self,
+        task_bin: TaskBin,
+        truths: Mapping[int, bool],
+        assignments: int = 1,
+    ) -> PostedBin:
+        """Post one task bin and simulate the workers answering it.
+
+        Parameters
+        ----------
+        task_bin:
+            The bin to post; its cost is the reward offered per assignment.
+        truths:
+            Ground-truth label per atomic task id placed in the bin.  At most
+            ``task_bin.cardinality`` tasks are allowed.
+        assignments:
+            Number of workers requested (the paper issues 10 assignments per
+            probe bin in the motivation experiments).
+
+        Returns
+        -------
+        PostedBin
+            The posting record including all responses and the spend.
+        """
+        if assignments < 1:
+            raise SimulationError(f"assignments must be at least 1; got {assignments}")
+        if len(truths) == 0:
+            raise SimulationError("a posting must contain at least one atomic task")
+        if len(truths) > task_bin.cardinality:
+            raise SimulationError(
+                f"{len(truths)} tasks exceed the bin cardinality {task_bin.cardinality}"
+            )
+
+        posting = PostedBin(
+            posting_id=len(self._postings),
+            task_bin=task_bin,
+            task_ids=list(truths),
+            assignments=assignments,
+        )
+
+        rate = self.arrival_model.arrival_rate(task_bin.cost, task_bin.cardinality)
+        answer_minutes = self.arrival_model.minutes_per_bin(task_bin.cardinality)
+        arrival_time = 0.0
+        for _ in range(assignments):
+            # Poisson process: inter-arrival times are exponential with the
+            # reward-dependent rate.
+            arrival_time += float(self._rng.exponential(1.0 / rate))
+            completed_at = arrival_time + answer_minutes
+            in_time = completed_at <= self.response_time_minutes
+            worker = self.worker_pool.sample_worker()
+            answers = worker.answer_bin(task_bin, truths, self.accuracy_model)
+            posting.responses.append(
+                BinResponse(
+                    posting_id=posting.posting_id,
+                    worker_id=worker.worker_id,
+                    cardinality=task_bin.cardinality,
+                    answers=answers,
+                    completed_at_minutes=completed_at,
+                    in_time=in_time,
+                )
+            )
+            if in_time:
+                posting.cost += task_bin.cost
+
+        self._postings.append(posting)
+        return posting
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def postings(self) -> List[PostedBin]:
+        """All postings made so far, in posting order."""
+        return list(self._postings)
+
+    @property
+    def total_spend(self) -> float:
+        """Total reward paid out across all postings."""
+        return sum(posting.cost for posting in self._postings)
+
+    @property
+    def total_postings(self) -> int:
+        """Number of bins posted so far."""
+        return len(self._postings)
+
+    def all_responses(self) -> List[BinResponse]:
+        """Every response collected so far (in-time and overtime)."""
+        return [r for posting in self._postings for r in posting.responses]
+
+    def reset(self) -> None:
+        """Forget all postings and spend (the worker pool is kept)."""
+        self._postings = []

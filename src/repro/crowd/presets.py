@@ -1,0 +1,91 @@
+"""Pre-tuned simulated platforms for the paper's two datasets.
+
+The motivation experiments (Figure 3) and the end-to-end examples need a
+platform whose behaviour resembles the marketplace the paper measured: Jelly
+workers are accurate (confidence around 0.98 on short bins) and the task is
+easy; SMIC workers hover around 0.7-0.85 because micro-expression labelling is
+genuinely hard; and for both, cheap bins stop completing in time at smaller
+cardinalities than expensive bins.  These factory functions bundle the tuned
+worker pools, accuracy models, arrival models and response-time thresholds.
+"""
+
+from __future__ import annotations
+
+from repro.crowd.accuracy import CognitiveLoadAccuracyModel
+from repro.crowd.arrival import RewardSensitiveArrivalModel
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.worker import WorkerPool
+from repro.datasets.jelly import JELLY_RESPONSE_TIME_MINUTES
+from repro.datasets.smic import SMIC_RESPONSE_TIME_MINUTES
+from repro.utils.rng import RandomSource, ensure_rng
+
+#: Decay-rate multipliers per Jelly difficulty level (see Figure 3c).
+_JELLY_DIFFICULTY_SCALE = {1: 0.7, 2: 1.0, 3: 1.35}
+
+
+def jelly_platform(
+    difficulty: int = 2,
+    pool_size: int = 300,
+    seed: RandomSource = None,
+) -> CrowdPlatform:
+    """A simulated platform tuned to the Jelly-Beans-in-a-Jar experiments.
+
+    Parameters
+    ----------
+    difficulty:
+        Jelly difficulty level 1 (50 dots), 2 (200 dots) or 3 (400 dots).
+    pool_size:
+        Number of distinct simulated workers.
+    seed:
+        Seed or generator for the whole platform (worker skills, arrivals,
+        answers).
+    """
+    if difficulty not in _JELLY_DIFFICULTY_SCALE:
+        raise ValueError(f"Jelly difficulty must be 1, 2 or 3; got {difficulty}")
+    rng = ensure_rng(seed)
+    pool = WorkerPool(size=pool_size, mean_skill=0.985, skill_std=0.01, seed=rng)
+    accuracy = CognitiveLoadAccuracyModel(
+        floor_accuracy=0.78,
+        decay=0.075,
+        difficulty_scale=_JELLY_DIFFICULTY_SCALE[difficulty],
+    )
+    arrival = RewardSensitiveArrivalModel(
+        base_rate_per_minute=0.39,
+        reference_cost=0.05,
+        elasticity=1.4,
+        minutes_per_question=1.0,
+    )
+    return CrowdPlatform(
+        worker_pool=pool,
+        accuracy_model=accuracy,
+        arrival_model=arrival,
+        response_time_minutes=JELLY_RESPONSE_TIME_MINUTES,
+        seed=rng,
+    )
+
+
+def smic_platform(
+    pool_size: int = 300,
+    seed: RandomSource = None,
+) -> CrowdPlatform:
+    """A simulated platform tuned to the SMIC micro-expression experiments."""
+    rng = ensure_rng(seed)
+    pool = WorkerPool(size=pool_size, mean_skill=0.85, skill_std=0.05, seed=rng)
+    accuracy = CognitiveLoadAccuracyModel(
+        floor_accuracy=0.56,
+        decay=0.07,
+        difficulty_scale=1.0,
+    )
+    arrival = RewardSensitiveArrivalModel(
+        base_rate_per_minute=0.55,
+        reference_cost=0.05,
+        elasticity=0.85,
+        minutes_per_question=0.8,
+    )
+    return CrowdPlatform(
+        worker_pool=pool,
+        accuracy_model=accuracy,
+        arrival_model=arrival,
+        response_time_minutes=SMIC_RESPONSE_TIME_MINUTES,
+        seed=rng,
+    )

@@ -1,0 +1,143 @@
+"""Worker answers, bin responses and answer aggregation.
+
+The applications motivating SLADE are false-negative sensitive: an atomic task
+is considered *covered* if at least one assigned worker answers "yes" on a true
+positive (the fishing-line image is flagged for scrutiny).  The
+:class:`AnswerAggregator` implements that any-yes rule plus a majority-vote
+alternative, and computes the empirical reliability the executed plan actually
+achieved — the quantity compared against the planned reliability in the
+integration tests and the execution example.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class WorkerAnswer:
+    """A single worker's answer to a single atomic task inside one posting."""
+
+    task_id: int
+    worker_id: int
+    answer: bool
+
+
+@dataclass(frozen=True)
+class BinResponse:
+    """All answers one worker produced for one posted bin.
+
+    Attributes
+    ----------
+    posting_id:
+        Identifier of the posting on the platform.
+    worker_id:
+        The answering worker.
+    cardinality:
+        Cardinality of the posted bin.
+    answers:
+        Mapping of atomic task id to the worker's boolean answer.
+    completed_at_minutes:
+        Simulated completion time relative to the posting time.
+    in_time:
+        Whether the answer arrived within the response-time threshold; late
+        answers are collected but excluded from aggregation, matching how the
+        paper discards overtime bins.
+    """
+
+    posting_id: int
+    worker_id: int
+    cardinality: int
+    answers: Mapping[int, bool]
+    completed_at_minutes: float
+    in_time: bool = True
+
+    def iter_answers(self) -> Iterable[WorkerAnswer]:
+        """Yield the individual per-task answers."""
+        for task_id, answer in self.answers.items():
+            yield WorkerAnswer(task_id, self.worker_id, answer)
+
+
+class AnswerAggregator:
+    """Aggregate worker answers per atomic task.
+
+    Parameters
+    ----------
+    rule:
+        ``"any-yes"`` (default) marks a task positive as soon as any in-time
+        answer is "yes" — the low-false-negative rule of the fishing-line
+        scenario.  ``"majority"`` uses a simple majority of in-time answers.
+    """
+
+    SUPPORTED_RULES = ("any-yes", "majority")
+
+    def __init__(self, rule: str = "any-yes") -> None:
+        if rule not in self.SUPPORTED_RULES:
+            raise SimulationError(
+                f"unknown aggregation rule {rule!r}; supported: {self.SUPPORTED_RULES}"
+            )
+        self.rule = rule
+
+    def collect(self, responses: Iterable[BinResponse]) -> Dict[int, List[bool]]:
+        """Group in-time answers by atomic task id."""
+        grouped: Dict[int, List[bool]] = defaultdict(list)
+        for response in responses:
+            if not response.in_time:
+                continue
+            for task_id, answer in response.answers.items():
+                grouped[task_id].append(bool(answer))
+        return dict(grouped)
+
+    def decisions(self, responses: Iterable[BinResponse]) -> Dict[int, bool]:
+        """The aggregated label per atomic task id."""
+        grouped = self.collect(responses)
+        decided: Dict[int, bool] = {}
+        for task_id, answers in grouped.items():
+            if self.rule == "any-yes":
+                decided[task_id] = any(answers)
+            else:
+                decided[task_id] = sum(answers) * 2 > len(answers)
+        return decided
+
+    def empirical_reliability(
+        self,
+        responses: Iterable[BinResponse],
+        truths: Mapping[int, bool],
+    ) -> Dict[int, float]:
+        """Per-task probability that the task was *not* a false negative.
+
+        For true positives the task is reliable when the aggregated decision is
+        positive.  For true negatives, false negatives are impossible, so the
+        reliability is 1.0 whenever the task received at least one in-time
+        answer and 0.0 otherwise (it was never looked at).
+        """
+        decisions = self.decisions(responses)
+        reliability: Dict[int, float] = {}
+        for task_id, truth in truths.items():
+            if task_id not in decisions:
+                reliability[task_id] = 0.0
+            elif truth:
+                reliability[task_id] = 1.0 if decisions[task_id] else 0.0
+            else:
+                reliability[task_id] = 1.0
+        return reliability
+
+    def false_negative_rate(
+        self,
+        responses: Iterable[BinResponse],
+        truths: Mapping[int, bool],
+    ) -> float:
+        """Fraction of true positives the aggregated decisions missed.
+
+        Returns 0.0 when the workload contains no positives.
+        """
+        decisions = self.decisions(responses)
+        positives = [task_id for task_id, truth in truths.items() if truth]
+        if not positives:
+            return 0.0
+        missed = sum(1 for task_id in positives if not decisions.get(task_id, False))
+        return missed / len(positives)

@@ -1,0 +1,132 @@
+"""Simulated crowd workers.
+
+A :class:`SimulatedWorker` answers the binary questions inside a posted task
+bin.  Its probability of answering any single question correctly comes from
+the accuracy model (skill degraded by the bin's cognitive load); errors flip
+the ground-truth label.  A :class:`WorkerPool` owns a population of workers
+with skills drawn from a truncated normal distribution and hands them out to
+the platform as they "arrive".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.bins import TaskBin
+from repro.crowd.accuracy import CognitiveLoadAccuracyModel
+from repro.utils.rng import RandomSource, ensure_rng, spawn_child
+from repro.utils.validation import require_in_unit_interval
+
+
+@dataclass
+class SimulatedWorker:
+    """One crowd worker with a fixed skill level.
+
+    Attributes
+    ----------
+    worker_id:
+        Unique identifier within the pool.
+    skill:
+        Accuracy on a single-question bin, in ``[0.5, 1)``.
+    """
+
+    worker_id: int
+    skill: float
+    _rng: np.random.Generator = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        require_in_unit_interval(self.skill, "skill")
+        if self._rng is None:
+            self._rng = ensure_rng(self.worker_id)
+
+    def answer_bin(
+        self,
+        task_bin: TaskBin,
+        truths: Mapping[int, bool],
+        accuracy_model: CognitiveLoadAccuracyModel,
+    ) -> Dict[int, bool]:
+        """Answer every atomic task in a posted bin.
+
+        Parameters
+        ----------
+        task_bin:
+            The posted bin (its cardinality determines the cognitive load).
+        truths:
+            Ground-truth label per atomic task id contained in the posting.
+        accuracy_model:
+            The accuracy model translating skill and cardinality into a
+            per-question correctness probability.
+
+        Returns
+        -------
+        dict
+            Mapping of atomic task id to the worker's boolean answer.
+        """
+        accuracy = accuracy_model.accuracy(self.skill, task_bin.cardinality)
+        answers: Dict[int, bool] = {}
+        for task_id, truth in truths.items():
+            correct = self._rng.random() < accuracy
+            answers[task_id] = bool(truth) if correct else (not bool(truth))
+        return answers
+
+
+class WorkerPool:
+    """A population of simulated workers with heterogeneous skill.
+
+    Parameters
+    ----------
+    size:
+        Number of distinct workers in the pool.
+    mean_skill:
+        Mean single-question accuracy of the population.
+    skill_std:
+        Standard deviation of the skill distribution (truncated to
+        ``[0.5, 0.995]``).
+    seed:
+        Seed or generator for the skill draw and for worker selection.
+    """
+
+    def __init__(
+        self,
+        size: int = 200,
+        mean_skill: float = 0.9,
+        skill_std: float = 0.05,
+        seed: RandomSource = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be at least 1; got {size}")
+        require_in_unit_interval(mean_skill, "mean_skill")
+        if skill_std < 0:
+            raise ValueError(f"skill_std must be non-negative; got {skill_std}")
+        self._rng = ensure_rng(seed)
+        skills = np.clip(
+            self._rng.normal(mean_skill, skill_std, size=size), 0.5, 0.995
+        )
+        self._workers: List[SimulatedWorker] = [
+            SimulatedWorker(worker_id, float(skill), spawn_child(self._rng))
+            for worker_id, skill in enumerate(skills)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self):
+        return iter(self._workers)
+
+    @property
+    def workers(self) -> Sequence[SimulatedWorker]:
+        """The workers in the pool."""
+        return list(self._workers)
+
+    @property
+    def mean_skill(self) -> float:
+        """Empirical mean skill of the pool."""
+        return float(np.mean([w.skill for w in self._workers]))
+
+    def sample_worker(self) -> SimulatedWorker:
+        """Draw the next arriving worker uniformly at random from the pool."""
+        index = int(self._rng.integers(0, len(self._workers)))
+        return self._workers[index]

@@ -1,0 +1,41 @@
+"""Synthetic datasets emulating the paper's AMT-derived inputs.
+
+The original evaluation uses two datasets gathered on Amazon Mechanical Turk:
+*Jelly-Beans-in-a-Jar* ("Jelly") and *Micro-Expressions Identification*
+("SMIC").  Those raw worker answers are not publicly available, so this package
+synthesises the same artefacts the algorithms consume:
+
+* per-cardinality confidence/cost profiles (:mod:`repro.datasets.profiles`,
+  :mod:`repro.datasets.jelly`, :mod:`repro.datasets.smic`) calibrated to the
+  endpoints reported in Section 2 and Figure 3 of the paper,
+* reliability-threshold generators for the heterogeneous experiments
+  (:mod:`repro.datasets.thresholds`), and
+* large-scale task workload generators with ground truth for the crowd
+  simulator (:mod:`repro.datasets.workloads`).
+"""
+
+from repro.datasets.jelly import jelly_bin_set, jelly_profile
+from repro.datasets.profiles import BinProfile, DatasetProfile
+from repro.datasets.smic import smic_bin_set, smic_profile
+from repro.datasets.thresholds import (
+    constant_thresholds,
+    heavy_tailed_thresholds,
+    normal_thresholds,
+    uniform_thresholds,
+)
+from repro.datasets.workloads import make_fishing_line_workload, make_workload
+
+__all__ = [
+    "BinProfile",
+    "DatasetProfile",
+    "jelly_profile",
+    "jelly_bin_set",
+    "smic_profile",
+    "smic_bin_set",
+    "constant_thresholds",
+    "normal_thresholds",
+    "uniform_thresholds",
+    "heavy_tailed_thresholds",
+    "make_workload",
+    "make_fishing_line_workload",
+]

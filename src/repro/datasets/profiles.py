@@ -1,0 +1,315 @@
+"""Confidence/cost profiles of task bins as a function of cardinality.
+
+Section 2 of the paper measures, for each dataset and each per-bin incentive
+cost, how worker *confidence* (probability of answering each atomic task in a
+bin correctly) decays as the bin cardinality grows, and at which cardinality a
+given price stops attracting enough workers within the response-time threshold.
+
+A :class:`BinProfile` captures one such curve in closed form:
+
+* confidence decays exponentially from ``base_confidence`` towards
+  ``floor_confidence`` with rate ``decay`` — confidence drops moderately while
+  the per-task cost drops steeply, which is exactly the mismatch the SLADE
+  problem exploits;
+* bins above ``max_in_time_cardinality`` are considered "overtime" (not enough
+  answers arrive within the threshold) and are excluded from the usable bin
+  set, mirroring the dotted-line curves of Figure 3.
+
+A :class:`DatasetProfile` groups the per-cost curves of one dataset (Jelly or
+SMIC) and builds :class:`~repro.core.bins.TaskBinSet` menus from them.
+
+For the Section 7 evaluation the paper derives the per-cardinality cost as
+"the minimum cost that meets the response time requirement".  The
+:class:`MarketCostCurve` implements that inversion against the same
+reward-elastic worker-supply law the crowd simulator uses: bigger bins take
+longer to answer and therefore need a higher reward to finish within the
+threshold, which yields a menu in the style of the paper's Table 1 — per-bin
+cost increasing sub-linearly with cardinality, per-task cost decreasing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.errors import InvalidBinError
+from repro.utils.validation import (
+    require_in_unit_interval,
+    require_positive,
+    require_probability_open,
+)
+
+
+@dataclass(frozen=True)
+class BinProfile:
+    """Closed-form confidence curve for one dataset at one per-bin cost.
+
+    Attributes
+    ----------
+    cost_per_bin:
+        Incentive cost (USD) paid for completing one task bin.
+    base_confidence:
+        Confidence of a 1-cardinality bin (no batching overhead).
+    floor_confidence:
+        Asymptotic confidence as cardinality grows very large; the cognitive
+        load of long batches never drives accuracy below this level.
+    decay:
+        Exponential decay rate of confidence towards the floor per unit of
+        cardinality.
+    max_in_time_cardinality:
+        Largest cardinality for which enough answers arrive within the
+        response-time threshold at this price (Figure 3's solid-line range).
+    """
+
+    cost_per_bin: float
+    base_confidence: float
+    floor_confidence: float
+    decay: float
+    max_in_time_cardinality: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.cost_per_bin, "cost_per_bin")
+        require_probability_open(self.base_confidence, "base_confidence")
+        require_in_unit_interval(self.floor_confidence, "floor_confidence")
+        require_positive(self.decay, "decay")
+        if self.floor_confidence > self.base_confidence:
+            raise InvalidBinError(
+                "floor_confidence cannot exceed base_confidence"
+            )
+        if self.max_in_time_cardinality < 1:
+            raise InvalidBinError(
+                "max_in_time_cardinality must be at least 1; "
+                f"got {self.max_in_time_cardinality}"
+            )
+
+    def confidence(self, cardinality: int) -> float:
+        """Expected confidence of a bin of the given cardinality.
+
+        The curve is anchored so that ``confidence(1) == base_confidence`` and
+        decays exponentially towards ``floor_confidence``.
+        """
+        if cardinality < 1:
+            raise ValueError(f"cardinality must be at least 1; got {cardinality}")
+        span = self.base_confidence - self.floor_confidence
+        return self.floor_confidence + span * math.exp(-self.decay * (cardinality - 1))
+
+    def cost_per_task(self, cardinality: int) -> float:
+        """Average incentive cost per atomic task at the given cardinality."""
+        if cardinality < 1:
+            raise ValueError(f"cardinality must be at least 1; got {cardinality}")
+        return self.cost_per_bin / cardinality
+
+    def in_time(self, cardinality: int) -> bool:
+        """Whether bins of this cardinality finish within the time threshold."""
+        return cardinality <= self.max_in_time_cardinality
+
+    def task_bin(self, cardinality: int) -> TaskBin:
+        """Materialise the task bin of the given cardinality."""
+        return TaskBin(cardinality, self.confidence(cardinality), self.cost_per_bin)
+
+
+@dataclass(frozen=True)
+class MarketCostCurve:
+    """Minimum per-bin cost that meets the response-time requirement.
+
+    The crowd's willingness to pick up a bin follows the same reward-elastic
+    law as :class:`repro.crowd.arrival.RewardSensitiveArrivalModel` (the
+    parameters are kept in sync by the dataset presets):
+
+        rate(cost) = base_rate * (cost / reference_cost) ** elasticity
+
+    A posting of cardinality ``l`` that requests ``assignments`` workers
+    completes in expectation after ``assignments / rate + minutes_per_question
+    * l`` minutes.  Solving for the smallest cost that keeps this below the
+    response-time threshold — and rounding up to a whole cent, since that is
+    how rewards are posted — gives the per-cardinality cost of the menu.
+
+    Attributes
+    ----------
+    base_rate_per_minute, reference_cost, elasticity, minutes_per_question:
+        Worker-supply parameters (see the arrival model).
+    assignments:
+        Number of workers the response-time requirement is stated for.
+    response_time_minutes:
+        The platform's response-time threshold.
+    minimum_cost:
+        Floor on the posted reward (defaults to one cent).
+    """
+
+    base_rate_per_minute: float
+    reference_cost: float
+    elasticity: float
+    minutes_per_question: float
+    assignments: int
+    response_time_minutes: float
+    minimum_cost: float = 0.01
+
+    def __post_init__(self) -> None:
+        require_positive(self.base_rate_per_minute, "base_rate_per_minute")
+        require_positive(self.reference_cost, "reference_cost")
+        require_positive(self.elasticity, "elasticity")
+        require_positive(self.minutes_per_question, "minutes_per_question")
+        require_positive(self.response_time_minutes, "response_time_minutes")
+        require_positive(self.minimum_cost, "minimum_cost")
+        if self.assignments < 1:
+            raise InvalidBinError(
+                f"assignments must be at least 1; got {self.assignments}"
+            )
+
+    @property
+    def max_feasible_cardinality(self) -> int:
+        """Largest cardinality a worker can answer within the threshold at all."""
+        return int(self.response_time_minutes / self.minutes_per_question)
+
+    def cost(self, cardinality: int) -> float:
+        """Minimum per-bin reward for ``cardinality`` to finish in time.
+
+        Raises
+        ------
+        InvalidBinError
+            If no price can finish the bin in time (the answering time alone
+            exceeds the response-time threshold).
+        """
+        if cardinality < 1:
+            raise InvalidBinError(f"cardinality must be at least 1; got {cardinality}")
+        answering = self.minutes_per_question * cardinality
+        slack = self.response_time_minutes - answering
+        if slack <= 0:
+            raise InvalidBinError(
+                f"cardinality {cardinality} cannot finish within "
+                f"{self.response_time_minutes} minutes at any price"
+            )
+        needed_rate = self.assignments / slack
+        raw = self.reference_cost * (
+            needed_rate / self.base_rate_per_minute
+        ) ** (1.0 / self.elasticity)
+        cents = math.ceil(raw * 100.0 - 1e-9)
+        return max(self.minimum_cost, cents / 100.0)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """All per-cost confidence curves of one dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset label (``"jelly"`` or ``"smic"``).
+    profiles:
+        Mapping from per-bin cost to the corresponding :class:`BinProfile`;
+        used to regenerate the Figure 3 motivation curves.
+    difficulty:
+        Optional difficulty level (Jelly supports 1-3, see Figure 3c).
+    response_time_minutes:
+        The response-time threshold used when the data was collected; carried
+        through to the crowd simulator.
+    confidence_curve:
+        Cost-independent confidence curve used when building the evaluation
+        menu (the paper observes worker confidence is much less sensitive to
+        the reward than worker supply is).  Falls back to the most expensive
+        per-cost profile when omitted.
+    cost_curve:
+        Market cost curve deriving the minimum in-time price per cardinality.
+        When omitted, the menu falls back to the cheapest in-time per-cost
+        profile (a coarser, three-price approximation).
+    """
+
+    name: str
+    profiles: Mapping[float, BinProfile]
+    difficulty: int = 2
+    response_time_minutes: float = 40.0
+    confidence_curve: Optional[BinProfile] = None
+    cost_curve: Optional[MarketCostCurve] = None
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise InvalidBinError("a dataset profile needs at least one cost level")
+
+    @property
+    def costs(self) -> List[float]:
+        """Available per-bin cost levels, ascending."""
+        return sorted(self.profiles)
+
+    def profile_for_cost(self, cost: float) -> BinProfile:
+        """The confidence curve for one per-bin cost level."""
+        try:
+            return self.profiles[cost]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no profile for cost {cost}; available: {self.costs}"
+            ) from None
+
+    def confidence_series(
+        self, cost: float, cardinalities: Sequence[int]
+    ) -> Dict[int, float]:
+        """Confidence per cardinality for one cost level (Figure 3 series).
+
+        Cardinalities beyond the in-time limit are still reported (the paper
+        plots them as dotted lines) — use :meth:`in_time_series` to know which
+        points are usable.
+        """
+        profile = self.profile_for_cost(cost)
+        return {l: profile.confidence(l) for l in cardinalities}
+
+    def in_time_series(
+        self, cost: float, cardinalities: Sequence[int]
+    ) -> Dict[int, bool]:
+        """Whether each cardinality finishes within the time threshold."""
+        profile = self.profile_for_cost(cost)
+        return {l: profile.in_time(l) for l in cardinalities}
+
+    def menu_confidence(self, cardinality: int) -> float:
+        """Confidence used for the evaluation menu at a given cardinality."""
+        curve = self.confidence_curve or self.profiles[self.costs[-1]]
+        return curve.confidence(cardinality)
+
+    def menu_cost(self, cardinality: int) -> float:
+        """Per-bin cost used for the evaluation menu at a given cardinality.
+
+        The minimum cost meeting the response-time requirement when a
+        :class:`MarketCostCurve` is configured; otherwise the cheapest of the
+        discrete price levels that still completes in time.
+        """
+        if self.cost_curve is not None:
+            return self.cost_curve.cost(cardinality)
+        for cost in self.costs:
+            if self.profiles[cost].in_time(cardinality):
+                return cost
+        return self.costs[-1]
+
+    def bin_set(
+        self,
+        max_cardinality: int,
+        name: Optional[str] = None,
+    ) -> TaskBinSet:
+        """Build the task-bin menu used by the Section 7 experiments.
+
+        For every cardinality ``1..max_cardinality`` the cost is "the minimum
+        cost that meets the response time requirement" (the paper's own rule)
+        and the confidence comes from the dataset's confidence curve, yielding
+        a Table-1-style menu: per-bin cost increasing with cardinality,
+        per-task cost and confidence decreasing.
+
+        Parameters
+        ----------
+        max_cardinality:
+            The paper's ``|B|`` knob — the largest bin cardinality offered.
+        name:
+            Optional label for the resulting bin set.
+        """
+        if max_cardinality < 1:
+            raise InvalidBinError(
+                f"max_cardinality must be at least 1; got {max_cardinality}"
+            )
+        bins = []
+        for cardinality in range(1, max_cardinality + 1):
+            bins.append(
+                TaskBin(
+                    cardinality,
+                    self.menu_confidence(cardinality),
+                    self.menu_cost(cardinality),
+                )
+            )
+        return TaskBinSet(bins, name=name or f"{self.name}-B{max_cardinality}")

@@ -1,0 +1,114 @@
+"""Reliability-threshold generators for the heterogeneous experiments.
+
+Section 7.2 of the paper draws per-task reliability thresholds from a Normal
+distribution with mean ``mu`` (default 0.9) and standard deviation ``sigma``
+(default 0.03), and mentions that uniform and heavy-tailed distributions give
+similar results.  All three generators are provided; every generator clips its
+output into a configurable open interval so the thresholds stay valid
+probabilities strictly below 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidProblemError
+from repro.utils.rng import RandomSource, ensure_rng
+
+#: Default clipping range for generated thresholds.  The lower bound keeps the
+#: thresholds meaningful (a 0.5 threshold is satisfied by almost any bin); the
+#: upper bound keeps ``-ln(1 - t)`` finite and the required number of
+#: assignments small enough to be realistic.
+DEFAULT_CLIP: Tuple[float, float] = (0.5, 0.995)
+
+
+def _clip(values: np.ndarray, clip: Tuple[float, float]) -> List[float]:
+    low, high = clip
+    if not 0.0 <= low < high < 1.0:
+        raise InvalidProblemError(
+            f"clip range must satisfy 0 <= low < high < 1; got {clip}"
+        )
+    return [float(v) for v in np.clip(values, low, high)]
+
+
+def constant_thresholds(n: int, threshold: float = 0.9) -> List[float]:
+    """``n`` identical thresholds — the homogeneous setting."""
+    if n <= 0:
+        raise InvalidProblemError(f"n must be positive; got {n}")
+    if not 0.0 <= threshold < 1.0:
+        raise InvalidProblemError(f"threshold must lie in [0, 1); got {threshold}")
+    return [threshold] * n
+
+
+def normal_thresholds(
+    n: int,
+    mu: float = 0.9,
+    sigma: float = 0.03,
+    clip: Tuple[float, float] = DEFAULT_CLIP,
+    seed: RandomSource = None,
+) -> List[float]:
+    """Normally distributed thresholds (the paper's default heterogeneous setting).
+
+    Parameters
+    ----------
+    n:
+        Number of atomic tasks.
+    mu, sigma:
+        Mean and standard deviation of the Normal distribution (paper defaults
+        0.9 and 0.03).
+    clip:
+        Inclusive clipping range applied after sampling.
+    seed:
+        Seed or generator for reproducibility.
+    """
+    if n <= 0:
+        raise InvalidProblemError(f"n must be positive; got {n}")
+    if sigma < 0:
+        raise InvalidProblemError(f"sigma must be non-negative; got {sigma}")
+    rng = ensure_rng(seed)
+    return _clip(rng.normal(mu, sigma, size=n), clip)
+
+
+def uniform_thresholds(
+    n: int,
+    low: float = 0.85,
+    high: float = 0.97,
+    seed: RandomSource = None,
+) -> List[float]:
+    """Uniformly distributed thresholds in ``[low, high]``."""
+    if n <= 0:
+        raise InvalidProblemError(f"n must be positive; got {n}")
+    if not 0.0 <= low <= high < 1.0:
+        raise InvalidProblemError(
+            f"uniform range must satisfy 0 <= low <= high < 1; got [{low}, {high}]"
+        )
+    rng = ensure_rng(seed)
+    return [float(v) for v in rng.uniform(low, high, size=n)]
+
+
+def heavy_tailed_thresholds(
+    n: int,
+    mu: float = 0.9,
+    tail_exponent: float = 2.5,
+    clip: Tuple[float, float] = DEFAULT_CLIP,
+    seed: RandomSource = None,
+) -> List[float]:
+    """Heavy-tailed thresholds: most tasks near ``mu``, a few demanding far more.
+
+    The deviation above ``mu`` follows a Pareto distribution scaled into the
+    remaining headroom ``1 - mu``, so a small fraction of tasks require very
+    high reliability — the situation where threshold partitioning matters most.
+    """
+    if n <= 0:
+        raise InvalidProblemError(f"n must be positive; got {n}")
+    if tail_exponent <= 1.0:
+        raise InvalidProblemError(
+            f"tail_exponent must exceed 1; got {tail_exponent}"
+        )
+    rng = ensure_rng(seed)
+    deviations = rng.pareto(tail_exponent, size=n)
+    headroom = max(0.0, clip[1] - mu)
+    values = mu + headroom * (deviations / (1.0 + deviations))
+    return _clip(values, clip)

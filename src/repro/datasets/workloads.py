@@ -1,0 +1,83 @@
+"""Large-scale task workload generators.
+
+The decomposition algorithms only need task identifiers and thresholds, but
+the crowd simulator additionally needs ground truth (is the satellite image a
+positive?) to measure the achieved false-negative rate of an executed plan.
+These helpers build :class:`~repro.core.task.CrowdsourcingTask` objects with
+both.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.errors import InvalidProblemError
+from repro.core.task import AtomicTask, CrowdsourcingTask
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+def make_workload(
+    n: int,
+    thresholds: Optional[Sequence[float]] = None,
+    threshold: float = 0.9,
+    positive_rate: float = 0.1,
+    name: str = "workload",
+    seed: RandomSource = None,
+) -> CrowdsourcingTask:
+    """Build a large-scale task of ``n`` binary-choice atomic tasks.
+
+    Parameters
+    ----------
+    n:
+        Number of atomic tasks.
+    thresholds:
+        Optional per-task reliability thresholds (heterogeneous workloads).
+        When omitted, every task uses ``threshold``.
+    threshold:
+        Common reliability threshold for homogeneous workloads.
+    positive_rate:
+        Fraction of atomic tasks whose ground-truth answer is "yes"; stored in
+        each task's payload under ``"truth"`` for the crowd simulator.
+    name:
+        Label for experiment reports.
+    seed:
+        Seed or generator controlling the ground-truth draw.
+    """
+    if n <= 0:
+        raise InvalidProblemError(f"n must be positive; got {n}")
+    if not 0.0 <= positive_rate <= 1.0:
+        raise InvalidProblemError(
+            f"positive_rate must lie in [0, 1]; got {positive_rate}"
+        )
+    if thresholds is not None and len(thresholds) != n:
+        raise InvalidProblemError(
+            f"expected {n} thresholds, got {len(thresholds)}"
+        )
+    rng = ensure_rng(seed)
+    truths = rng.random(n) < positive_rate
+    tasks: List[AtomicTask] = []
+    for i in range(n):
+        t = threshold if thresholds is None else float(thresholds[i])
+        tasks.append(AtomicTask(i, t, payload={"truth": bool(truths[i])}))
+    return CrowdsourcingTask(tasks, name=name)
+
+
+def make_fishing_line_workload(
+    n: int = 1000,
+    threshold: float = 0.95,
+    positive_rate: float = 0.02,
+    seed: RandomSource = 7,
+) -> CrowdsourcingTask:
+    """The fishing-line discovery scenario of Example 1.
+
+    A satellite image sweep where positives (illegal fishing lines) are rare
+    and missing one is costly, hence the high reliability threshold and the
+    low positive rate.
+    """
+    return make_workload(
+        n=n,
+        threshold=threshold,
+        positive_rate=positive_rate,
+        name="fishing-line-discovery",
+        seed=seed,
+    )

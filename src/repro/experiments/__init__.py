@@ -1,0 +1,46 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7).
+
+The harness is organised in three layers:
+
+* :mod:`repro.experiments.runner` runs a set of solvers on one problem
+  instance and records cost, wall-clock time and feasibility;
+* :mod:`repro.experiments.sweeps` varies one knob at a time — reliability
+  threshold ``t``, maximum cardinality ``|B|``, task count ``n``, and the
+  heterogeneous ``sigma``/``mu`` — producing the series behind Figures 6-8;
+* :mod:`repro.experiments.figures` maps paper figure identifiers
+  (``"fig6a"`` ... ``"fig8b"``, ``"fig3a"`` ...) to ready-to-run experiment
+  functions, and :mod:`repro.experiments.report` renders the results as the
+  plain-text tables recorded in ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.config import ExperimentConfig, SweepResult, SweepRow
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.motivation import motivation_series
+from repro.experiments.report import format_series, format_sweep_table
+from repro.experiments.runner import run_solvers
+from repro.experiments.sweeps import (
+    sweep_hetero_mu,
+    sweep_hetero_scale,
+    sweep_hetero_sigma,
+    sweep_max_cardinality,
+    sweep_scale,
+    sweep_threshold,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "SweepResult",
+    "SweepRow",
+    "run_solvers",
+    "sweep_threshold",
+    "sweep_max_cardinality",
+    "sweep_scale",
+    "sweep_hetero_sigma",
+    "sweep_hetero_mu",
+    "sweep_hetero_scale",
+    "motivation_series",
+    "FIGURES",
+    "run_figure",
+    "format_sweep_table",
+    "format_series",
+]

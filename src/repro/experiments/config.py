@@ -1,0 +1,152 @@
+"""Experiment configuration and result containers.
+
+The sweep functions all produce the same tabular structure: one
+:class:`SweepRow` per (x-value, solver) pair, collected in a
+:class:`SweepResult` that knows how to slice itself into the per-solver series
+the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Solvers compared in the homogeneous experiments (paper Figure 6).
+DEFAULT_HOMOGENEOUS_SOLVERS: Tuple[str, ...] = ("greedy", "opq", "baseline")
+
+#: Solvers compared in the heterogeneous experiments (paper Figures 7-8).
+DEFAULT_HETEROGENEOUS_SOLVERS: Tuple[str, ...] = ("greedy", "opq-extended", "baseline")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared defaults of the Section 7 evaluation.
+
+    Attributes
+    ----------
+    dataset:
+        ``"jelly"`` or ``"smic"``.
+    n:
+        Number of atomic tasks (paper default 10,000).
+    max_cardinality:
+        Largest bin cardinality offered, the paper's ``|B|`` (default 20).
+    threshold:
+        Homogeneous reliability threshold (default 0.9).
+    mu, sigma:
+        Normal-distribution parameters of the heterogeneous thresholds
+        (defaults 0.9 and 0.03).
+    seed:
+        Base random seed used by threshold generators and randomized solvers.
+    solvers:
+        Names of the solvers to compare; ``None`` selects the paper's set for
+        the scenario at hand.
+    solver_options:
+        Extra keyword arguments per solver name (e.g. a smaller baseline
+        chunk size for quick runs).
+    """
+
+    dataset: str = "jelly"
+    n: int = 10_000
+    max_cardinality: int = 20
+    threshold: float = 0.9
+    mu: float = 0.9
+    sigma: float = 0.03
+    seed: int = 42
+    solvers: Optional[Sequence[str]] = None
+    solver_options: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def scaled(self, n: int) -> "ExperimentConfig":
+        """A copy of this configuration with a different task count."""
+        return ExperimentConfig(
+            dataset=self.dataset,
+            n=n,
+            max_cardinality=self.max_cardinality,
+            threshold=self.threshold,
+            mu=self.mu,
+            sigma=self.sigma,
+            seed=self.seed,
+            solvers=self.solvers,
+            solver_options=self.solver_options,
+        )
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One measurement: a solver run at one value of the swept knob."""
+
+    x: float
+    solver: str
+    total_cost: float
+    elapsed_seconds: float
+    feasible: bool
+    n: int
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one parameter sweep.
+
+    Attributes
+    ----------
+    name:
+        Sweep identifier (e.g. ``"fig6a-jelly-threshold-cost"``).
+    x_label:
+        Name of the swept knob (``"t"``, ``"|B|"``, ``"n"``, ``"sigma"`` ...).
+    rows:
+        One row per (x value, solver).
+    """
+
+    name: str
+    x_label: str
+    rows: List[SweepRow] = field(default_factory=list)
+
+    def add(self, row: SweepRow) -> None:
+        """Append one measurement."""
+        self.rows.append(row)
+
+    @property
+    def solvers(self) -> List[str]:
+        """Solver names present in the sweep, in first-appearance order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.solver not in seen:
+                seen.append(row.solver)
+        return seen
+
+    @property
+    def x_values(self) -> List[float]:
+        """Distinct x values, in first-appearance order."""
+        seen: List[float] = []
+        for row in self.rows:
+            if row.x not in seen:
+                seen.append(row.x)
+        return seen
+
+    def series(self, solver: str, metric: str = "total_cost") -> List[Tuple[float, float]]:
+        """The (x, metric) series of one solver, e.g. for plotting.
+
+        ``metric`` is ``"total_cost"`` or ``"elapsed_seconds"``.
+        """
+        points = []
+        for row in self.rows:
+            if row.solver == solver:
+                points.append((row.x, getattr(row, metric)))
+        return points
+
+    def as_records(self) -> List[Dict[str, object]]:
+        """Flat dictionaries (one per row) for CSV-style export."""
+        records = []
+        for row in self.rows:
+            record: Dict[str, object] = {
+                "sweep": self.name,
+                self.x_label: row.x,
+                "solver": row.solver,
+                "total_cost": row.total_cost,
+                "elapsed_seconds": row.elapsed_seconds,
+                "feasible": row.feasible,
+                "n": row.n,
+            }
+            record.update(row.extra)
+            records.append(record)
+        return records

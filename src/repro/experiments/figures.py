@@ -1,0 +1,180 @@
+"""Map paper figure identifiers to runnable experiments.
+
+``run_figure("fig6a")`` reproduces the corresponding panel of the paper's
+evaluation with the default (CI-sized) configuration; passing a custom
+:class:`~repro.experiments.config.ExperimentConfig` or keyword overrides scales
+the run up to the paper's full sizes.  The mapping is also what the benchmark
+suite iterates over, so ``benchmarks/`` and this module can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.config import ExperimentConfig, SweepResult
+from repro.experiments.motivation import MotivationSeries, difficulty_series, motivation_series
+from repro.experiments.sweeps import (
+    sweep_hetero_mu,
+    sweep_hetero_scale,
+    sweep_hetero_sigma,
+    sweep_max_cardinality,
+    sweep_scale,
+    sweep_threshold,
+)
+
+FigureResult = Union[SweepResult, MotivationSeries, Dict[int, Dict[int, float]]]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Description of one paper figure and how to regenerate it.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper identifier, e.g. ``"fig6a"``.
+    description:
+        What the panel shows.
+    metric:
+        ``"total_cost"``, ``"elapsed_seconds"`` or ``"confidence"``.
+    runner:
+        Callable producing the figure's data.
+    """
+
+    figure_id: str
+    description: str
+    metric: str
+    runner: Callable[..., FigureResult]
+
+
+def _threshold_cost(config: ExperimentConfig, **kwargs) -> SweepResult:
+    return sweep_threshold(config, **kwargs)
+
+
+def _cardinality_cost(config: ExperimentConfig, **kwargs) -> SweepResult:
+    return sweep_max_cardinality(config, **kwargs)
+
+
+def _scale_cost(config: ExperimentConfig, **kwargs) -> SweepResult:
+    return sweep_scale(config, **kwargs)
+
+
+def _hetero_sigma(config: ExperimentConfig, **kwargs) -> SweepResult:
+    return sweep_hetero_sigma(config, **kwargs)
+
+
+def _hetero_mu(config: ExperimentConfig, **kwargs) -> SweepResult:
+    return sweep_hetero_mu(config, **kwargs)
+
+
+def _hetero_scale(config: ExperimentConfig, **kwargs) -> SweepResult:
+    return sweep_hetero_scale(config, **kwargs)
+
+
+def _motivation(dataset: str, difficulty: int = 2) -> Callable[..., MotivationSeries]:
+    def runner(config: Optional[ExperimentConfig] = None, **kwargs) -> MotivationSeries:
+        return motivation_series(dataset=dataset, difficulty=difficulty, **kwargs)
+
+    return runner
+
+
+def _difficulty(config: Optional[ExperimentConfig] = None, **kwargs) -> Dict[int, Dict[int, float]]:
+    return difficulty_series(**kwargs)
+
+
+#: All reproducible paper artefacts.  Cost and time panels share a sweep (the
+#: sweep records both metrics); they are listed separately so that
+#: ``run_figure`` accepts every figure label that appears in the paper.
+FIGURES: Dict[str, FigureSpec] = {
+    "fig3a": FigureSpec("fig3a", "Jelly: cardinality vs confidence per price", "confidence", _motivation("jelly")),
+    "fig3b": FigureSpec("fig3b", "SMIC: cardinality vs confidence per price", "confidence", _motivation("smic")),
+    "fig3c": FigureSpec("fig3c", "Jelly: cardinality vs confidence per difficulty", "confidence", _difficulty),
+    "fig6a": FigureSpec("fig6a", "Homogeneous Jelly: threshold vs cost", "total_cost", _threshold_cost),
+    "fig6b": FigureSpec("fig6b", "Homogeneous SMIC: threshold vs cost", "total_cost", _threshold_cost),
+    "fig6c": FigureSpec("fig6c", "Homogeneous Jelly: threshold vs time", "elapsed_seconds", _threshold_cost),
+    "fig6d": FigureSpec("fig6d", "Homogeneous SMIC: threshold vs time", "elapsed_seconds", _threshold_cost),
+    "fig6e": FigureSpec("fig6e", "Homogeneous Jelly: |B| vs cost", "total_cost", _cardinality_cost),
+    "fig6f": FigureSpec("fig6f", "Homogeneous SMIC: |B| vs cost", "total_cost", _cardinality_cost),
+    "fig6g": FigureSpec("fig6g", "Homogeneous Jelly: |B| vs time", "elapsed_seconds", _cardinality_cost),
+    "fig6h": FigureSpec("fig6h", "Homogeneous SMIC: |B| vs time", "elapsed_seconds", _cardinality_cost),
+    "fig6i": FigureSpec("fig6i", "Homogeneous Jelly: n vs cost", "total_cost", _scale_cost),
+    "fig6j": FigureSpec("fig6j", "Homogeneous SMIC: n vs cost", "total_cost", _scale_cost),
+    "fig6k": FigureSpec("fig6k", "Homogeneous Jelly: n vs time", "elapsed_seconds", _scale_cost),
+    "fig6l": FigureSpec("fig6l", "Homogeneous SMIC: n vs time", "elapsed_seconds", _scale_cost),
+    "fig7a": FigureSpec("fig7a", "Heterogeneous Jelly: sigma vs cost", "total_cost", _hetero_sigma),
+    "fig7b": FigureSpec("fig7b", "Heterogeneous Jelly: sigma vs time", "elapsed_seconds", _hetero_sigma),
+    "fig7c": FigureSpec("fig7c", "Heterogeneous Jelly: mu vs cost", "total_cost", _hetero_mu),
+    "fig7d": FigureSpec("fig7d", "Heterogeneous Jelly: mu vs time", "elapsed_seconds", _hetero_mu),
+    "fig8a": FigureSpec("fig8a", "Heterogeneous Jelly: n vs time", "elapsed_seconds", _hetero_scale),
+    "fig8b": FigureSpec("fig8b", "Heterogeneous SMIC: n vs time", "elapsed_seconds", _hetero_scale),
+}
+
+#: Which dataset each sweep-based figure uses.
+_FIGURE_DATASETS: Dict[str, str] = {
+    "fig6a": "jelly", "fig6b": "smic", "fig6c": "jelly", "fig6d": "smic",
+    "fig6e": "jelly", "fig6f": "smic", "fig6g": "jelly", "fig6h": "smic",
+    "fig6i": "jelly", "fig6j": "smic", "fig6k": "jelly", "fig6l": "smic",
+    "fig7a": "jelly", "fig7b": "jelly", "fig7c": "jelly", "fig7d": "jelly",
+    "fig8a": "jelly", "fig8b": "smic",
+}
+
+
+def run_figure(
+    figure_id: str,
+    config: Optional[ExperimentConfig] = None,
+    **kwargs,
+) -> FigureResult:
+    """Reproduce one paper figure.
+
+    Parameters
+    ----------
+    figure_id:
+        One of the keys of :data:`FIGURES` (case-insensitive).
+    config:
+        Experiment configuration for the sweep-based figures; a CI-sized
+        default is built when omitted (n=2000 and a small baseline chunk),
+        which preserves every qualitative trend at a fraction of the runtime.
+    kwargs:
+        Extra keyword arguments forwarded to the underlying runner (e.g.
+        ``cardinalities=...`` for the motivation figures).
+
+    Returns
+    -------
+    SweepResult or MotivationSeries or dict
+        The figure's data series.
+    """
+    key = figure_id.lower()
+    try:
+        spec = FIGURES[key]
+    except KeyError:
+        known = ", ".join(sorted(FIGURES))
+        raise KeyError(f"unknown figure {figure_id!r}; known figures: {known}") from None
+
+    if key.startswith("fig3"):
+        return spec.runner(config, **kwargs)
+
+    if config is None:
+        config = ExperimentConfig(
+            dataset=_FIGURE_DATASETS[key],
+            n=2_000,
+            solver_options={"baseline": {"chunk_size": 128}},
+        )
+    elif config.dataset != _FIGURE_DATASETS[key]:
+        config = ExperimentConfig(
+            dataset=_FIGURE_DATASETS[key],
+            n=config.n,
+            max_cardinality=config.max_cardinality,
+            threshold=config.threshold,
+            mu=config.mu,
+            sigma=config.sigma,
+            seed=config.seed,
+            solvers=config.solvers,
+            solver_options=config.solver_options,
+        )
+    return spec.runner(config, **kwargs)
+
+
+def figure_ids() -> List[str]:
+    """All reproducible figure identifiers, sorted."""
+    return sorted(FIGURES)

@@ -1,0 +1,159 @@
+"""The Section 2 motivation experiments (Figure 3).
+
+The motivation study posts probe bins of cardinality 2..30 at several price
+points on the crowd platform and records, per (cardinality, price):
+
+* the measured worker confidence (fraction of correct answers), and
+* whether enough answers arrived before the response-time threshold.
+
+Against a real marketplace this is exactly what
+:class:`~repro.crowd.calibration.ProbeCalibrator` does; here it is run against
+the simulated Jelly/SMIC platforms, regenerating the three panels of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crowd.calibration import ProbeCalibrator
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.presets import jelly_platform, smic_platform
+from repro.utils.rng import RandomSource
+
+#: Cardinalities probed in Figure 3a/3b.
+DEFAULT_CARDINALITIES: Sequence[int] = tuple(range(2, 31, 2))
+
+#: Jelly per-bin prices (Figure 3a) and SMIC per-bin prices (Figure 3b).
+JELLY_COSTS: Sequence[float] = (0.05, 0.08, 0.10)
+SMIC_COSTS: Sequence[float] = (0.05, 0.10, 0.20)
+
+
+@dataclass
+class MotivationSeries:
+    """One Figure 3 panel: confidence-vs-cardinality curves per price level.
+
+    Attributes
+    ----------
+    dataset:
+        ``"jelly"`` or ``"smic"`` (plus the difficulty suffix for Fig. 3c).
+    confidence:
+        ``confidence[cost][cardinality]`` — measured worker confidence.
+    in_time:
+        ``in_time[cost][cardinality]`` — whether the configuration completed
+        within the response-time threshold (the paper's solid-vs-dotted lines).
+    probe_spend:
+        Total simulated reward paid for the probes.
+    """
+
+    dataset: str
+    confidence: Dict[float, Dict[int, float]] = field(default_factory=dict)
+    in_time: Dict[float, Dict[int, bool]] = field(default_factory=dict)
+    probe_spend: float = 0.0
+
+    def usable_range(self, cost: float) -> int:
+        """Largest probed cardinality still completing in time at this price."""
+        usable = [l for l, ok in self.in_time.get(cost, {}).items() if ok]
+        return max(usable) if usable else 0
+
+    def confidence_drop(self, cost: float) -> Tuple[float, float]:
+        """(confidence at smallest cardinality, confidence at largest usable)."""
+        series = self.confidence.get(cost, {})
+        if not series:
+            return (0.0, 0.0)
+        smallest = min(series)
+        largest = max(l for l in series if self.in_time[cost].get(l, False)) \
+            if any(self.in_time[cost].values()) else max(series)
+        return (series[smallest], series[largest])
+
+
+def motivation_series(
+    dataset: str = "jelly",
+    cardinalities: Sequence[int] = DEFAULT_CARDINALITIES,
+    costs: Optional[Sequence[float]] = None,
+    difficulty: int = 2,
+    assignments_per_probe: int = 10,
+    probes_per_cardinality: int = 3,
+    seed: RandomSource = 7,
+    platform: Optional[CrowdPlatform] = None,
+) -> MotivationSeries:
+    """Regenerate one panel of Figure 3 on the simulated platform.
+
+    Parameters
+    ----------
+    dataset:
+        ``"jelly"`` (Figure 3a / 3c) or ``"smic"`` (Figure 3b).
+    cardinalities:
+        Probe bin cardinalities (the paper uses 2..30).
+    costs:
+        Per-bin prices to test; defaults to the paper's levels per dataset.
+    difficulty:
+        Jelly difficulty level (Figure 3c varies this between 1 and 3).
+    assignments_per_probe, probes_per_cardinality:
+        Probe intensity; the defaults match the paper's 10 assignments.
+    seed:
+        Seed controlling the simulation.
+    platform:
+        Optional pre-built platform (overrides ``dataset``/``difficulty``).
+
+    Returns
+    -------
+    MotivationSeries
+        Confidence and in-time curves per price level.
+    """
+    if platform is None:
+        if dataset == "jelly":
+            platform = jelly_platform(difficulty=difficulty, seed=seed)
+        elif dataset == "smic":
+            platform = smic_platform(seed=seed)
+        else:
+            raise ValueError(f"unknown dataset {dataset!r}; expected 'jelly' or 'smic'")
+    if costs is None:
+        costs = JELLY_COSTS if dataset == "jelly" else SMIC_COSTS
+
+    calibrator = ProbeCalibrator(
+        platform,
+        candidate_costs=costs,
+        assignments_per_probe=assignments_per_probe,
+        probes_per_cardinality=probes_per_cardinality,
+        seed=seed,
+    )
+    calibration = calibrator.calibrate(list(cardinalities))
+
+    label = dataset if dataset != "jelly" else f"jelly-diff{difficulty}"
+    series = MotivationSeries(dataset=label, probe_spend=calibration.probe_spend)
+    for cost in costs:
+        series.confidence[cost] = {}
+        series.in_time[cost] = {}
+        for cardinality in cardinalities:
+            measurement = calibration.measurements[(cardinality, cost)]
+            if measurement.confidence is not None:
+                series.confidence[cost][cardinality] = measurement.confidence
+            series.in_time[cost][cardinality] = measurement.usable
+    return series
+
+
+def difficulty_series(
+    difficulties: Sequence[int] = (1, 2, 3),
+    cardinalities: Sequence[int] = tuple(range(1, 21, 2)),
+    cost: float = 0.10,
+    seed: RandomSource = 7,
+) -> Dict[int, Dict[int, float]]:
+    """Figure 3c: Jelly confidence curves for difficulty levels 1-3.
+
+    Returns
+    -------
+    dict
+        ``{difficulty: {cardinality: confidence}}`` using the given price.
+    """
+    curves: Dict[int, Dict[int, float]] = {}
+    for difficulty in difficulties:
+        series = motivation_series(
+            dataset="jelly",
+            cardinalities=cardinalities,
+            costs=(cost,),
+            difficulty=difficulty,
+            seed=seed,
+        )
+        curves[difficulty] = series.confidence[cost]
+    return curves

@@ -1,0 +1,105 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports its evaluation as line plots; this module renders the same
+data as fixed-width text tables (one row per swept value, one column pair per
+solver) so results can be diffed, pasted into ``EXPERIMENTS.md`` and asserted
+in tests without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.experiments.config import SweepResult
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def format_sweep_table(result: SweepResult, metric: str = "total_cost") -> str:
+    """Render a sweep as a fixed-width table.
+
+    Parameters
+    ----------
+    result:
+        The sweep to render.
+    metric:
+        ``"total_cost"`` (cost figures) or ``"elapsed_seconds"`` (time figures).
+    """
+    solvers = result.solvers
+    header = [result.x_label] + solvers
+    lines: List[List[str]] = [header]
+    for x in result.x_values:
+        row = [_format_number(x)]
+        for solver in solvers:
+            values = [getattr(r, metric) for r in result.rows if r.solver == solver and r.x == x]
+            row.append(_format_number(values[0]) if values else "-")
+        lines.append(row)
+
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    rendered = []
+    for index, line in enumerate(lines):
+        rendered.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            rendered.append("  ".join("-" * width for width in widths))
+    title = f"{result.name} ({metric})"
+    return title + "\n" + "\n".join(rendered)
+
+
+def format_series(
+    series: Mapping[float, Mapping[int, float]],
+    x_label: str = "cardinality",
+    series_label: str = "cost",
+) -> str:
+    """Render Figure-3-style nested series (per price, per cardinality).
+
+    Parameters
+    ----------
+    series:
+        ``{price: {cardinality: confidence}}`` as produced by
+        :func:`repro.experiments.motivation.motivation_series`.
+    x_label:
+        Label of the inner key (the x axis).
+    series_label:
+        Label of the outer key (one line per value).
+    """
+    prices = sorted(series)
+    cardinalities = sorted({l for curve in series.values() for l in curve})
+    header = [x_label] + [f"{series_label}={p}" for p in prices]
+    lines: List[List[str]] = [header]
+    for cardinality in cardinalities:
+        row = [str(cardinality)]
+        for price in prices:
+            value = series[price].get(cardinality)
+            row.append(_format_number(value) if value is not None else "-")
+        lines.append(row)
+
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    rendered = []
+    for index, line in enumerate(lines):
+        rendered.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            rendered.append("  ".join("-" * width for width in widths))
+    return "\n".join(rendered)
+
+
+def summarize_winners(result: SweepResult, metric: str = "total_cost") -> Dict[float, str]:
+    """For each swept value, the solver with the lowest metric.
+
+    Used by the benchmarks to assert the paper's qualitative conclusions
+    ("OPQ-Based has the smallest decomposition cost") without pinning exact
+    numbers.
+    """
+    winners: Dict[float, str] = {}
+    for x in result.x_values:
+        candidates = [r for r in result.rows if r.x == x]
+        best = min(candidates, key=lambda r: getattr(r, metric))
+        winners[x] = best.solver
+    return winners

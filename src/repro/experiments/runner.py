@@ -1,0 +1,64 @@
+"""Run a set of solvers on one problem instance and collect measurements.
+
+The runner is the smallest unit of the experiment harness: given a
+:class:`~repro.core.problem.SladeProblem` and a list of solver names, it
+instantiates each solver from the registry (with optional per-solver keyword
+arguments), solves the instance, and returns uniform measurement rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.registry import create_solver
+from repro.core.problem import SladeProblem
+from repro.experiments.config import SweepRow
+
+
+def run_solvers(
+    problem: SladeProblem,
+    solver_names: Sequence[str],
+    x: float,
+    solver_options: Optional[Dict[str, Dict[str, object]]] = None,
+    verify: bool = True,
+) -> List[SweepRow]:
+    """Solve ``problem`` with every named solver and return measurement rows.
+
+    Parameters
+    ----------
+    problem:
+        The instance to solve.
+    solver_names:
+        Registry names of the solvers to run (``"greedy"``, ``"opq"``, ...).
+    x:
+        Value of the swept knob, recorded in each row.
+    solver_options:
+        Optional per-solver keyword arguments, keyed by solver name.
+    verify:
+        Whether solvers should assert feasibility of their plans (leave on in
+        experiments; benchmarks measuring pure solve time may disable it).
+
+    Returns
+    -------
+    list of SweepRow
+        One row per solver, in the order the names were given.
+    """
+    solver_options = solver_options or {}
+    rows: List[SweepRow] = []
+    for name in solver_names:
+        options = dict(solver_options.get(name, {}))
+        options.setdefault("verify", verify)
+        solver = create_solver(name, **options)
+        result = solver.solve(problem)
+        rows.append(
+            SweepRow(
+                x=x,
+                solver=name,
+                total_cost=result.total_cost,
+                elapsed_seconds=result.elapsed_seconds,
+                feasible=result.feasible,
+                n=problem.n,
+                extra={"assignments": len(result.plan)},
+            )
+        )
+    return rows

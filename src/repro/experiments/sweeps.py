@@ -1,0 +1,190 @@
+"""Parameter sweeps behind the paper's evaluation figures.
+
+Each function varies exactly one knob of the evaluation — reliability
+threshold ``t`` (Figure 6a-d), maximum bin cardinality ``|B|`` (Figure 6e-h),
+task count ``n`` (Figure 6i-l and 8a-b), and the Normal-distribution
+parameters ``sigma``/``mu`` of heterogeneous thresholds (Figure 7a-d) — while
+holding the rest at the paper's defaults, and returns a
+:class:`~repro.experiments.config.SweepResult` holding the per-solver cost and
+running-time series.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.bins import TaskBinSet
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.smic import smic_bin_set
+from repro.datasets.thresholds import normal_thresholds
+from repro.experiments.config import (
+    DEFAULT_HETEROGENEOUS_SOLVERS,
+    DEFAULT_HOMOGENEOUS_SOLVERS,
+    ExperimentConfig,
+    SweepResult,
+)
+from repro.experiments.runner import run_solvers
+
+#: Reliability thresholds swept in Figure 6a-d.
+THRESHOLD_VALUES: Sequence[float] = (0.87, 0.9, 0.92, 0.95, 0.97)
+
+#: Maximum cardinalities swept in Figure 6e-h.
+MAX_CARDINALITY_VALUES: Sequence[int] = tuple(range(1, 21))
+
+#: Task counts swept in Figure 6i-l and Figure 8 (the paper goes to 100,000;
+#: override via the ``n_values`` argument for full-scale runs).
+SCALE_VALUES: Sequence[int] = (1_000, 3_000, 5_000, 10_000, 20_000)
+
+#: Standard deviations swept in Figure 7a-b.
+SIGMA_VALUES: Sequence[float] = (0.01, 0.02, 0.03, 0.04, 0.05)
+
+#: Means swept in Figure 7c-d.
+MU_VALUES: Sequence[float] = (0.87, 0.9, 0.92, 0.95, 0.97)
+
+
+def _bin_set_for(config: ExperimentConfig, max_cardinality: Optional[int] = None) -> TaskBinSet:
+    """Build the dataset's task-bin menu for a configuration."""
+    cardinality = max_cardinality or config.max_cardinality
+    if config.dataset == "jelly":
+        return jelly_bin_set(cardinality)
+    if config.dataset == "smic":
+        return smic_bin_set(cardinality)
+    raise ValueError(f"unknown dataset {config.dataset!r}; expected 'jelly' or 'smic'")
+
+
+def _homogeneous_solvers(config: ExperimentConfig) -> Sequence[str]:
+    return tuple(config.solvers) if config.solvers else DEFAULT_HOMOGENEOUS_SOLVERS
+
+
+def _heterogeneous_solvers(config: ExperimentConfig) -> Sequence[str]:
+    return tuple(config.solvers) if config.solvers else DEFAULT_HETEROGENEOUS_SOLVERS
+
+
+# -- homogeneous sweeps (Figure 6) ----------------------------------------------
+
+
+def sweep_threshold(
+    config: ExperimentConfig,
+    thresholds: Sequence[float] = THRESHOLD_VALUES,
+) -> SweepResult:
+    """Vary the homogeneous reliability threshold ``t`` (Figure 6a-d)."""
+    bins = _bin_set_for(config)
+    result = SweepResult(name=f"{config.dataset}-threshold", x_label="t")
+    for threshold in thresholds:
+        problem = SladeProblem.homogeneous(
+            config.n, threshold, bins, name=f"{config.dataset}-t{threshold}"
+        )
+        for row in run_solvers(
+            problem, _homogeneous_solvers(config), threshold, config.solver_options
+        ):
+            result.add(row)
+    return result
+
+
+def sweep_max_cardinality(
+    config: ExperimentConfig,
+    cardinalities: Sequence[int] = MAX_CARDINALITY_VALUES,
+) -> SweepResult:
+    """Vary the maximum bin cardinality ``|B|`` (Figure 6e-h)."""
+    result = SweepResult(name=f"{config.dataset}-max-cardinality", x_label="|B|")
+    for cardinality in cardinalities:
+        bins = _bin_set_for(config, max_cardinality=cardinality)
+        problem = SladeProblem.homogeneous(
+            config.n, config.threshold, bins, name=f"{config.dataset}-B{cardinality}"
+        )
+        for row in run_solvers(
+            problem, _homogeneous_solvers(config), cardinality, config.solver_options
+        ):
+            result.add(row)
+    return result
+
+
+def sweep_scale(
+    config: ExperimentConfig,
+    n_values: Sequence[int] = SCALE_VALUES,
+) -> SweepResult:
+    """Vary the number of atomic tasks ``n`` (Figure 6i-l)."""
+    bins = _bin_set_for(config)
+    result = SweepResult(name=f"{config.dataset}-scale", x_label="n")
+    for n in n_values:
+        problem = SladeProblem.homogeneous(
+            n, config.threshold, bins, name=f"{config.dataset}-n{n}"
+        )
+        for row in run_solvers(
+            problem, _homogeneous_solvers(config), n, config.solver_options
+        ):
+            result.add(row)
+    return result
+
+
+# -- heterogeneous sweeps (Figures 7-8) --------------------------------------------
+
+
+def _heterogeneous_problem(
+    config: ExperimentConfig,
+    n: int,
+    mu: float,
+    sigma: float,
+    bins: TaskBinSet,
+    label: str,
+) -> SladeProblem:
+    thresholds = normal_thresholds(n, mu=mu, sigma=sigma, seed=config.seed)
+    return SladeProblem.heterogeneous(thresholds, bins, name=label)
+
+
+def sweep_hetero_sigma(
+    config: ExperimentConfig,
+    sigmas: Sequence[float] = SIGMA_VALUES,
+) -> SweepResult:
+    """Vary the standard deviation of Normal thresholds (Figure 7a-b)."""
+    bins = _bin_set_for(config)
+    result = SweepResult(name=f"{config.dataset}-hetero-sigma", x_label="sigma")
+    for sigma in sigmas:
+        problem = _heterogeneous_problem(
+            config, config.n, config.mu, sigma, bins,
+            label=f"{config.dataset}-sigma{sigma}",
+        )
+        for row in run_solvers(
+            problem, _heterogeneous_solvers(config), sigma, config.solver_options
+        ):
+            result.add(row)
+    return result
+
+
+def sweep_hetero_mu(
+    config: ExperimentConfig,
+    mus: Sequence[float] = MU_VALUES,
+) -> SweepResult:
+    """Vary the mean of Normal thresholds (Figure 7c-d)."""
+    bins = _bin_set_for(config)
+    result = SweepResult(name=f"{config.dataset}-hetero-mu", x_label="mu")
+    for mu in mus:
+        problem = _heterogeneous_problem(
+            config, config.n, mu, config.sigma, bins,
+            label=f"{config.dataset}-mu{mu}",
+        )
+        for row in run_solvers(
+            problem, _heterogeneous_solvers(config), mu, config.solver_options
+        ):
+            result.add(row)
+    return result
+
+
+def sweep_hetero_scale(
+    config: ExperimentConfig,
+    n_values: Sequence[int] = SCALE_VALUES,
+) -> SweepResult:
+    """Vary ``n`` with heterogeneous Normal thresholds (Figure 8a-b)."""
+    bins = _bin_set_for(config)
+    result = SweepResult(name=f"{config.dataset}-hetero-scale", x_label="n")
+    for n in n_values:
+        problem = _heterogeneous_problem(
+            config, n, config.mu, config.sigma, bins,
+            label=f"{config.dataset}-hetero-n{n}",
+        )
+        for row in run_solvers(
+            problem, _heterogeneous_solvers(config), n, config.solver_options
+        ):
+            result.add(row)
+    return result

@@ -1,0 +1,185 @@
+"""JSON serialisation of bin sets, problems and decomposition plans.
+
+The format is deliberately boring: versioned, flat dictionaries with explicit
+field names, so files survive library upgrades and can be produced or consumed
+by other tooling (spreadsheets, platform uploaders).  Every ``*_from_dict``
+function validates through the normal constructors, so a hand-edited file that
+violates the model's invariants fails loudly rather than producing a silently
+broken plan.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.errors import SladeError
+from repro.core.plan import DecompositionPlan
+from repro.core.problem import SladeProblem
+from repro.core.task import AtomicTask, CrowdsourcingTask
+
+#: Format version written into every file; bumped on incompatible changes.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class SerializationError(SladeError):
+    """A file or dictionary does not contain what it claims to contain."""
+
+
+def _check_kind(payload: Dict, expected: str) -> None:
+    if not isinstance(payload, dict):
+        raise SerializationError(f"expected a mapping, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind != expected:
+        raise SerializationError(f"expected kind {expected!r}, got {kind!r}")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {version!r} (this library writes "
+            f"version {FORMAT_VERSION})"
+        )
+
+
+# -- task bin sets ---------------------------------------------------------------
+
+
+def bin_set_to_dict(bins: TaskBinSet) -> Dict:
+    """Serialise a task bin set to a JSON-compatible dictionary."""
+    return {
+        "kind": "task_bin_set",
+        "version": FORMAT_VERSION,
+        "name": bins.name,
+        "bins": [
+            {
+                "cardinality": task_bin.cardinality,
+                "confidence": task_bin.confidence,
+                "cost": task_bin.cost,
+            }
+            for task_bin in bins
+        ],
+    }
+
+
+def bin_set_from_dict(payload: Dict) -> TaskBinSet:
+    """Reconstruct a task bin set from :func:`bin_set_to_dict` output."""
+    _check_kind(payload, "task_bin_set")
+    bins = [
+        TaskBin(entry["cardinality"], entry["confidence"], entry["cost"])
+        for entry in payload.get("bins", [])
+    ]
+    return TaskBinSet(bins, name=payload.get("name", "bins"))
+
+
+def save_bin_set(bins: TaskBinSet, path: PathLike) -> None:
+    """Write a task bin set to a JSON file."""
+    Path(path).write_text(json.dumps(bin_set_to_dict(bins), indent=2))
+
+
+def load_bin_set(path: PathLike) -> TaskBinSet:
+    """Read a task bin set from a JSON file."""
+    return bin_set_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- problems ----------------------------------------------------------------------
+
+
+def problem_to_dict(problem: SladeProblem) -> Dict:
+    """Serialise a SLADE problem (task + bins) to a dictionary.
+
+    Task payloads are preserved as-is; they must therefore be JSON-compatible
+    (the built-in workload generators only store booleans).
+    """
+    return {
+        "kind": "slade_problem",
+        "version": FORMAT_VERSION,
+        "name": problem.name,
+        "task_name": problem.task.name,
+        "bins": bin_set_to_dict(problem.bins),
+        "tasks": [
+            {
+                "task_id": atomic.task_id,
+                "threshold": atomic.threshold,
+                "payload": dict(atomic.payload),
+            }
+            for atomic in problem.task
+        ],
+    }
+
+
+def problem_from_dict(payload: Dict) -> SladeProblem:
+    """Reconstruct a SLADE problem from :func:`problem_to_dict` output."""
+    _check_kind(payload, "slade_problem")
+    bins = bin_set_from_dict(payload["bins"])
+    tasks = [
+        AtomicTask(entry["task_id"], entry["threshold"], entry.get("payload", {}))
+        for entry in payload.get("tasks", [])
+    ]
+    task = CrowdsourcingTask(tasks, name=payload.get("task_name", "task"))
+    return SladeProblem(task, bins, name=payload.get("name", "slade"))
+
+
+def save_problem(problem: SladeProblem, path: PathLike) -> None:
+    """Write a SLADE problem to a JSON file."""
+    Path(path).write_text(json.dumps(problem_to_dict(problem), indent=2))
+
+
+def load_problem(path: PathLike) -> SladeProblem:
+    """Read a SLADE problem from a JSON file."""
+    return problem_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- plans --------------------------------------------------------------------------
+
+
+def plan_to_dict(plan: DecompositionPlan) -> Dict:
+    """Serialise a decomposition plan to a dictionary.
+
+    Each posting records the bin it uses (cardinality, confidence, cost) and
+    the atomic tasks packed into it, so a plan file is self-contained: it can
+    be priced and executed without the original bin set object.
+    """
+    return {
+        "kind": "decomposition_plan",
+        "version": FORMAT_VERSION,
+        "solver": plan.solver,
+        "total_cost": plan.total_cost,
+        "assignments": [
+            {
+                "cardinality": assignment.task_bin.cardinality,
+                "confidence": assignment.task_bin.confidence,
+                "cost": assignment.task_bin.cost,
+                "task_ids": list(assignment.task_ids),
+            }
+            for assignment in plan
+        ],
+    }
+
+
+def plan_from_dict(payload: Dict) -> DecompositionPlan:
+    """Reconstruct a decomposition plan from :func:`plan_to_dict` output."""
+    _check_kind(payload, "decomposition_plan")
+    plan = DecompositionPlan(solver=payload.get("solver"))
+    for entry in payload.get("assignments", []):
+        task_bin = TaskBin(entry["cardinality"], entry["confidence"], entry["cost"])
+        plan.add(task_bin, entry["task_ids"])
+    recorded = payload.get("total_cost")
+    if recorded is not None and abs(recorded - plan.total_cost) > 1e-6:
+        raise SerializationError(
+            f"plan file claims total cost {recorded} but its assignments sum to "
+            f"{plan.total_cost:.6f}"
+        )
+    return plan
+
+
+def save_plan(plan: DecompositionPlan, path: PathLike) -> None:
+    """Write a decomposition plan to a JSON file."""
+    Path(path).write_text(json.dumps(plan_to_dict(plan), indent=2))
+
+
+def load_plan(path: PathLike) -> DecompositionPlan:
+    """Read a decomposition plan from a JSON file."""
+    return plan_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,33 @@
+"""Shared utilities for the SLADE reproduction.
+
+The helpers in this package are deliberately small and dependency-free so that
+core algorithm modules can import them without pulling in the simulation or
+experiment layers.
+"""
+
+from repro.utils.logmath import (
+    lcm_of,
+    reliability_from_residual,
+    residual_from_reliability,
+    safe_log1m,
+)
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    require_in_unit_interval,
+    require_positive,
+    require_probability_open,
+)
+
+__all__ = [
+    "lcm_of",
+    "reliability_from_residual",
+    "residual_from_reliability",
+    "safe_log1m",
+    "RandomSource",
+    "ensure_rng",
+    "Stopwatch",
+    "require_in_unit_interval",
+    "require_positive",
+    "require_probability_open",
+]

@@ -1,0 +1,112 @@
+"""Log-space reliability arithmetic used throughout SLADE.
+
+The SLADE paper (Section 4.1) rewrites the reliability constraint
+
+    Rel(a, B(a)) = 1 - prod_{beta in B(a)} (1 - r_|beta|)  >=  t
+
+into the additive form
+
+    sum_{beta in B(a)} -ln(1 - r_|beta|)  >=  -ln(1 - t).
+
+Every solver in this repository works in that additive ("residual") space: a
+task bin of confidence ``r`` contributes ``-ln(1 - r)`` units of reliability,
+and an atomic task with threshold ``t`` demands ``-ln(1 - t)`` units in total.
+This module centralises the conversions so rounding conventions are identical
+everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+from typing import Iterable
+
+#: Tasks whose remaining residual requirement drops below this value are
+#: considered satisfied.  The value is far below any contribution a realistic
+#: task bin can make (confidence 1e-12 contributes ~1e-12) and merely absorbs
+#: floating point noise from repeated subtraction.
+RESIDUAL_EPSILON = 1e-9
+
+
+def safe_log1m(probability: float) -> float:
+    """Return ``-ln(1 - probability)`` guarding against edge values.
+
+    Parameters
+    ----------
+    probability:
+        A probability in ``[0, 1)``.  A probability of exactly ``1`` would
+        demand infinite reliability contribution and is rejected, because the
+        paper's model never produces perfectly reliable task bins.
+
+    Returns
+    -------
+    float
+        The non-negative residual contribution / requirement.
+
+    Raises
+    ------
+    ValueError
+        If ``probability`` is outside ``[0, 1)``.
+    """
+    if not 0.0 <= probability < 1.0:
+        raise ValueError(
+            f"probability must lie in [0, 1); got {probability!r}"
+        )
+    return -math.log1p(-probability)
+
+
+def residual_from_reliability(reliability: float) -> float:
+    """Convert a reliability (or confidence) value to residual space.
+
+    This is an alias of :func:`safe_log1m` named after its most common use:
+    turning a reliability threshold ``t`` into the required residual
+    ``-ln(1 - t)``.
+    """
+    return safe_log1m(reliability)
+
+
+def reliability_from_residual(residual: float) -> float:
+    """Convert an accumulated residual back to a reliability in ``[0, 1)``.
+
+    The inverse of :func:`residual_from_reliability`:
+    ``reliability = 1 - exp(-residual)``.
+
+    Raises
+    ------
+    ValueError
+        If ``residual`` is negative.
+    """
+    if residual < 0.0:
+        raise ValueError(f"residual must be non-negative; got {residual!r}")
+    return -math.expm1(-residual)
+
+
+def lcm_of(values: Iterable[int]) -> int:
+    """Return the least common multiple of a collection of positive integers.
+
+    The OPQ structure (Definition 4) keys each combination of task bins by the
+    LCM of the bin cardinalities it contains, which is the number of atomic
+    tasks the combination covers exactly.
+
+    Raises
+    ------
+    ValueError
+        If the iterable is empty or contains a non-positive integer.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("lcm_of requires at least one value")
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"lcm_of requires positive integers; got {value!r}")
+    return reduce(math.lcm, values)
+
+
+def is_satisfied(residual_remaining: float) -> bool:
+    """Return ``True`` when a remaining residual requirement is met.
+
+    A requirement counts as met once it is within :data:`RESIDUAL_EPSILON` of
+    zero (or below), which tolerates floating point drift in the greedy
+    solver's repeated subtractions.
+    """
+    return residual_remaining <= RESIDUAL_EPSILON

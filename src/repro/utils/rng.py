@@ -1,0 +1,47 @@
+"""Random number generator plumbing.
+
+All stochastic components (the crowd simulator, threshold generators, the
+randomized-rounding baseline) accept either a seed, a ``numpy`` generator, or
+``None``.  :func:`ensure_rng` normalises those inputs so experiments are
+reproducible end to end from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: Anything accepted where randomness is required.
+RandomSource = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(source: RandomSource = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for the given source.
+
+    Parameters
+    ----------
+    source:
+        ``None`` for nondeterministic entropy, an ``int`` seed, or an existing
+        generator (returned unchanged so callers can share a stream).
+    """
+    if isinstance(source, np.random.Generator):
+        return source
+    if source is None:
+        return np.random.default_rng()
+    if isinstance(source, (int, np.integer)):
+        return np.random.default_rng(int(source))
+    raise TypeError(
+        "random source must be None, an int seed, or a numpy Generator; "
+        f"got {type(source).__name__}"
+    )
+
+
+def spawn_child(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from an existing one.
+
+    Used when a component needs its own stream (e.g. each simulated worker)
+    without consuming draws from the parent in an order-dependent way.
+    """
+    seed = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,69 @@
+"""Lightweight wall-clock timing for the experiment harness.
+
+The paper reports running time curves (Figures 6c/d/g/h/k/l, 7b/d, 8a/b); the
+sweep runner wraps each solver call in a :class:`Stopwatch` so the harness can
+emit the same series without depending on ``pytest-benchmark`` internals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Stopwatch:
+    """A start/stop timer accumulating elapsed seconds.
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started_at: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing."""
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the total elapsed seconds so far."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time.  The stopwatch must be stopped."""
+        if self._started_at is not None:
+            raise RuntimeError("cannot reset a running Stopwatch")
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently timing."""
+        return self._started_at is not None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.stop()
+
+
+def time_callable(func, *args, **kwargs):
+    """Call ``func(*args, **kwargs)`` and return ``(result, seconds)``."""
+    watch = Stopwatch()
+    with watch:
+        result = func(*args, **kwargs)
+    return result, watch.elapsed

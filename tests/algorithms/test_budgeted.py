@@ -1,0 +1,71 @@
+"""Tests for the budget-constrained decomposer (dual SLADE)."""
+
+import pytest
+
+from repro.algorithms.budgeted import BudgetedDecomposer
+from repro.algorithms.opq import OPQSolver
+from repro.core.errors import InvalidProblemError
+from repro.core.problem import SladeProblem
+from repro.core.task import CrowdsourcingTask
+from repro.datasets.jelly import jelly_bin_set
+
+
+class TestBudgetedDecomposer:
+    @pytest.fixture(scope="class")
+    def decomposer(self, ):
+        return BudgetedDecomposer(jelly_bin_set(10))
+
+    def test_plan_respects_budget(self, decomposer):
+        result = decomposer.decompose(n=100, budget=1.5)
+        assert result.cost <= 1.5 + 1e-9
+        assert result.utilisation <= 1.0 + 1e-9
+
+    def test_plan_achieves_reported_reliability(self, decomposer):
+        result = decomposer.decompose(n=100, budget=1.5)
+        task = CrowdsourcingTask.homogeneous(100, result.reliability)
+        # Allow a hair of slack for the residual->reliability rounding.
+        reliabilities = result.plan.reliabilities()
+        for atomic in task:
+            assert reliabilities[atomic.task_id] >= result.reliability - 1e-6
+
+    def test_more_budget_buys_more_reliability(self, decomposer):
+        tight = decomposer.decompose(n=100, budget=0.8)
+        generous = decomposer.decompose(n=100, budget=3.0)
+        assert generous.reliability >= tight.reliability - 1e-9
+        assert generous.cost >= tight.cost - 1e-9
+
+    def test_huge_budget_hits_search_ceiling(self, decomposer):
+        result = decomposer.decompose(n=20, budget=1_000.0)
+        assert result.reliability == pytest.approx(decomposer.max_reliability)
+
+    def test_insufficient_budget_rejected(self, decomposer):
+        with pytest.raises(InvalidProblemError):
+            decomposer.decompose(n=1_000, budget=0.01)
+
+    def test_invalid_arguments_rejected(self, decomposer):
+        with pytest.raises(InvalidProblemError):
+            decomposer.decompose(n=0, budget=1.0)
+        with pytest.raises(InvalidProblemError):
+            decomposer.decompose(n=10, budget=0.0)
+
+    def test_invalid_configuration_rejected(self):
+        bins = jelly_bin_set(5)
+        with pytest.raises(InvalidProblemError):
+            BudgetedDecomposer(bins, min_reliability=0.9, max_reliability=0.8)
+        with pytest.raises(InvalidProblemError):
+            BudgetedDecomposer(bins, tolerance=0.0)
+
+    def test_consistent_with_forward_problem(self):
+        # Solving the forward SLADE problem at the returned reliability should
+        # cost no more than the budget either (same solver, same menu).
+        bins = jelly_bin_set(10)
+        decomposer = BudgetedDecomposer(bins)
+        result = decomposer.decompose(n=200, budget=2.5)
+        forward = OPQSolver().solve(
+            SladeProblem.homogeneous(200, result.reliability, bins)
+        )
+        assert forward.total_cost <= 2.5 + 1e-6
+
+    def test_iterations_reported(self, decomposer):
+        result = decomposer.decompose(n=100, budget=1.2)
+        assert result.iterations >= 1

@@ -1,0 +1,68 @@
+"""Tests for the rod-cutting dynamic program (relaxed variant, Section 4.2)."""
+
+import pytest
+
+from repro.algorithms.dp_relaxed import RelaxedDPSolver
+from repro.algorithms.exhaustive import ExactSolver
+from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.errors import InvalidProblemError
+from repro.core.problem import SladeProblem
+
+
+@pytest.fixture
+def relaxed_bins() -> TaskBinSet:
+    """A menu whose every confidence exceeds the thresholds used below."""
+    return TaskBinSet.from_triples(
+        [(1, 0.9, 0.10), (2, 0.88, 0.16), (3, 0.86, 0.21), (4, 0.85, 0.25)]
+    )
+
+
+class TestRelaxedDP:
+    def test_rejects_unrelaxed_instance(self, table1_bins):
+        problem = SladeProblem.homogeneous(4, 0.95, table1_bins)
+        with pytest.raises(InvalidProblemError):
+            RelaxedDPSolver().solve(problem)
+
+    def test_single_task(self, relaxed_bins):
+        problem = SladeProblem.homogeneous(1, 0.8, relaxed_bins)
+        result = RelaxedDPSolver().solve(problem)
+        assert result.total_cost == pytest.approx(0.10)
+
+    def test_optimal_cover_uses_cheapest_mix(self, relaxed_bins):
+        problem = SladeProblem.homogeneous(5, 0.8, relaxed_bins)
+        result = RelaxedDPSolver().solve(problem)
+        # Best cover of 5 tasks: 4-bin (0.25) + 1-bin (0.10) = 0.35.
+        assert result.total_cost == pytest.approx(0.35)
+        assert result.feasible
+
+    def test_matches_exhaustive_optimum(self, relaxed_bins):
+        problem = SladeProblem.homogeneous(6, 0.8, relaxed_bins)
+        dp_cost = RelaxedDPSolver().solve(problem).total_cost
+        exact_cost = ExactSolver(max_tasks=6).solve(problem).total_cost
+        assert dp_cost == pytest.approx(exact_cost)
+
+    def test_every_task_covered_exactly_once(self, relaxed_bins):
+        problem = SladeProblem.homogeneous(11, 0.8, relaxed_bins)
+        result = RelaxedDPSolver().solve(problem)
+        reliabilities = result.plan.reliabilities()
+        assert set(reliabilities) == set(range(11))
+        for assignment_count in (
+            len(result.plan.assignments_of(task_id)) for task_id in range(11)
+        ):
+            assert assignment_count == 1
+
+    def test_optimal_cost_metadata_matches_plan(self, relaxed_bins):
+        problem = SladeProblem.homogeneous(9, 0.8, relaxed_bins)
+        result = RelaxedDPSolver().solve(problem)
+        assert result.metadata["optimal_cost"] == pytest.approx(result.total_cost)
+
+    def test_allow_unrelaxed_produces_lower_bound(self, table1_bins):
+        problem = SladeProblem.homogeneous(4, 0.95, table1_bins)
+        bound = RelaxedDPSolver(allow_unrelaxed=True).solve(problem)
+        exact = ExactSolver().solve(problem)
+        assert bound.total_cost <= exact.total_cost + 1e-9
+
+    def test_heterogeneous_relaxed_instance(self, relaxed_bins):
+        problem = SladeProblem.heterogeneous([0.5, 0.6, 0.7, 0.8], relaxed_bins)
+        result = RelaxedDPSolver().solve(problem)
+        assert result.feasible

@@ -1,0 +1,93 @@
+"""Tests for the Greedy solver (Algorithm 1)."""
+
+import pytest
+
+from repro.algorithms.greedy import GreedySolver
+from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.problem import SladeProblem
+
+
+class TestGreedyOnPaperExample:
+    def test_example5_cost(self, example4_problem):
+        # Example 5 walks Algorithm 1 on the running example and obtains a
+        # plan of total cost 0.74.
+        result = GreedySolver().solve(example4_problem)
+        assert result.total_cost == pytest.approx(0.74, abs=1e-9)
+
+    def test_example5_plan_structure(self, example4_problem):
+        # The worked example ends with four singleton bins, one 3-bin over the
+        # first three tasks, and one final singleton for the last task.
+        result = GreedySolver().solve(example4_problem)
+        usage = result.plan.bin_usage()
+        assert usage == {1: 5, 3: 1}
+
+    def test_example5_first_choice_is_singleton_bin(self, example4_problem):
+        # The first iteration picks b1 because 0.1 / -ln(0.1) is the smallest
+        # cost-confidence ratio.
+        result = GreedySolver().solve(example4_problem)
+        first = result.plan.assignments[0]
+        assert first.task_bin.cardinality == 1
+
+    def test_plan_is_feasible(self, example4_problem):
+        result = GreedySolver().solve(example4_problem)
+        assert result.plan.is_feasible(example4_problem.task)
+
+
+class TestGreedyGeneralBehaviour:
+    def test_single_task_single_bin(self):
+        bins = TaskBinSet([TaskBin(1, 0.9, 0.1)])
+        problem = SladeProblem.homogeneous(1, 0.95, bins)
+        result = GreedySolver().solve(problem)
+        # 0.95 needs two 0.9-confidence assignments.
+        assert result.plan.bin_usage() == {1: 2}
+        assert result.total_cost == pytest.approx(0.2)
+
+    def test_low_threshold_single_pass(self, table1_bins):
+        problem = SladeProblem.homogeneous(6, 0.6, table1_bins)
+        result = GreedySolver().solve(problem)
+        assert result.feasible
+        # One pass of any bin suffices for a 0.6 threshold.
+        assert all(
+            reliability >= 0.6 for reliability in result.plan.reliabilities().values()
+        )
+
+    def test_heterogeneous_thresholds_respected(self, table1_bins):
+        problem = SladeProblem.heterogeneous([0.5, 0.99, 0.7], table1_bins)
+        result = GreedySolver().solve(problem)
+        reliabilities = result.plan.reliabilities()
+        assert reliabilities[1] >= 0.99
+        assert result.feasible
+
+    def test_demanding_task_gets_more_assignments(self, table1_bins):
+        problem = SladeProblem.heterogeneous([0.6, 0.995], table1_bins)
+        result = GreedySolver().solve(problem)
+        demanding = len(result.plan.assignments_of(1))
+        easy = len(result.plan.assignments_of(0))
+        assert demanding > easy
+
+    def test_iterations_recorded(self, example4_problem):
+        result = GreedySolver().solve(example4_problem)
+        assert result.metadata["iterations"] >= 1
+
+    def test_larger_instance_feasible(self, small_jelly_problem):
+        result = GreedySolver().solve(small_jelly_problem)
+        assert result.feasible
+        assert result.total_cost > 0.0
+
+    def test_prefers_cost_effective_bin(self):
+        # A large cheap bin dominates; greedy should use it rather than
+        # singletons.
+        bins = TaskBinSet([TaskBin(1, 0.9, 1.0), TaskBin(10, 0.9, 1.5)])
+        problem = SladeProblem.homogeneous(20, 0.9, bins)
+        result = GreedySolver().solve(problem)
+        assert result.plan.bin_usage() == {10: 2}
+
+    def test_partial_final_bin_when_few_tasks_remain(self):
+        # 11 tasks with a 10-cardinality bin: the ratio denominator uses the
+        # residual sum of the single remaining task, so the tail is handled
+        # with whatever is cheapest for one task.
+        bins = TaskBinSet([TaskBin(1, 0.9, 1.0), TaskBin(10, 0.9, 1.5)])
+        problem = SladeProblem.homogeneous(11, 0.9, bins)
+        result = GreedySolver().solve(problem)
+        assert result.feasible
+        assert result.total_cost <= 2.5 + 1e-9

@@ -1,0 +1,113 @@
+"""Tests for the online (streaming) decomposer."""
+
+import pytest
+
+from repro.algorithms.online import OnlineDecomposer
+from repro.algorithms.opq import OPQSolver
+from repro.core.errors import InvalidProblemError
+from repro.core.problem import SladeProblem
+from repro.core.task import AtomicTask, CrowdsourcingTask
+from repro.datasets.jelly import jelly_bin_set
+
+
+@pytest.fixture
+def bins():
+    return jelly_bin_set(8)
+
+
+class TestSubmission:
+    def test_nothing_emitted_until_block_fills(self, table1_bins):
+        decomposer = OnlineDecomposer(table1_bins)
+        # OPQ head for t=0.95 on the Table 1 menu covers blocks of 3 tasks.
+        assert decomposer.submit(AtomicTask(0, 0.95)) == []
+        assert decomposer.submit(AtomicTask(1, 0.95)) == []
+        emitted = decomposer.submit(AtomicTask(2, 0.95))
+        assert emitted, "third task should complete the block"
+        assert decomposer.pending_tasks == 0
+        assert decomposer.emitted_tasks == 3
+
+    def test_duplicate_submission_rejected(self, table1_bins):
+        decomposer = OnlineDecomposer(table1_bins)
+        decomposer.submit(AtomicTask(0, 0.9))
+        with pytest.raises(InvalidProblemError):
+            decomposer.submit(AtomicTask(0, 0.9))
+
+    def test_submit_many_returns_all_emitted(self, table1_bins):
+        decomposer = OnlineDecomposer(table1_bins)
+        emitted = decomposer.submit_many(AtomicTask(i, 0.95) for i in range(7))
+        assert decomposer.emitted_tasks == 6  # two full blocks of three
+        assert decomposer.pending_tasks == 1
+        assert len(emitted) > 0
+
+    def test_invalid_granularity_rejected(self, table1_bins):
+        with pytest.raises(InvalidProblemError):
+            OnlineDecomposer(table1_bins, threshold_granularity=0.0)
+
+
+class TestFlush:
+    def test_flush_covers_all_pending_tasks(self, bins):
+        decomposer = OnlineDecomposer(bins)
+        decomposer.submit_many(AtomicTask(i, 0.9) for i in range(17))
+        decomposer.flush()
+        assert decomposer.pending_tasks == 0
+        task = CrowdsourcingTask.homogeneous(17, 0.9)
+        assert decomposer.plan.is_feasible(task)
+
+    def test_flush_on_empty_stream_is_noop(self, bins):
+        decomposer = OnlineDecomposer(bins)
+        assert decomposer.flush() == []
+        assert decomposer.total_cost == 0.0
+
+    def test_heterogeneous_thresholds_grouped_and_satisfied(self, bins):
+        thresholds = [0.85, 0.9, 0.95] * 10
+        decomposer = OnlineDecomposer(bins)
+        decomposer.submit_many(
+            AtomicTask(i, t) for i, t in enumerate(thresholds)
+        )
+        decomposer.flush()
+        task = CrowdsourcingTask.heterogeneous(thresholds)
+        assert decomposer.plan.is_feasible(task)
+        assert len(decomposer.threshold_groups()) >= 2
+
+
+class TestRegretAgainstOffline:
+    def test_streaming_cost_close_to_offline_opq(self, bins):
+        n = 200
+        threshold = 0.9
+        decomposer = OnlineDecomposer(bins)
+        decomposer.submit_many(AtomicTask(i, threshold) for i in range(n))
+        decomposer.flush()
+
+        offline = OPQSolver().solve(
+            SladeProblem.homogeneous(n, threshold, bins)
+        )
+        # The stream pays at most one remainder block more than offline.
+        assert decomposer.total_cost <= offline.total_cost * 1.15 + 1e-9
+        assert decomposer.total_cost >= offline.total_cost - 1e-9
+
+    def test_block_multiples_match_offline_exactly(self, table1_bins):
+        # 3k tasks at t=0.95 on the Table 1 menu: streaming emits exactly the
+        # offline-optimal blocks.
+        n = 9
+        decomposer = OnlineDecomposer(table1_bins)
+        decomposer.submit_many(AtomicTask(i, 0.95) for i in range(n))
+        offline = OPQSolver().solve(
+            SladeProblem.homogeneous(n, 0.95, table1_bins)
+        )
+        assert decomposer.pending_tasks == 0
+        assert decomposer.total_cost == pytest.approx(offline.total_cost)
+
+
+class TestThresholdBucketing:
+    def test_bucket_never_rounds_down(self, bins):
+        decomposer = OnlineDecomposer(bins, threshold_granularity=0.05)
+        decomposer.submit(AtomicTask(0, 0.91))
+        decomposer.flush()
+        # The single task was planned at a bucket >= its own threshold.
+        assert decomposer.plan.reliability_of(0) >= 0.91
+
+    def test_nearby_thresholds_share_a_queue(self, bins):
+        decomposer = OnlineDecomposer(bins, threshold_granularity=0.05)
+        decomposer.submit(AtomicTask(0, 0.901))
+        decomposer.submit(AtomicTask(1, 0.949))
+        assert len(decomposer.threshold_groups()) == 1

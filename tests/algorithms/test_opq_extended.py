@@ -1,0 +1,139 @@
+"""Tests for the heterogeneous OPQ-Extended solver (Algorithms 4-5)."""
+
+import math
+
+import pytest
+
+from repro.algorithms.greedy import GreedySolver
+from repro.algorithms.opq_extended import (
+    OPQExtendedSolver,
+    assign_to_groups,
+    build_opq_set,
+    partition_boundaries,
+)
+from repro.core.errors import InvalidProblemError
+from repro.core.problem import SladeProblem
+from repro.utils.logmath import residual_from_reliability
+
+
+class TestPartitionBoundaries:
+    def test_paper_example10_boundaries(self):
+        # Thresholds 0.5/0.6/0.7/0.86 give theta in [0.69, 1.97]; the paper
+        # derives two intervals with upper bounds 1 and theta_max.
+        theta_min = residual_from_reliability(0.5)
+        theta_max = residual_from_reliability(0.86)
+        boundaries = partition_boundaries(theta_min, theta_max)
+        assert len(boundaries) == 2
+        assert boundaries[0] == pytest.approx(1.0)
+        assert boundaries[1] == pytest.approx(theta_max)
+
+    def test_single_threshold_collapses_to_one_group(self):
+        theta = residual_from_reliability(0.9)
+        assert partition_boundaries(theta, theta) == [pytest.approx(theta)]
+
+    def test_boundaries_cover_theta_max(self):
+        boundaries = partition_boundaries(0.7, 5.3)
+        assert boundaries[-1] == pytest.approx(5.3)
+        assert all(b <= 5.3 + 1e-12 for b in boundaries)
+
+    def test_boundaries_are_increasing(self):
+        boundaries = partition_boundaries(0.3, 6.0)
+        assert boundaries == sorted(boundaries)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            partition_boundaries(2.0, 1.0)
+        with pytest.raises(InvalidProblemError):
+            partition_boundaries(0.0, 1.0)
+
+
+class TestBuildOpqSet:
+    def test_example10_queues(self, table1_bins):
+        # Table 4: OPQ_0 (t = 0.632) holds single bins of every cardinality;
+        # Table 5: OPQ_1 (t = 0.86) holds only {1 x b1}.
+        groups = build_opq_set(table1_bins, [0.5, 0.6, 0.7, 0.86])
+        assert len(groups) == 2
+        first, second = groups
+        assert first.threshold == pytest.approx(1 - math.exp(-1.0), abs=1e-9)
+        assert [dict(c.counts) for c in first.queue] == [{3: 1}, {2: 1}, {1: 1}]
+        assert second.threshold == pytest.approx(0.86)
+        assert [dict(c.counts) for c in second.queue] == [{1: 1}]
+
+    def test_group_thresholds_dominate_member_thresholds(self, table1_bins):
+        thresholds = [0.55, 0.7, 0.9, 0.95]
+        groups = build_opq_set(table1_bins, thresholds)
+        residuals = {i: residual_from_reliability(t) for i, t in enumerate(thresholds)}
+        membership = assign_to_groups(residuals, groups)
+        for group in groups:
+            for task_id in membership[group.index]:
+                assert residuals[task_id] <= group.upper_residual + 1e-9
+
+    def test_empty_thresholds_rejected(self, table1_bins):
+        with pytest.raises(InvalidProblemError):
+            build_opq_set(table1_bins, [])
+
+
+class TestAssignToGroups:
+    def test_example11_membership(self, table1_bins):
+        thresholds = [0.5, 0.6, 0.7, 0.86]
+        groups = build_opq_set(table1_bins, thresholds)
+        residuals = {i: residual_from_reliability(t) for i, t in enumerate(thresholds)}
+        membership = assign_to_groups(residuals, groups)
+        assert sorted(membership[0]) == [0, 1]
+        assert sorted(membership[1]) == [2, 3]
+
+    def test_every_task_lands_in_exactly_one_group(self, table1_bins):
+        thresholds = [0.55, 0.7, 0.8, 0.9, 0.95, 0.97]
+        groups = build_opq_set(table1_bins, thresholds)
+        residuals = {i: residual_from_reliability(t) for i, t in enumerate(thresholds)}
+        membership = assign_to_groups(residuals, groups)
+        all_ids = sorted(i for ids in membership.values() for i in ids)
+        assert all_ids == list(range(len(thresholds)))
+
+
+class TestOPQExtendedSolver:
+    def test_example11_cost(self, heterogeneous_example_problem):
+        # Example 11: the merged plan costs 0.38.
+        result = OPQExtendedSolver().solve(heterogeneous_example_problem)
+        assert result.total_cost == pytest.approx(0.38, abs=1e-9)
+
+    def test_example11_plan_structure(self, heterogeneous_example_problem):
+        # {a1, a2} in one 2-bin plus {a3} and {a4} in singleton bins.
+        result = OPQExtendedSolver().solve(heterogeneous_example_problem)
+        assert result.plan.bin_usage() == {2: 1, 1: 2}
+
+    def test_plan_is_feasible(self, heterogeneous_example_problem):
+        result = OPQExtendedSolver().solve(heterogeneous_example_problem)
+        assert result.plan.is_feasible(heterogeneous_example_problem.task)
+
+    def test_homogeneous_input_accepted(self, table1_bins):
+        problem = SladeProblem.homogeneous(6, 0.95, table1_bins)
+        result = OPQExtendedSolver().solve(problem)
+        assert result.feasible
+
+    def test_metadata_reports_groups(self, heterogeneous_example_problem):
+        result = OPQExtendedSolver().solve(heterogeneous_example_problem)
+        assert result.metadata["groups"] == 2
+        assert sum(result.metadata["group_sizes"].values()) == 4
+
+    def test_theorem3_bound_against_greedy_reference(self, table1_bins):
+        # The formal bound is against OPT; greedy provides a feasible upper
+        # bound on OPT, so OPQ-Extended must stay within the Theorem 3 factor
+        # of the greedy cost as well.
+        thresholds = [0.55, 0.65, 0.8, 0.9, 0.95, 0.6, 0.7, 0.85]
+        problem = SladeProblem.heterogeneous(thresholds, table1_bins)
+        extended = OPQExtendedSolver().solve(problem).total_cost
+        greedy = GreedySolver().solve(problem).total_cost
+        theta_max = residual_from_reliability(max(thresholds))
+        theta_min = residual_from_reliability(min(thresholds))
+        factor = 2 * math.ceil(math.log2(theta_max / theta_min) or 1) * max(
+            1.0, math.log2(len(thresholds))
+        )
+        assert extended <= greedy * max(factor, 1.0) + 1e-9
+
+    def test_wide_threshold_range_multiple_groups(self, table1_bins):
+        thresholds = [0.5] * 5 + [0.95] * 5
+        problem = SladeProblem.heterogeneous(thresholds, table1_bins)
+        result = OPQExtendedSolver().solve(problem)
+        assert result.feasible
+        assert result.metadata["groups"] >= 2

@@ -1,0 +1,114 @@
+"""Tests for the OPQ-Based solver (Algorithm 3)."""
+
+import pytest
+
+from repro.algorithms.exhaustive import ExactSolver
+from repro.algorithms.opq import OPQSolver, build_optimal_priority_queue
+from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.errors import InvalidProblemError
+from repro.core.problem import SladeProblem
+
+
+class TestOPQOnPaperExample:
+    def test_example9_cost(self, example4_problem):
+        # Example 9: the OPQ-Based plan costs 0.68 on the running example.
+        result = OPQSolver().solve(example4_problem)
+        assert result.total_cost == pytest.approx(0.68, abs=1e-9)
+
+    def test_example9_plan_structure(self, example4_problem):
+        # The plan uses {2 x b3} for the first three tasks and {2 x b1} for
+        # the remaining one: two 3-bins plus two 1-bins.
+        result = OPQSolver().solve(example4_problem)
+        assert result.plan.bin_usage() == {3: 2, 1: 2}
+
+    def test_cheaper_than_greedy_on_running_example(self, example4_problem):
+        from repro.algorithms.greedy import GreedySolver
+
+        opq_cost = OPQSolver().solve(example4_problem).total_cost
+        greedy_cost = GreedySolver().solve(example4_problem).total_cost
+        assert opq_cost < greedy_cost
+
+    def test_plan_is_feasible(self, example4_problem):
+        result = OPQSolver().solve(example4_problem)
+        assert result.plan.is_feasible(example4_problem.task)
+
+
+class TestOptimalityOnBlockMultiples:
+    def test_exact_optimum_when_n_is_block_multiple(self, table1_bins):
+        # Corollary 1: when n is a multiple of OPQ1.LCM the plan is optimal.
+        problem = SladeProblem.homogeneous(3, 0.95, table1_bins)
+        opq_cost = OPQSolver().solve(problem).total_cost
+        exact_cost = ExactSolver().solve(problem).total_cost
+        assert opq_cost == pytest.approx(exact_cost, abs=1e-9)
+
+    def test_exact_optimum_for_six_tasks(self, table1_bins):
+        problem = SladeProblem.homogeneous(6, 0.95, table1_bins)
+        opq_cost = OPQSolver().solve(problem).total_cost
+        exact_cost = ExactSolver(max_tasks=6).solve(problem).total_cost
+        assert opq_cost == pytest.approx(exact_cost, abs=1e-9)
+
+    def test_block_multiple_cost_formula(self, table1_bins):
+        # For n = 3k the cost is k * LCM * UC = k * 3 * 0.16.
+        queue = build_optimal_priority_queue(table1_bins, 0.95)
+        for k in (1, 2, 5):
+            problem = SladeProblem.homogeneous(3 * k, 0.95, table1_bins)
+            cost = OPQSolver().solve(problem).total_cost
+            assert cost == pytest.approx(k * queue.head.block_cost)
+
+
+class TestRemainderHandling:
+    def test_single_task_smaller_than_every_block(self):
+        # Only bins of cardinality 2 and 3 exist, so every combination has
+        # LCM >= 2; a single task must still be covered (partial block).
+        bins = TaskBinSet([TaskBin(2, 0.85, 0.18), TaskBin(3, 0.8, 0.24)])
+        problem = SladeProblem.homogeneous(1, 0.95, bins)
+        result = OPQSolver().solve(problem)
+        assert result.feasible
+
+    def test_previous_combination_reused_when_cheaper(self):
+        # Construct a menu where re-using the big-block combination for the
+        # remainder beats falling through to the tiny expensive bin.
+        bins = TaskBinSet([TaskBin(1, 0.9, 10.0), TaskBin(5, 0.9, 1.0)])
+        problem = SladeProblem.homogeneous(6, 0.9, bins)
+        result = OPQSolver().solve(problem)
+        # Remainder of one task: a second 5-bin (1.0) is far cheaper than a
+        # 1-bin (10.0).
+        assert result.plan.bin_usage() == {5: 2}
+        assert result.total_cost == pytest.approx(2.0)
+
+    def test_remainder_falls_through_to_smaller_blocks(self, table1_bins):
+        problem = SladeProblem.homogeneous(5, 0.95, table1_bins)
+        result = OPQSolver().solve(problem)
+        assert result.feasible
+        # 3 tasks through {2xb3} (0.48) + 2 tasks through {2xb2} (0.36).
+        assert result.total_cost == pytest.approx(0.84)
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_within_log_n_of_exact(self, table1_bins, n):
+        import math
+
+        problem = SladeProblem.homogeneous(n, 0.95, table1_bins)
+        opq_cost = OPQSolver().solve(problem).total_cost
+        exact_cost = ExactSolver(max_tasks=8).solve(problem).total_cost
+        bound = max(1.0, math.log2(n) + 1.0)
+        assert opq_cost <= exact_cost * bound + 1e-9
+
+
+class TestInputValidation:
+    def test_heterogeneous_problem_rejected(self, table1_bins):
+        problem = SladeProblem.heterogeneous([0.8, 0.9], table1_bins)
+        with pytest.raises(InvalidProblemError):
+            OPQSolver().solve(problem)
+
+    def test_prebuilt_queue_bypasses_homogeneity_check(self, table1_bins):
+        queue = build_optimal_priority_queue(table1_bins, 0.95)
+        problem = SladeProblem.heterogeneous([0.8, 0.9], table1_bins)
+        result = OPQSolver(prebuilt_queue=queue).solve(problem)
+        # The queue was built for 0.95 which dominates both thresholds.
+        assert result.feasible
+
+    def test_metadata_includes_queue_size(self, example4_problem):
+        result = OPQSolver().solve(example4_problem)
+        assert result.metadata["opq_size"] == 3

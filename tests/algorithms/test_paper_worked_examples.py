@@ -1,0 +1,86 @@
+"""End-to-end checks of every worked example in the paper.
+
+These tests pin the reproduction to the exact numbers the paper derives by
+hand for the running example (Table 1 bins, four atomic tasks):
+
+* Example 4 — the optimal plan costs 0.66 (P2) and the 2-bin plan P1 costs 0.72;
+* Example 5 — the Greedy plan costs 0.74;
+* Example 7 / Table 3 — the OPQ content for t = 0.95;
+* Example 9 — the OPQ-Based plan costs 0.68;
+* Example 10 / Tables 4-5 — the OPQ set for thresholds 0.5/0.6/0.7/0.86;
+* Example 11 — the OPQ-Extended plan costs 0.38.
+"""
+
+import pytest
+
+from repro.algorithms.exhaustive import ExactSolver
+from repro.algorithms.greedy import GreedySolver
+from repro.algorithms.opq import OPQSolver, build_optimal_priority_queue
+from repro.algorithms.opq_extended import OPQExtendedSolver, build_opq_set
+from repro.core.plan import DecompositionPlan
+
+
+class TestExample4:
+    def test_plan_p1_cost_and_reliability(self, table1_bins, example4_problem):
+        plan = DecompositionPlan()
+        for members in [(0, 1), (0, 1), (2, 3), (2, 3)]:
+            plan.add(table1_bins[2], members)
+        assert plan.total_cost == pytest.approx(0.72)
+        assert plan.is_feasible(example4_problem.task)
+
+    def test_plan_p2_cost_and_reliability(self, table1_bins, example4_problem):
+        plan = DecompositionPlan()
+        plan.add(table1_bins[3], (0, 1, 2))
+        plan.add(table1_bins[3], (0, 1, 3))
+        plan.add(table1_bins[2], (2, 3))
+        assert plan.total_cost == pytest.approx(0.66)
+        assert plan.is_feasible(example4_problem.task)
+
+    def test_p2_is_the_optimum(self, example4_problem):
+        assert ExactSolver().solve(example4_problem).total_cost == pytest.approx(0.66)
+
+
+class TestExample5Greedy:
+    def test_greedy_total_cost(self, example4_problem):
+        assert GreedySolver().solve(example4_problem).total_cost == pytest.approx(0.74)
+
+
+class TestTable3AndExample9:
+    def test_table3_opq(self, table1_bins):
+        queue = build_optimal_priority_queue(table1_bins, 0.95)
+        assert [dict(c.counts) for c in queue] == [{3: 2}, {2: 2}, {1: 2}]
+        assert [c.lcm for c in queue] == [3, 2, 1]
+        assert [c.unit_cost for c in queue] == pytest.approx([0.16, 0.18, 0.20])
+
+    def test_example9_opq_based_cost(self, example4_problem):
+        assert OPQSolver().solve(example4_problem).total_cost == pytest.approx(0.68)
+
+    def test_ordering_of_the_three_algorithms(self, example4_problem):
+        # exact (0.66) <= OPQ-Based (0.68) <= Greedy (0.74).
+        exact = ExactSolver().solve(example4_problem).total_cost
+        opq = OPQSolver().solve(example4_problem).total_cost
+        greedy = GreedySolver().solve(example4_problem).total_cost
+        assert exact <= opq <= greedy
+
+
+class TestExamples10And11Heterogeneous:
+    THRESHOLDS = [0.5, 0.6, 0.7, 0.86]
+
+    def test_table4_and_table5_opq_set(self, table1_bins):
+        groups = build_opq_set(table1_bins, self.THRESHOLDS)
+        assert len(groups) == 2
+        table4, table5 = groups
+        assert [dict(c.counts) for c in table4.queue] == [{3: 1}, {2: 1}, {1: 1}]
+        assert [c.unit_cost for c in table4.queue] == pytest.approx([0.08, 0.09, 0.10])
+        assert [dict(c.counts) for c in table5.queue] == [{1: 1}]
+        assert [c.unit_cost for c in table5.queue] == pytest.approx([0.10])
+
+    def test_example11_cost(self, heterogeneous_example_problem):
+        result = OPQExtendedSolver().solve(heterogeneous_example_problem)
+        assert result.total_cost == pytest.approx(0.38)
+
+    def test_example11_reliabilities_meet_thresholds(self, heterogeneous_example_problem):
+        result = OPQExtendedSolver().solve(heterogeneous_example_problem)
+        reliabilities = result.plan.reliabilities()
+        for atomic in heterogeneous_example_problem.task:
+            assert reliabilities[atomic.task_id] >= atomic.threshold - 1e-9

@@ -1,0 +1,116 @@
+"""Property-based tests: every solver must produce feasible plans.
+
+Hypothesis generates random bin menus and threshold vectors; regardless of the
+instance, each production solver must return a plan in which every atomic task
+meets its reliability threshold, and the plan's cost must equal the sum of its
+posted bins' costs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms.baseline import CIPBaselineSolver
+from repro.algorithms.greedy import GreedySolver
+from repro.algorithms.opq import OPQSolver
+from repro.algorithms.opq_extended import OPQExtendedSolver
+from repro.core.bins import TaskBinSet
+from repro.core.problem import SladeProblem
+
+#: Random bin menus: 1-6 bins with distinct cardinalities in 1..10.
+bin_sets = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=0.35, max_value=0.97),
+        st.floats(min_value=0.02, max_value=2.0),
+    ),
+    min_size=1,
+    max_size=6,
+    unique_by=lambda triple: triple[0],
+).map(TaskBinSet.from_triples)
+
+#: Homogeneous thresholds and task counts.
+homogeneous_instances = st.tuples(
+    bin_sets,
+    st.integers(min_value=1, max_value=40),
+    st.floats(min_value=0.5, max_value=0.98),
+)
+
+#: Heterogeneous threshold vectors.
+heterogeneous_instances = st.tuples(
+    bin_sets,
+    st.lists(st.floats(min_value=0.5, max_value=0.98), min_size=1, max_size=30),
+)
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _check_plan(result, problem):
+    plan = result.plan
+    assert plan.is_feasible(problem.task)
+    assert plan.total_cost == pytest.approx(
+        sum(assignment.task_bin.cost for assignment in plan)
+    )
+    for assignment in plan:
+        assert len(assignment.task_ids) <= assignment.task_bin.cardinality
+
+
+class TestHomogeneousSolversProduceFeasiblePlans:
+    @_SETTINGS
+    @given(homogeneous_instances)
+    def test_greedy(self, instance):
+        bins, n, threshold = instance
+        problem = SladeProblem.homogeneous(n, threshold, bins)
+        _check_plan(GreedySolver().solve(problem), problem)
+
+    @_SETTINGS
+    @given(homogeneous_instances)
+    def test_opq(self, instance):
+        bins, n, threshold = instance
+        problem = SladeProblem.homogeneous(n, threshold, bins)
+        _check_plan(OPQSolver().solve(problem), problem)
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(homogeneous_instances)
+    def test_baseline(self, instance):
+        bins, n, threshold = instance
+        problem = SladeProblem.homogeneous(n, threshold, bins)
+        solver = CIPBaselineSolver(chunk_size=16, seed=0)
+        _check_plan(solver.solve(problem), problem)
+
+
+class TestHeterogeneousSolversProduceFeasiblePlans:
+    @_SETTINGS
+    @given(heterogeneous_instances)
+    def test_greedy(self, instance):
+        bins, thresholds = instance
+        problem = SladeProblem.heterogeneous(thresholds, bins)
+        _check_plan(GreedySolver().solve(problem), problem)
+
+    @_SETTINGS
+    @given(heterogeneous_instances)
+    def test_opq_extended(self, instance):
+        bins, thresholds = instance
+        problem = SladeProblem.heterogeneous(thresholds, bins)
+        _check_plan(OPQExtendedSolver().solve(problem), problem)
+
+
+class TestOPQNeverBeatenByItsOwnBlocks:
+    @settings(max_examples=25, deadline=None)
+    @given(bin_sets, st.integers(min_value=1, max_value=8), st.floats(min_value=0.6, max_value=0.95))
+    def test_greedy_and_opq_are_lower_bounded_by_lp_relaxation(self, bins, n, threshold):
+        """Both heuristics must cost at least n times the head unit cost.
+
+        Lemma 2 makes ``n * OPQ1.UC`` a lower bound on the optimum, hence on
+        every feasible plan.
+        """
+        from repro.algorithms.opq import build_optimal_priority_queue
+
+        problem = SladeProblem.homogeneous(n, threshold, bins)
+        queue = build_optimal_priority_queue(bins, threshold)
+        lower_bound = n * queue.head.unit_cost
+        assert GreedySolver().solve(problem).total_cost >= lower_bound - 1e-9
+        assert OPQSolver().solve(problem).total_cost >= lower_bound - 1e-9

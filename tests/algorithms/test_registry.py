@@ -1,0 +1,55 @@
+"""Tests for the solver registry."""
+
+import pytest
+
+from repro.algorithms.base import Solver
+from repro.algorithms.registry import (
+    available_solvers,
+    create_solver,
+    register_solver,
+)
+from repro.core.plan import DecompositionPlan
+
+
+class TestRegistry:
+    def test_builtin_solvers_present(self):
+        names = available_solvers()
+        for expected in ("greedy", "opq", "opq-extended", "baseline", "dp-relaxed", "exact"):
+            assert expected in names
+
+    def test_create_solver_returns_instances(self):
+        solver = create_solver("greedy")
+        assert isinstance(solver, Solver)
+        assert solver.name == "greedy"
+
+    def test_create_solver_forwards_kwargs(self):
+        solver = create_solver("baseline", chunk_size=17)
+        assert solver.chunk_size == 17
+
+    def test_unknown_solver_lists_known_names(self):
+        with pytest.raises(KeyError, match="greedy"):
+            create_solver("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_solver("greedy", lambda **kwargs: None)
+
+    def test_registration_with_overwrite(self, example4_problem):
+        class _Custom(Solver):
+            name = "custom-test-solver"
+
+            def _solve(self, problem):
+                plan = DecompositionPlan()
+                task_bin = problem.bins[1]
+                for atomic in problem.task:
+                    for _ in range(2):
+                        plan.add(task_bin, (atomic.task_id,))
+                return plan
+
+        register_solver("custom-test-solver", _Custom, overwrite=True)
+        try:
+            result = create_solver("custom-test-solver").solve(example4_problem)
+            assert result.feasible
+        finally:
+            # Leave the registry clean for other tests.
+            register_solver("custom-test-solver", _Custom, overwrite=True)

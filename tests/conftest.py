@@ -1,0 +1,39 @@
+"""Shared fixtures for the SLADE reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bins import TaskBinSet
+from repro.core.problem import SladeProblem
+
+#: The paper's Table 1 bin set, reused across many tests.
+TABLE1_TRIPLES = [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)]
+
+
+@pytest.fixture
+def table1_bins() -> TaskBinSet:
+    """The three-bin menu from Table 1 of the paper."""
+    return TaskBinSet.from_triples(TABLE1_TRIPLES, name="table1")
+
+
+@pytest.fixture
+def example4_problem(table1_bins: TaskBinSet) -> SladeProblem:
+    """The running example (Example 4): four tasks, t=0.95, Table 1 bins."""
+    return SladeProblem.homogeneous(4, 0.95, table1_bins, name="example4")
+
+
+@pytest.fixture
+def heterogeneous_example_problem(table1_bins: TaskBinSet) -> SladeProblem:
+    """Examples 10-11: thresholds 0.5/0.6/0.7/0.86 over the Table 1 bins."""
+    return SladeProblem.heterogeneous(
+        [0.5, 0.6, 0.7, 0.86], table1_bins, name="example10"
+    )
+
+
+@pytest.fixture
+def small_jelly_problem() -> SladeProblem:
+    """A small homogeneous instance on the Jelly menu for quick solver checks."""
+    from repro.datasets.jelly import jelly_bin_set
+
+    return SladeProblem.homogeneous(50, 0.9, jelly_bin_set(10), name="jelly-small")

@@ -1,0 +1,63 @@
+"""Tests for SLADE problem instances."""
+
+import pytest
+
+from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.errors import InvalidProblemError
+from repro.core.problem import SladeProblem
+from repro.core.task import CrowdsourcingTask
+
+
+class TestConstruction:
+    def test_homogeneous_factory(self, table1_bins):
+        problem = SladeProblem.homogeneous(10, 0.9, table1_bins)
+        assert problem.n == 10
+        assert problem.m == 3
+        assert problem.is_homogeneous
+        assert problem.homogeneous_threshold == 0.9
+
+    def test_heterogeneous_factory(self, table1_bins):
+        problem = SladeProblem.heterogeneous([0.8, 0.9], table1_bins)
+        assert not problem.is_homogeneous
+        with pytest.raises(InvalidProblemError):
+            _ = problem.homogeneous_threshold
+
+    def test_all_zero_confidence_bins_rejected(self):
+        bins = TaskBinSet([TaskBin(1, 0.0, 0.1)])
+        with pytest.raises(InvalidProblemError):
+            SladeProblem.homogeneous(1, 0.5, bins)
+
+    def test_describe_mentions_counts(self, example4_problem):
+        text = example4_problem.describe()
+        assert "n=4" in text
+        assert "m=3" in text
+
+
+class TestRelaxedVariantDetection:
+    def test_table1_with_low_threshold_is_relaxed(self, table1_bins):
+        problem = SladeProblem.homogeneous(5, 0.75, table1_bins)
+        assert problem.is_relaxed_variant()
+
+    def test_table1_with_high_threshold_is_not_relaxed(self, table1_bins):
+        problem = SladeProblem.homogeneous(5, 0.95, table1_bins)
+        assert not problem.is_relaxed_variant()
+
+    def test_heterogeneous_uses_max_threshold(self, table1_bins):
+        problem = SladeProblem.heterogeneous([0.5, 0.85], table1_bins)
+        assert not problem.is_relaxed_variant()
+        problem = SladeProblem.heterogeneous([0.5, 0.75], table1_bins)
+        assert problem.is_relaxed_variant()
+
+
+class TestDerivedViews:
+    def test_atomic_tasks_order(self, example4_problem):
+        assert [t.task_id for t in example4_problem.atomic_tasks] == [0, 1, 2, 3]
+
+    def test_restricted_to_bins(self, example4_problem):
+        restricted = example4_problem.restricted_to_bins(2)
+        assert restricted.m == 2
+        assert restricted.n == example4_problem.n
+
+    def test_restriction_keeps_task_object(self, example4_problem):
+        restricted = example4_problem.restricted_to_bins(1)
+        assert restricted.task is example4_problem.task

@@ -1,0 +1,86 @@
+"""Tests for reliability computations (Definition 2 / Equation 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bins import TaskBin
+from repro.core.reliability import (
+    aggregate_reliability,
+    assignments_needed,
+    reliability_of_assignment,
+    required_residual,
+    residual_shortfall,
+)
+
+
+class TestAggregateReliability:
+    def test_empty_assignment_has_zero_reliability(self):
+        assert aggregate_reliability([]) == 0.0
+
+    def test_single_bin_equals_its_confidence(self):
+        assert aggregate_reliability([0.85]) == pytest.approx(0.85)
+
+    def test_paper_example_4_two_b2_bins(self):
+        # Two 2-cardinality bins of confidence 0.85: 1 - 0.15^2 = 0.9775.
+        assert aggregate_reliability([0.85, 0.85]) == pytest.approx(0.9775)
+
+    def test_paper_example_7_two_b3_bins_exceed_095(self):
+        assert aggregate_reliability([0.8, 0.8]) > 0.95
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.99), max_size=10))
+    def test_matches_direct_product_formula(self, confidences):
+        expected = 1.0
+        for confidence in confidences:
+            expected *= 1.0 - confidence
+        expected = 1.0 - expected
+        assert aggregate_reliability(confidences) == pytest.approx(expected, abs=1e-9)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.99), min_size=1, max_size=10))
+    def test_monotone_in_extra_assignments(self, confidences):
+        base = aggregate_reliability(confidences[:-1])
+        extended = aggregate_reliability(confidences)
+        assert extended >= base - 1e-12
+
+
+class TestReliabilityOfAssignment:
+    def test_uses_bin_confidences(self, table1_bins):
+        bins = [table1_bins[3], table1_bins[3]]
+        assert reliability_of_assignment(bins) == pytest.approx(0.96)
+
+
+class TestAssignmentsNeeded:
+    def test_zero_threshold_needs_nothing(self):
+        assert assignments_needed(0.9, 0.0) == 0
+
+    def test_paper_running_example(self):
+        # t = 0.95 with the 0.8-confidence bin needs two assignments.
+        assert assignments_needed(0.8, 0.95) == 2
+
+    def test_single_strong_bin_suffices(self):
+        assert assignments_needed(0.99, 0.95) == 1
+
+    def test_zero_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            assignments_needed(0.0, 0.9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.99),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    def test_returned_count_is_minimal(self, confidence, threshold):
+        count = assignments_needed(confidence, threshold)
+        assert aggregate_reliability([confidence] * count) >= threshold - 1e-9
+        if count > 0:
+            assert aggregate_reliability([confidence] * (count - 1)) < threshold + 1e-9
+
+
+class TestResidualShortfall:
+    def test_no_assignments_equals_full_demand(self):
+        assert residual_shortfall([], 0.9) == pytest.approx(required_residual(0.9))
+
+    def test_satisfied_assignment_has_zero_shortfall(self):
+        assert residual_shortfall([0.99, 0.99], 0.9) == 0.0
+
+    def test_partial_assignment(self):
+        shortfall = residual_shortfall([0.5], 0.9)
+        assert 0.0 < shortfall < required_residual(0.9)

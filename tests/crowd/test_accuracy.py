@@ -1,0 +1,52 @@
+"""Tests for the cognitive-load accuracy model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crowd.accuracy import CognitiveLoadAccuracyModel
+
+
+class TestCognitiveLoadAccuracyModel:
+    def test_single_question_accuracy_equals_skill(self):
+        model = CognitiveLoadAccuracyModel()
+        assert model.accuracy(0.92, 1) == pytest.approx(0.92)
+
+    def test_accuracy_decreases_with_cardinality(self):
+        model = CognitiveLoadAccuracyModel()
+        values = [model.accuracy(0.95, l) for l in range(1, 31)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_accuracy_never_below_floor(self):
+        model = CognitiveLoadAccuracyModel(floor_accuracy=0.75)
+        assert model.accuracy(0.95, 500) >= 0.75
+
+    def test_skill_below_floor_is_not_raised(self):
+        # A weak worker stays at their own skill level; batching never helps.
+        model = CognitiveLoadAccuracyModel(floor_accuracy=0.8)
+        assert model.accuracy(0.7, 10) == pytest.approx(0.7)
+
+    def test_difficulty_scale_accelerates_decay(self):
+        easy = CognitiveLoadAccuracyModel(difficulty_scale=0.7)
+        hard = CognitiveLoadAccuracyModel(difficulty_scale=1.4)
+        assert hard.accuracy(0.95, 15) < easy.accuracy(0.95, 15)
+
+    def test_invalid_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            CognitiveLoadAccuracyModel().accuracy(0.9, 0)
+
+    def test_floor_below_half_rejected(self):
+        with pytest.raises(ValueError):
+            CognitiveLoadAccuracyModel(floor_accuracy=0.4)
+
+    def test_expected_confidence_matches_accuracy(self):
+        model = CognitiveLoadAccuracyModel()
+        assert model.expected_confidence(0.9, 5) == model.accuracy(0.9, 5)
+
+    @given(
+        st.floats(min_value=0.5, max_value=0.99),
+        st.integers(min_value=1, max_value=60),
+    )
+    def test_accuracy_is_a_probability(self, skill, cardinality):
+        model = CognitiveLoadAccuracyModel()
+        value = model.accuracy(skill, cardinality)
+        assert 0.5 <= value <= 1.0

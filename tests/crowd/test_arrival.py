@@ -1,0 +1,56 @@
+"""Tests for the reward-sensitive worker arrival model."""
+
+import pytest
+
+from repro.crowd.arrival import RewardSensitiveArrivalModel
+
+
+class TestRewardSensitiveArrivalModel:
+    def test_rate_grows_with_reward(self):
+        model = RewardSensitiveArrivalModel()
+        assert model.arrival_rate(0.10) > model.arrival_rate(0.05)
+
+    def test_rate_at_reference_cost(self):
+        model = RewardSensitiveArrivalModel(base_rate_per_minute=0.4, reference_cost=0.05)
+        assert model.arrival_rate(0.05) == pytest.approx(0.4)
+
+    def test_minutes_per_bin_scales_with_cardinality(self):
+        model = RewardSensitiveArrivalModel(minutes_per_question=0.5)
+        assert model.minutes_per_bin(10) == pytest.approx(5.0)
+
+    def test_completion_time_decreases_with_reward(self):
+        model = RewardSensitiveArrivalModel()
+        cheap = model.expected_completion_minutes(0.05, 10, assignments=10)
+        pricey = model.expected_completion_minutes(0.20, 10, assignments=10)
+        assert pricey < cheap
+
+    def test_completion_time_increases_with_assignments(self):
+        model = RewardSensitiveArrivalModel()
+        one = model.expected_completion_minutes(0.1, 5, assignments=1)
+        ten = model.expected_completion_minutes(0.1, 5, assignments=10)
+        assert ten > one
+
+    def test_jelly_like_in_time_pattern(self):
+        # With the Jelly preset parameters, $0.05 supports only small bins
+        # within 40 minutes while $0.10 supports cardinality 30 (Figure 3a).
+        model = RewardSensitiveArrivalModel(
+            base_rate_per_minute=0.39,
+            reference_cost=0.05,
+            elasticity=1.4,
+            minutes_per_question=1.0,
+        )
+        assert model.completes_in_time(0.05, 14, 10, 40.0)
+        assert not model.completes_in_time(0.05, 22, 10, 40.0)
+        assert model.completes_in_time(0.10, 30, 10, 40.0)
+
+    def test_invalid_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            RewardSensitiveArrivalModel().minutes_per_bin(0)
+
+    def test_invalid_assignments_rejected(self):
+        with pytest.raises(ValueError):
+            RewardSensitiveArrivalModel().expected_completion_minutes(0.1, 5, assignments=0)
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(ValueError):
+            RewardSensitiveArrivalModel().arrival_rate(0.0)

@@ -1,0 +1,81 @@
+"""Tests for probe-based calibration."""
+
+import pytest
+
+from repro.core.errors import CalibrationError
+from repro.crowd.calibration import CalibrationResult, ProbeCalibrator, ProbeMeasurement
+from repro.crowd.presets import jelly_platform
+
+
+@pytest.fixture(scope="module")
+def calibration() -> CalibrationResult:
+    platform = jelly_platform(seed=11)
+    calibrator = ProbeCalibrator(
+        platform,
+        candidate_costs=(0.05, 0.08, 0.10),
+        assignments_per_probe=10,
+        probes_per_cardinality=2,
+        seed=11,
+    )
+    return calibrator.calibrate([1, 2, 4, 8, 12])
+
+
+class TestProbeCalibrator:
+    def test_measurements_cover_every_pair(self, calibration):
+        assert set(calibration.measurements) == {
+            (l, c) for l in (1, 2, 4, 8, 12) for c in (0.05, 0.08, 0.10)
+        }
+
+    def test_selected_picks_cheapest_usable(self, calibration):
+        for cardinality, measurement in calibration.selected.items():
+            cheaper = [
+                calibration.measurements[(cardinality, cost)]
+                for cost in (0.05, 0.08, 0.10)
+                if cost < measurement.cost
+            ]
+            assert all(not m.usable for m in cheaper)
+
+    def test_confidence_estimates_are_probabilities(self, calibration):
+        for measurement in calibration.measurements.values():
+            if measurement.confidence is not None:
+                assert 0.0 <= measurement.confidence <= 1.0
+
+    def test_small_bins_have_high_confidence(self, calibration):
+        small = calibration.selected[1].confidence
+        assert small > 0.9
+
+    def test_probe_spend_positive(self, calibration):
+        assert calibration.probe_spend > 0.0
+
+    def test_bin_set_built_from_selection(self, calibration):
+        bins = calibration.bin_set(name="jelly-probe")
+        assert set(bins.cardinalities) == set(calibration.selected)
+        for task_bin in bins:
+            assert 0.0 < task_bin.confidence < 1.0
+
+    def test_confidence_series_returns_one_price(self, calibration):
+        series = calibration.confidence_series(0.10)
+        assert set(series).issubset({1, 2, 4, 8, 12})
+
+
+class TestCalibrationValidation:
+    def test_empty_costs_rejected(self):
+        with pytest.raises(CalibrationError):
+            ProbeCalibrator(jelly_platform(seed=0), candidate_costs=())
+
+    def test_empty_cardinalities_rejected(self):
+        calibrator = ProbeCalibrator(jelly_platform(seed=0), candidate_costs=(0.1,))
+        with pytest.raises(CalibrationError):
+            calibrator.calibrate([])
+
+    def test_empty_selection_bin_set_rejected(self):
+        result = CalibrationResult(measurements={}, selected={}, probe_spend=0.0)
+        with pytest.raises(CalibrationError):
+            result.bin_set()
+
+    def test_unusable_measurement_flag(self):
+        measurement = ProbeMeasurement(
+            cardinality=5, cost=0.05, confidence=None, in_time_fraction=0.0,
+            answers_collected=0,
+        )
+        assert not measurement.usable

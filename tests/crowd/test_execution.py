@@ -1,0 +1,55 @@
+"""Tests for end-to-end plan execution on the simulated platform."""
+
+import pytest
+
+from repro.algorithms.opq import OPQSolver
+from repro.core.problem import SladeProblem
+from repro.crowd.execution import PlanExecutor
+from repro.crowd.presets import jelly_platform
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.workloads import make_workload
+
+
+class TestPlanExecutor:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        """Solve and execute a small Jelly workload once for the class."""
+        bins = jelly_bin_set(8)
+        task = make_workload(n=120, threshold=0.9, positive_rate=0.5, seed=3)
+        problem = SladeProblem(task, bins, name="execution-test")
+        plan = OPQSolver().solve(problem).plan
+        platform = jelly_platform(seed=3)
+        report = PlanExecutor(platform).execute(plan, task)
+        return plan, report
+
+    def test_realised_spend_close_to_planned_cost(self, executed):
+        plan, report = executed
+        assert report.planned_cost == pytest.approx(plan.total_cost)
+        # Workers that miss the deadline are unpaid, so realised <= planned;
+        # with single-assignment postings almost everything completes in time.
+        assert report.realised_spend <= report.planned_cost + 1e-9
+        assert report.realised_spend >= 0.5 * report.planned_cost
+
+    def test_postings_match_plan_length(self, executed):
+        plan, report = executed
+        assert report.postings == len(plan)
+
+    def test_detection_rate_close_to_planned_reliability(self, executed):
+        _plan, report = executed
+        # The plan targets 0.9 reliability; the empirical detection rate over
+        # 60 positives should be in the same ballpark (binomial noise allowed).
+        assert report.detection_rate >= 0.80
+        assert report.false_negative_rate <= 0.20
+
+    def test_every_task_received_a_decision(self, executed):
+        _plan, report = executed
+        assert len(report.decisions) == 120
+
+    def test_summary_contains_headline_numbers(self, executed):
+        _plan, report = executed
+        summary = report.summary()
+        assert {"planned_cost", "realised_spend", "detection_rate"} <= set(summary)
+
+    def test_mean_planned_reliability_at_least_threshold(self, executed):
+        _plan, report = executed
+        assert report.mean_planned_reliability >= 0.9 - 1e-9

@@ -1,0 +1,111 @@
+"""Tests for the quality-drift monitor."""
+
+import pytest
+
+from repro.core.bins import TaskBinSet
+from repro.core.errors import SimulationError
+from repro.crowd.monitoring import QualityMonitor
+
+
+@pytest.fixture
+def bins() -> TaskBinSet:
+    return TaskBinSet.from_triples(
+        [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)], name="monitored"
+    )
+
+
+def _feed(monitor: QualityMonitor, cardinality: int, accuracy: float, count: int) -> None:
+    """Feed ``count`` observations with an exact fraction of correct answers."""
+    correct = int(round(accuracy * count))
+    monitor.record_many((cardinality, True) for _ in range(correct))
+    monitor.record_many((cardinality, False) for _ in range(count - correct))
+
+
+class TestRecording:
+    def test_unknown_cardinality_rejected(self, bins):
+        monitor = QualityMonitor(bins)
+        with pytest.raises(SimulationError):
+            monitor.record(9, True)
+
+    def test_accuracy_requires_min_observations(self, bins):
+        monitor = QualityMonitor(bins, min_observations=10)
+        _feed(monitor, 1, 1.0, 5)
+        assert monitor.observed_accuracy(1) is None
+        _feed(monitor, 1, 1.0, 5)
+        assert monitor.observed_accuracy(1) == pytest.approx(1.0)
+
+    def test_window_forgets_old_answers(self, bins):
+        monitor = QualityMonitor(bins, window=20, min_observations=10)
+        _feed(monitor, 2, 0.0, 20)   # ancient, terrible accuracy
+        _feed(monitor, 2, 1.0, 20)   # recent, perfect accuracy
+        assert monitor.observed_accuracy(2) == pytest.approx(1.0)
+
+    def test_invalid_configuration_rejected(self, bins):
+        with pytest.raises(SimulationError):
+            QualityMonitor(bins, window=0)
+        with pytest.raises(SimulationError):
+            QualityMonitor(bins, min_observations=50, window=10)
+        with pytest.raises(SimulationError):
+            QualityMonitor(bins, tolerance=0.0)
+
+
+class TestDriftDetection:
+    def test_no_drift_when_accuracy_matches_assumption(self, bins):
+        monitor = QualityMonitor(bins, min_observations=20, tolerance=0.05)
+        _feed(monitor, 1, 0.9, 100)
+        report = monitor.report(1)
+        assert not report.drifted
+        assert report.shortfall == pytest.approx(0.0, abs=0.02)
+        assert not monitor.needs_recalibration
+
+    def test_drift_flagged_when_accuracy_collapses(self, bins):
+        monitor = QualityMonitor(bins, min_observations=20, tolerance=0.05)
+        _feed(monitor, 2, 0.6, 100)  # assumed 0.85
+        assert monitor.report(2).drifted
+        assert monitor.drifted_cardinalities() == [2]
+        assert monitor.needs_recalibration
+
+    def test_small_shortfall_within_tolerance_not_flagged(self, bins):
+        monitor = QualityMonitor(bins, min_observations=20, tolerance=0.10)
+        _feed(monitor, 3, 0.75, 100)  # assumed 0.80, shortfall 0.05 < 0.10
+        assert not monitor.report(3).drifted
+
+    def test_insufficient_data_never_flags(self, bins):
+        monitor = QualityMonitor(bins, min_observations=50, tolerance=0.05)
+        _feed(monitor, 1, 0.1, 10)
+        assert not monitor.report(1).drifted
+
+    def test_reports_cover_every_cardinality(self, bins):
+        monitor = QualityMonitor(bins)
+        assert [r.cardinality for r in monitor.reports()] == [1, 2, 3]
+
+
+class TestCorrectedMenu:
+    def test_corrected_menu_uses_observed_accuracy(self, bins):
+        monitor = QualityMonitor(bins, min_observations=20)
+        _feed(monitor, 2, 0.7, 100)
+        corrected = monitor.corrected_bin_set()
+        assert corrected[2].confidence == pytest.approx(0.7)
+        # Unobserved cardinalities keep their assumed confidence and cost.
+        assert corrected[1].confidence == pytest.approx(0.9)
+        assert corrected[3].cost == pytest.approx(0.24)
+
+    def test_corrected_menu_feeds_back_into_a_solver(self, bins):
+        from repro.algorithms.opq import OPQSolver
+        from repro.core.problem import SladeProblem
+
+        monitor = QualityMonitor(bins, min_observations=20)
+        _feed(monitor, 3, 0.6, 100)
+        corrected = monitor.corrected_bin_set()
+        problem = SladeProblem.homogeneous(30, 0.95, corrected)
+        result = OPQSolver().solve(problem)
+        assert result.feasible
+        # The degraded 3-bin makes plans more expensive than on the stale menu.
+        stale = OPQSolver().solve(SladeProblem.homogeneous(30, 0.95, bins))
+        assert result.total_cost >= stale.total_cost - 1e-9
+
+    def test_perfect_accuracy_is_clamped_below_one(self, bins):
+        monitor = QualityMonitor(bins, min_observations=10)
+        _feed(monitor, 1, 1.0, 50)
+        corrected = monitor.corrected_bin_set()
+        assert corrected[1].confidence < 1.0

@@ -1,0 +1,99 @@
+"""Tests for the simulated crowdsourcing platform."""
+
+import pytest
+
+from repro.core.bins import TaskBin
+from repro.core.errors import SimulationError
+from repro.crowd.arrival import RewardSensitiveArrivalModel
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.worker import WorkerPool
+
+
+@pytest.fixture
+def platform() -> CrowdPlatform:
+    return CrowdPlatform(
+        worker_pool=WorkerPool(size=50, mean_skill=0.9, seed=0),
+        response_time_minutes=40.0,
+        seed=0,
+    )
+
+
+class TestPosting:
+    def test_posting_collects_requested_assignments(self, platform):
+        posting = platform.post_bin(TaskBin(2, 0.9, 0.1), {0: True, 1: False}, assignments=5)
+        assert len(posting.responses) == 5
+
+    def test_each_response_answers_every_task(self, platform):
+        posting = platform.post_bin(TaskBin(3, 0.9, 0.1), {0: True, 1: False, 2: True})
+        for response in posting.responses:
+            assert set(response.answers) == {0, 1, 2}
+
+    def test_cost_charged_per_in_time_response(self, platform):
+        posting = platform.post_bin(TaskBin(1, 0.9, 0.25), {0: True}, assignments=4)
+        assert posting.cost == pytest.approx(0.25 * len(posting.in_time_responses))
+
+    def test_overfull_posting_rejected(self, platform):
+        with pytest.raises(SimulationError):
+            platform.post_bin(TaskBin(1, 0.9, 0.1), {0: True, 1: False})
+
+    def test_empty_posting_rejected(self, platform):
+        with pytest.raises(SimulationError):
+            platform.post_bin(TaskBin(1, 0.9, 0.1), {})
+
+    def test_zero_assignments_rejected(self, platform):
+        with pytest.raises(SimulationError):
+            platform.post_bin(TaskBin(1, 0.9, 0.1), {0: True}, assignments=0)
+
+
+class TestAccounting:
+    def test_total_spend_accumulates(self, platform):
+        platform.post_bin(TaskBin(1, 0.9, 0.1), {0: True})
+        platform.post_bin(TaskBin(1, 0.9, 0.1), {1: True})
+        assert platform.total_postings == 2
+        assert platform.total_spend > 0.0
+
+    def test_reset_clears_postings(self, platform):
+        platform.post_bin(TaskBin(1, 0.9, 0.1), {0: True})
+        platform.reset()
+        assert platform.total_postings == 0
+        assert platform.total_spend == 0.0
+
+    def test_all_responses_flattens_postings(self, platform):
+        platform.post_bin(TaskBin(1, 0.9, 0.1), {0: True}, assignments=2)
+        platform.post_bin(TaskBin(1, 0.9, 0.1), {1: True}, assignments=3)
+        assert len(platform.all_responses()) == 5
+
+
+class TestTimeoutBehaviour:
+    def test_low_reward_large_bins_time_out(self):
+        # A very low reward draws almost no workers; most of the 10 requested
+        # assignments exceed the 40-minute threshold for large bins.
+        platform = CrowdPlatform(
+            worker_pool=WorkerPool(size=50, seed=1),
+            arrival_model=RewardSensitiveArrivalModel(
+                base_rate_per_minute=0.39, reference_cost=0.05,
+                elasticity=1.4, minutes_per_question=1.0,
+            ),
+            response_time_minutes=40.0,
+            seed=1,
+        )
+        truths = {i: True for i in range(25)}
+        posting = platform.post_bin(TaskBin(25, 0.8, 0.02), truths, assignments=10)
+        assert len(posting.in_time_responses) < 10
+
+    def test_generous_reward_finishes_in_time(self):
+        platform = CrowdPlatform(
+            worker_pool=WorkerPool(size=50, seed=2),
+            arrival_model=RewardSensitiveArrivalModel(
+                base_rate_per_minute=0.39, reference_cost=0.05,
+                elasticity=1.4, minutes_per_question=1.0,
+            ),
+            response_time_minutes=40.0,
+            seed=2,
+        )
+        posting = platform.post_bin(TaskBin(2, 0.9, 0.5), {0: True, 1: False}, assignments=10)
+        assert len(posting.in_time_responses) == 10
+
+    def test_invalid_response_time_rejected(self):
+        with pytest.raises(SimulationError):
+            CrowdPlatform(response_time_minutes=0.0)

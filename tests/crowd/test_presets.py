@@ -1,0 +1,38 @@
+"""Tests for the Jelly/SMIC platform presets."""
+
+import pytest
+
+from repro.crowd.presets import jelly_platform, smic_platform
+
+
+class TestJellyPlatform:
+    def test_response_time_threshold(self):
+        assert jelly_platform(seed=0).response_time_minutes == 40.0
+
+    def test_workers_are_skilled(self):
+        platform = jelly_platform(seed=0)
+        assert platform.worker_pool.mean_skill > 0.95
+
+    def test_difficulty_changes_accuracy_decay(self):
+        easy = jelly_platform(difficulty=1, seed=0).accuracy_model
+        hard = jelly_platform(difficulty=3, seed=0).accuracy_model
+        assert hard.difficulty_scale > easy.difficulty_scale
+
+    def test_invalid_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            jelly_platform(difficulty=4)
+
+    def test_deterministic_given_seed(self):
+        a = jelly_platform(seed=5).worker_pool.mean_skill
+        b = jelly_platform(seed=5).worker_pool.mean_skill
+        assert a == pytest.approx(b)
+
+
+class TestSmicPlatform:
+    def test_response_time_threshold(self):
+        assert smic_platform(seed=0).response_time_minutes == 30.0
+
+    def test_smic_workers_less_accurate_than_jelly(self):
+        smic = smic_platform(seed=0).worker_pool.mean_skill
+        jelly = jelly_platform(seed=0).worker_pool.mean_skill
+        assert smic < jelly

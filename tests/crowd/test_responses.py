@@ -1,0 +1,107 @@
+"""Tests for worker answers and answer aggregation."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.crowd.responses import AnswerAggregator, BinResponse, WorkerAnswer
+
+
+def _response(posting_id, answers, in_time=True, worker_id=0):
+    return BinResponse(
+        posting_id=posting_id,
+        worker_id=worker_id,
+        cardinality=len(answers),
+        answers=answers,
+        completed_at_minutes=5.0,
+        in_time=in_time,
+    )
+
+
+class TestBinResponse:
+    def test_iter_answers_yields_worker_answers(self):
+        response = _response(0, {1: True, 2: False}, worker_id=9)
+        answers = list(response.iter_answers())
+        assert WorkerAnswer(1, 9, True) in answers
+        assert WorkerAnswer(2, 9, False) in answers
+
+
+class TestAnswerAggregatorAnyYes:
+    def test_any_yes_decision(self):
+        aggregator = AnswerAggregator("any-yes")
+        responses = [_response(0, {1: False}), _response(1, {1: True})]
+        assert aggregator.decisions(responses) == {1: True}
+
+    def test_all_no_decision(self):
+        aggregator = AnswerAggregator("any-yes")
+        responses = [_response(0, {1: False}), _response(1, {1: False})]
+        assert aggregator.decisions(responses) == {1: False}
+
+    def test_overtime_responses_ignored(self):
+        aggregator = AnswerAggregator("any-yes")
+        responses = [_response(0, {1: True}, in_time=False)]
+        assert aggregator.decisions(responses) == {}
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(SimulationError):
+            AnswerAggregator("unanimous")
+
+
+class TestAnswerAggregatorMajority:
+    def test_majority_requires_strict_majority(self):
+        aggregator = AnswerAggregator("majority")
+        responses = [
+            _response(0, {1: True}),
+            _response(1, {1: False}),
+            _response(2, {1: False}),
+        ]
+        assert aggregator.decisions(responses) == {1: False}
+
+    def test_majority_positive(self):
+        aggregator = AnswerAggregator("majority")
+        responses = [
+            _response(0, {1: True}),
+            _response(1, {1: True}),
+            _response(2, {1: False}),
+        ]
+        assert aggregator.decisions(responses) == {1: True}
+
+
+class TestEmpiricalReliability:
+    def test_detected_positive_counts_as_reliable(self):
+        aggregator = AnswerAggregator()
+        responses = [_response(0, {1: True})]
+        reliability = aggregator.empirical_reliability(responses, {1: True})
+        assert reliability[1] == 1.0
+
+    def test_missed_positive_counts_as_unreliable(self):
+        aggregator = AnswerAggregator()
+        responses = [_response(0, {1: False})]
+        reliability = aggregator.empirical_reliability(responses, {1: True})
+        assert reliability[1] == 0.0
+
+    def test_negative_with_answers_is_reliable(self):
+        aggregator = AnswerAggregator()
+        responses = [_response(0, {1: True})]  # false positive is fine
+        reliability = aggregator.empirical_reliability(responses, {1: False})
+        assert reliability[1] == 1.0
+
+    def test_unanswered_task_is_unreliable(self):
+        aggregator = AnswerAggregator()
+        reliability = aggregator.empirical_reliability([], {1: True, 2: False})
+        assert reliability == {1: 0.0, 2: 0.0}
+
+
+class TestFalseNegativeRate:
+    def test_no_positives_gives_zero(self):
+        aggregator = AnswerAggregator()
+        assert aggregator.false_negative_rate([], {1: False}) == 0.0
+
+    def test_all_positives_missed(self):
+        aggregator = AnswerAggregator()
+        responses = [_response(0, {1: False}), _response(1, {2: False})]
+        assert aggregator.false_negative_rate(responses, {1: True, 2: True}) == 1.0
+
+    def test_half_positives_missed(self):
+        aggregator = AnswerAggregator()
+        responses = [_response(0, {1: True}), _response(1, {2: False})]
+        assert aggregator.false_negative_rate(responses, {1: True, 2: True}) == 0.5

@@ -1,0 +1,74 @@
+"""Tests for simulated workers and worker pools."""
+
+import pytest
+
+from repro.core.bins import TaskBin
+from repro.crowd.accuracy import CognitiveLoadAccuracyModel
+from repro.crowd.worker import SimulatedWorker, WorkerPool
+from repro.utils.rng import ensure_rng
+
+
+class TestSimulatedWorker:
+    def test_perfectly_skilled_worker_on_tiny_bin_is_mostly_correct(self):
+        worker = SimulatedWorker(0, 0.99, ensure_rng(1))
+        model = CognitiveLoadAccuracyModel()
+        truths = {i: (i % 2 == 0) for i in range(4)}
+        correct = 0
+        trials = 200
+        for _ in range(trials):
+            answers = worker.answer_bin(TaskBin(4, 0.9, 0.1), truths, model)
+            correct += sum(answers[i] == truths[i] for i in truths)
+        assert correct / (trials * len(truths)) > 0.9
+
+    def test_answers_cover_every_task(self):
+        worker = SimulatedWorker(0, 0.9, ensure_rng(0))
+        truths = {7: True, 9: False, 11: True}
+        answers = worker.answer_bin(TaskBin(3, 0.8, 0.1), truths, CognitiveLoadAccuracyModel())
+        assert set(answers) == {7, 9, 11}
+
+    def test_accuracy_drops_for_large_bins(self):
+        worker = SimulatedWorker(0, 0.95, ensure_rng(3))
+        model = CognitiveLoadAccuracyModel(floor_accuracy=0.6, decay=0.2)
+        truths_small = {i: True for i in range(2)}
+        truths_large = {i: True for i in range(30)}
+        trials = 300
+
+        def rate(truths, cardinality):
+            correct = 0
+            for _ in range(trials):
+                answers = worker.answer_bin(TaskBin(cardinality, 0.5, 0.1), truths, model)
+                correct += sum(answers[i] == truths[i] for i in truths)
+            return correct / (trials * len(truths))
+
+        assert rate(truths_large, 30) < rate(truths_small, 2)
+
+    def test_invalid_skill_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedWorker(0, 1.5, ensure_rng(0))
+
+
+class TestWorkerPool:
+    def test_pool_size(self):
+        assert len(WorkerPool(size=25, seed=0)) == 25
+
+    def test_mean_skill_close_to_requested(self):
+        pool = WorkerPool(size=500, mean_skill=0.9, skill_std=0.03, seed=0)
+        assert pool.mean_skill == pytest.approx(0.9, abs=0.02)
+
+    def test_skills_are_clipped_to_valid_range(self):
+        pool = WorkerPool(size=200, mean_skill=0.99, skill_std=0.2, seed=1)
+        assert all(0.5 <= worker.skill <= 0.995 for worker in pool)
+
+    def test_sample_worker_returns_pool_member(self):
+        pool = WorkerPool(size=10, seed=2)
+        workers = set(id(w) for w in pool.workers)
+        assert id(pool.sample_worker()) in workers
+
+    def test_deterministic_for_seed(self):
+        first = [w.skill for w in WorkerPool(size=10, seed=5)]
+        second = [w.skill for w in WorkerPool(size=10, seed=5)]
+        assert first == second
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(size=0)

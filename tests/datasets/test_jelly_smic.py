@@ -1,0 +1,85 @@
+"""Tests for the Jelly and SMIC dataset presets."""
+
+import pytest
+
+from repro.core.errors import InvalidBinError
+from repro.datasets.jelly import jelly_bin_set, jelly_profile
+from repro.datasets.smic import smic_bin_set, smic_profile
+
+
+class TestJellyProfile:
+    def test_paper_anchor_points(self):
+        # Figure 3a: confidence about 0.981 at cardinality 2 and about 0.783
+        # at cardinality 30 (we allow a small tolerance around the anchors).
+        profile = jelly_profile(difficulty=2)
+        curve = profile.confidence_curve
+        assert curve.confidence(2) == pytest.approx(0.981, abs=0.015)
+        assert curve.confidence(30) == pytest.approx(0.783, abs=0.02)
+
+    def test_in_time_limits_ordered_by_price(self):
+        profile = jelly_profile()
+        limits = [
+            profile.profiles[cost].max_in_time_cardinality
+            for cost in sorted(profile.profiles)
+        ]
+        assert limits == sorted(limits)
+        assert limits[0] == 14 and limits[-1] == 30
+
+    def test_difficulty_monotone_in_confidence(self):
+        easy = jelly_profile(1).confidence_curve.confidence(15)
+        default = jelly_profile(2).confidence_curve.confidence(15)
+        hard = jelly_profile(3).confidence_curve.confidence(15)
+        assert easy > default > hard
+
+    def test_invalid_difficulty_rejected(self):
+        with pytest.raises(InvalidBinError):
+            jelly_profile(difficulty=5)
+
+
+class TestJellyBinSet:
+    def test_default_menu_has_twenty_bins(self):
+        bins = jelly_bin_set()
+        assert len(bins) == 20
+        assert bins.max_cardinality == 20
+
+    def test_confidence_decreases_with_cardinality(self):
+        bins = jelly_bin_set(20)
+        confidences = [b.confidence for b in bins]
+        assert all(a >= b for a, b in zip(confidences, confidences[1:]))
+
+    def test_per_bin_cost_non_decreasing(self):
+        bins = jelly_bin_set(20)
+        costs = [b.cost for b in bins]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_largest_bin_has_lowest_per_task_cost(self):
+        bins = jelly_bin_set(20)
+        per_task = [b.cost_per_task for b in bins]
+        assert min(per_task) == per_task[-1]
+
+    def test_difficulty_parameter_changes_confidence(self):
+        default = jelly_bin_set(10, difficulty=2)[10].confidence
+        hard = jelly_bin_set(10, difficulty=3)[10].confidence
+        assert hard < default
+
+
+class TestSmicDataset:
+    def test_smic_is_harder_than_jelly(self):
+        jelly = jelly_bin_set(20)
+        smic = smic_bin_set(20)
+        for cardinality in (1, 10, 20):
+            assert smic[cardinality].confidence < jelly[cardinality].confidence
+
+    def test_smic_anchor_points(self):
+        curve = smic_profile().confidence_curve
+        assert curve.confidence(2) == pytest.approx(0.85, abs=0.02)
+        assert 0.55 <= curve.confidence(30) <= 0.65
+
+    def test_smic_menu_shape(self):
+        bins = smic_bin_set(20)
+        assert len(bins) == 20
+        confidences = [b.confidence for b in bins]
+        assert all(a >= b for a, b in zip(confidences, confidences[1:]))
+
+    def test_smic_response_time(self):
+        assert smic_profile().response_time_minutes == 30.0

@@ -1,0 +1,134 @@
+"""Tests for bin profiles, market cost curves and dataset profiles."""
+
+import pytest
+
+from repro.core.errors import InvalidBinError
+from repro.datasets.profiles import BinProfile, DatasetProfile, MarketCostCurve
+
+
+@pytest.fixture
+def profile() -> BinProfile:
+    return BinProfile(
+        cost_per_bin=0.10,
+        base_confidence=0.98,
+        floor_confidence=0.78,
+        decay=0.072,
+        max_in_time_cardinality=30,
+    )
+
+
+@pytest.fixture
+def cost_curve() -> MarketCostCurve:
+    return MarketCostCurve(
+        base_rate_per_minute=0.39,
+        reference_cost=0.05,
+        elasticity=1.4,
+        minutes_per_question=1.0,
+        assignments=10,
+        response_time_minutes=40.0,
+    )
+
+
+class TestBinProfile:
+    def test_confidence_anchored_at_cardinality_one(self, profile):
+        assert profile.confidence(1) == pytest.approx(0.98)
+
+    def test_confidence_decreases_towards_floor(self, profile):
+        values = [profile.confidence(l) for l in range(1, 60)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] >= 0.78
+
+    def test_cost_per_task_decreases(self, profile):
+        assert profile.cost_per_task(10) < profile.cost_per_task(2)
+
+    def test_in_time_respects_limit(self, profile):
+        assert profile.in_time(30)
+        assert not profile.in_time(31)
+
+    def test_task_bin_materialisation(self, profile):
+        task_bin = profile.task_bin(5)
+        assert task_bin.cardinality == 5
+        assert task_bin.cost == 0.10
+        assert task_bin.confidence == pytest.approx(profile.confidence(5))
+
+    def test_invalid_cardinality_rejected(self, profile):
+        with pytest.raises(ValueError):
+            profile.confidence(0)
+
+    def test_floor_above_base_rejected(self):
+        with pytest.raises(InvalidBinError):
+            BinProfile(0.1, 0.7, 0.8, 0.05, 10)
+
+
+class TestMarketCostCurve:
+    def test_cost_increases_with_cardinality(self, cost_curve):
+        costs = [cost_curve.cost(l) for l in range(1, 31)]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_per_task_cost_decreases_overall(self, cost_curve):
+        assert cost_curve.cost(20) / 20 < cost_curve.cost(1)
+
+    def test_costs_are_whole_cents(self, cost_curve):
+        for l in range(1, 31):
+            cents = cost_curve.cost(l) * 100
+            assert cents == pytest.approx(round(cents))
+
+    def test_minimum_cost_floor(self):
+        curve = MarketCostCurve(
+            base_rate_per_minute=100.0, reference_cost=0.05, elasticity=1.0,
+            minutes_per_question=0.1, assignments=1, response_time_minutes=60.0,
+            minimum_cost=0.02,
+        )
+        assert curve.cost(1) >= 0.02
+
+    def test_infeasible_cardinality_rejected(self, cost_curve):
+        with pytest.raises(InvalidBinError):
+            cost_curve.cost(40)  # answering alone takes 40 minutes
+
+    def test_max_feasible_cardinality(self, cost_curve):
+        assert cost_curve.max_feasible_cardinality == 40
+
+
+class TestDatasetProfile:
+    def _dataset(self, profile, cost_curve):
+        return DatasetProfile(
+            name="unit",
+            profiles={0.10: profile},
+            confidence_curve=profile,
+            cost_curve=cost_curve,
+        )
+
+    def test_bin_set_sizes(self, profile, cost_curve):
+        dataset = self._dataset(profile, cost_curve)
+        bins = dataset.bin_set(12)
+        assert bins.cardinalities == list(range(1, 13))
+
+    def test_bin_set_confidence_from_curve(self, profile, cost_curve):
+        dataset = self._dataset(profile, cost_curve)
+        bins = dataset.bin_set(5)
+        assert bins[3].confidence == pytest.approx(profile.confidence(3))
+
+    def test_bin_set_cost_from_market_curve(self, profile, cost_curve):
+        dataset = self._dataset(profile, cost_curve)
+        bins = dataset.bin_set(5)
+        assert bins[5].cost == pytest.approx(cost_curve.cost(5))
+
+    def test_fallback_without_cost_curve_uses_price_levels(self, profile):
+        dataset = DatasetProfile(name="unit", profiles={0.10: profile})
+        bins = dataset.bin_set(4)
+        assert all(task_bin.cost == 0.10 for task_bin in bins)
+
+    def test_confidence_series(self, profile):
+        dataset = DatasetProfile(name="unit", profiles={0.10: profile})
+        series = dataset.confidence_series(0.10, [1, 5, 10])
+        assert series[1] > series[5] > series[10]
+
+    def test_unknown_cost_rejected(self, profile):
+        dataset = DatasetProfile(name="unit", profiles={0.10: profile})
+        with pytest.raises(KeyError):
+            dataset.profile_for_cost(0.5)
+
+    def test_invalid_max_cardinality_rejected(self, profile, cost_curve):
+        dataset = self._dataset(profile, cost_curve)
+        with pytest.raises(InvalidBinError):
+            dataset.bin_set(0)

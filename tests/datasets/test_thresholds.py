@@ -1,0 +1,81 @@
+"""Tests for reliability-threshold generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidProblemError
+from repro.datasets.thresholds import (
+    constant_thresholds,
+    heavy_tailed_thresholds,
+    normal_thresholds,
+    uniform_thresholds,
+)
+
+
+class TestConstantThresholds:
+    def test_length_and_value(self):
+        values = constant_thresholds(100, 0.92)
+        assert len(values) == 100
+        assert set(values) == {0.92}
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            constant_thresholds(10, 1.0)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            constant_thresholds(0, 0.9)
+
+
+class TestNormalThresholds:
+    def test_mean_close_to_mu(self):
+        values = normal_thresholds(5000, mu=0.9, sigma=0.03, seed=0)
+        assert np.mean(values) == pytest.approx(0.9, abs=0.005)
+
+    def test_spread_grows_with_sigma(self):
+        tight = np.std(normal_thresholds(5000, sigma=0.01, seed=1))
+        wide = np.std(normal_thresholds(5000, sigma=0.05, seed=1))
+        assert wide > tight
+
+    def test_values_respect_clip(self):
+        values = normal_thresholds(1000, mu=0.99, sigma=0.2, seed=2)
+        assert all(0.5 <= v <= 0.995 for v in values)
+
+    def test_deterministic_for_seed(self):
+        assert normal_thresholds(10, seed=3) == normal_thresholds(10, seed=3)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            normal_thresholds(10, sigma=-0.1)
+
+    def test_invalid_clip_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            normal_thresholds(10, clip=(0.9, 0.5))
+
+
+class TestUniformThresholds:
+    def test_values_in_range(self):
+        values = uniform_thresholds(1000, low=0.8, high=0.95, seed=0)
+        assert all(0.8 <= v <= 0.95 for v in values)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            uniform_thresholds(10, low=0.9, high=0.8)
+
+
+class TestHeavyTailedThresholds:
+    def test_most_mass_near_mu(self):
+        values = heavy_tailed_thresholds(5000, mu=0.9, seed=0)
+        assert np.median(values) == pytest.approx(0.92, abs=0.03)
+
+    def test_tail_produces_demanding_tasks(self):
+        values = heavy_tailed_thresholds(5000, mu=0.9, seed=1)
+        assert max(values) > 0.97
+
+    def test_values_respect_clip(self):
+        values = heavy_tailed_thresholds(1000, mu=0.9, seed=2)
+        assert all(0.5 <= v <= 0.995 for v in values)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            heavy_tailed_thresholds(10, tail_exponent=1.0)

@@ -1,0 +1,53 @@
+"""Tests for large-scale task workload generators."""
+
+import pytest
+
+from repro.core.errors import InvalidProblemError
+from repro.datasets.workloads import make_fishing_line_workload, make_workload
+
+
+class TestMakeWorkload:
+    def test_size_and_threshold(self):
+        task = make_workload(50, threshold=0.92, seed=0)
+        assert len(task) == 50
+        assert task.is_homogeneous
+        assert task[0].threshold == 0.92
+
+    def test_heterogeneous_thresholds(self):
+        task = make_workload(3, thresholds=[0.8, 0.9, 0.95], seed=0)
+        assert task.thresholds == [0.8, 0.9, 0.95]
+
+    def test_threshold_length_mismatch_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            make_workload(3, thresholds=[0.8, 0.9])
+
+    def test_ground_truth_rate(self):
+        task = make_workload(4000, positive_rate=0.25, seed=1)
+        positives = sum(1 for t in task if t.payload["truth"])
+        assert positives / len(task) == pytest.approx(0.25, abs=0.03)
+
+    def test_deterministic_for_seed(self):
+        first = [t.payload["truth"] for t in make_workload(100, seed=5)]
+        second = [t.payload["truth"] for t in make_workload(100, seed=5)]
+        assert first == second
+
+    def test_invalid_positive_rate_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            make_workload(10, positive_rate=1.5)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            make_workload(0)
+
+
+class TestFishingLineWorkload:
+    def test_defaults(self):
+        task = make_fishing_line_workload(n=200)
+        assert len(task) == 200
+        assert task[0].threshold == 0.95
+        assert task.name == "fishing-line-discovery"
+
+    def test_positives_are_rare(self):
+        task = make_fishing_line_workload(n=5000, seed=1)
+        positives = sum(1 for t in task if t.payload["truth"])
+        assert positives / len(task) < 0.05

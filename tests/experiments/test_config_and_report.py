@@ -1,0 +1,74 @@
+"""Tests for experiment configuration containers and text reporting."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, SweepResult, SweepRow
+from repro.experiments.report import format_series, format_sweep_table, summarize_winners
+
+
+def _sample_sweep() -> SweepResult:
+    result = SweepResult(name="unit", x_label="t")
+    for x, solver, cost, seconds in [
+        (0.9, "greedy", 10.0, 0.5),
+        (0.9, "opq", 8.0, 0.1),
+        (0.95, "greedy", 12.0, 0.6),
+        (0.95, "opq", 9.0, 0.1),
+    ]:
+        result.add(SweepRow(x=x, solver=solver, total_cost=cost,
+                            elapsed_seconds=seconds, feasible=True, n=100))
+    return result
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.n == 10_000
+        assert config.max_cardinality == 20
+        assert config.threshold == 0.9
+        assert config.mu == 0.9
+        assert config.sigma == 0.03
+
+    def test_scaled_changes_only_n(self):
+        config = ExperimentConfig(dataset="smic", threshold=0.95)
+        scaled = config.scaled(500)
+        assert scaled.n == 500
+        assert scaled.dataset == "smic"
+        assert scaled.threshold == 0.95
+
+
+class TestSweepResult:
+    def test_solvers_and_x_values_in_order(self):
+        result = _sample_sweep()
+        assert result.solvers == ["greedy", "opq"]
+        assert result.x_values == [0.9, 0.95]
+
+    def test_series_extraction(self):
+        result = _sample_sweep()
+        assert result.series("opq") == [(0.9, 8.0), (0.95, 9.0)]
+        assert result.series("greedy", metric="elapsed_seconds") == [(0.9, 0.5), (0.95, 0.6)]
+
+    def test_as_records_round_trip(self):
+        records = _sample_sweep().as_records()
+        assert len(records) == 4
+        assert records[0]["solver"] == "greedy"
+        assert records[0]["t"] == 0.9
+
+
+class TestReportFormatting:
+    def test_sweep_table_contains_all_solvers(self):
+        text = format_sweep_table(_sample_sweep())
+        assert "greedy" in text and "opq" in text
+        assert "0.9000" in text
+
+    def test_sweep_table_time_metric(self):
+        text = format_sweep_table(_sample_sweep(), metric="elapsed_seconds")
+        assert "elapsed_seconds" in text
+
+    def test_format_series(self):
+        text = format_series({0.05: {2: 0.98, 4: 0.95}, 0.1: {2: 0.99}})
+        assert "cost=0.05" in text
+        assert "0.9800" in text
+
+    def test_summarize_winners(self):
+        winners = summarize_winners(_sample_sweep())
+        assert winners == {0.9: "opq", 0.95: "opq"}

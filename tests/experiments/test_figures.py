@@ -1,0 +1,69 @@
+"""Tests for the figure registry (paper artefact -> runnable experiment)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, SweepResult
+from repro.experiments.figures import FIGURES, figure_ids, run_figure
+from repro.experiments.motivation import MotivationSeries
+
+TINY = ExperimentConfig(
+    n=120,
+    solver_options={"baseline": {"chunk_size": 40, "seed": 0}},
+)
+
+
+class TestFigureRegistry:
+    def test_every_paper_panel_is_registered(self):
+        expected = {
+            "fig3a", "fig3b", "fig3c",
+            "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
+            "fig6g", "fig6h", "fig6i", "fig6j", "fig6k", "fig6l",
+            "fig7a", "fig7b", "fig7c", "fig7d",
+            "fig8a", "fig8b",
+        }
+        assert expected == set(FIGURES)
+
+    def test_figure_ids_sorted(self):
+        assert figure_ids() == sorted(FIGURES)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+    def test_every_spec_has_description_and_metric(self):
+        for spec in FIGURES.values():
+            assert spec.description
+            assert spec.metric in {"total_cost", "elapsed_seconds", "confidence"}
+
+
+class TestRunFigure:
+    def test_sweep_figure_returns_sweep_result(self):
+        result = run_figure("fig6a", config=TINY, thresholds=(0.9, 0.95))
+        assert isinstance(result, SweepResult)
+        assert set(result.x_values) == {0.9, 0.95}
+
+    def test_dataset_is_forced_to_match_figure(self):
+        # fig6b is the SMIC panel even though TINY says jelly.
+        result = run_figure("fig6b", config=TINY, thresholds=(0.9,))
+        assert result.name.startswith("smic")
+
+    def test_case_insensitive_lookup(self):
+        result = run_figure("FIG6E", config=TINY, cardinalities=(2, 6))
+        assert isinstance(result, SweepResult)
+
+    def test_motivation_figure_returns_series(self):
+        result = run_figure(
+            "fig3a", cardinalities=(2, 8), probes_per_cardinality=1, seed=2
+        )
+        assert isinstance(result, MotivationSeries)
+
+    def test_difficulty_figure_returns_mapping(self):
+        result = run_figure(
+            "fig3c", difficulties=(1, 2), cardinalities=(4,), seed=2
+        )
+        assert set(result) == {1, 2}
+
+    def test_hetero_figure(self):
+        result = run_figure("fig7a", config=TINY, sigmas=(0.02,))
+        assert isinstance(result, SweepResult)
+        assert set(result.solvers) == {"greedy", "opq-extended", "baseline"}

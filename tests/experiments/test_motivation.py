@@ -1,0 +1,76 @@
+"""Tests for the Figure 3 motivation experiment harness."""
+
+import pytest
+
+from repro.experiments.motivation import (
+    MotivationSeries,
+    difficulty_series,
+    motivation_series,
+)
+
+
+@pytest.fixture(scope="module")
+def jelly_series() -> MotivationSeries:
+    # Small probe budget keeps the module fast while preserving the trends.
+    return motivation_series(
+        dataset="jelly",
+        cardinalities=(2, 6, 10, 18, 26),
+        probes_per_cardinality=2,
+        seed=5,
+    )
+
+
+class TestMotivationSeries:
+    def test_series_cover_every_price(self, jelly_series):
+        assert set(jelly_series.confidence) == {0.05, 0.08, 0.10}
+
+    def test_confidence_declines_with_cardinality(self, jelly_series):
+        # Compare the smallest and largest probed cardinality at the top price.
+        series = jelly_series.confidence[0.10]
+        assert series[26] < series[2]
+
+    def test_confidence_values_are_probabilities(self, jelly_series):
+        for curve in jelly_series.confidence.values():
+            assert all(0.0 <= value <= 1.0 for value in curve.values())
+
+    def test_cheap_bins_time_out_before_expensive_ones(self, jelly_series):
+        assert jelly_series.usable_range(0.05) <= jelly_series.usable_range(0.10)
+
+    def test_confidence_drop_is_moderate_compared_to_cost_drop(self, jelly_series):
+        # The motivating observation: confidence falls by far less than the
+        # per-task cost (which drops by the cardinality factor).
+        high, low = jelly_series.confidence_drop(0.10)
+        assert high - low < 0.35
+        assert high > low
+
+    def test_probe_spend_recorded(self, jelly_series):
+        assert jelly_series.probe_spend > 0.0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            motivation_series(dataset="other")
+
+
+class TestSmicSeries:
+    def test_smic_confidence_lower_than_jelly(self, jelly_series):
+        smic = motivation_series(
+            dataset="smic",
+            cardinalities=(2, 10),
+            probes_per_cardinality=2,
+            seed=5,
+        )
+        assert smic.confidence[0.10][2] < jelly_series.confidence[0.10][2]
+
+    def test_smic_uses_its_own_price_grid(self):
+        smic = motivation_series(
+            dataset="smic", cardinalities=(2,), probes_per_cardinality=1, seed=1
+        )
+        assert set(smic.confidence) == {0.05, 0.10, 0.20}
+
+
+class TestDifficultySeries:
+    def test_harder_difficulty_has_lower_confidence(self):
+        curves = difficulty_series(
+            difficulties=(1, 3), cardinalities=(5, 15), cost=0.10, seed=4
+        )
+        assert curves[3][15] < curves[1][15]

@@ -1,0 +1,103 @@
+"""Tests for the experiment runner and the parameter sweeps (CI-sized)."""
+
+import pytest
+
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import summarize_winners
+from repro.experiments.runner import run_solvers
+from repro.experiments.sweeps import (
+    sweep_hetero_mu,
+    sweep_hetero_scale,
+    sweep_hetero_sigma,
+    sweep_max_cardinality,
+    sweep_scale,
+    sweep_threshold,
+)
+
+#: A deliberately small configuration so the whole module runs in seconds.
+SMALL = ExperimentConfig(
+    dataset="jelly",
+    n=200,
+    solver_options={"baseline": {"chunk_size": 64, "seed": 0}},
+)
+
+
+class TestRunSolvers:
+    def test_rows_per_solver(self):
+        problem = SladeProblem.homogeneous(30, 0.9, jelly_bin_set(8))
+        rows = run_solvers(problem, ["greedy", "opq"], x=0.9)
+        assert [row.solver for row in rows] == ["greedy", "opq"]
+        assert all(row.feasible for row in rows)
+        assert all(row.n == 30 for row in rows)
+
+    def test_solver_options_forwarded(self):
+        problem = SladeProblem.homogeneous(30, 0.9, jelly_bin_set(8))
+        rows = run_solvers(
+            problem, ["baseline"], x=1,
+            solver_options={"baseline": {"chunk_size": 10, "seed": 1}},
+        )
+        assert rows[0].feasible
+
+    def test_unknown_solver_raises(self):
+        problem = SladeProblem.homogeneous(5, 0.9, jelly_bin_set(4))
+        with pytest.raises(KeyError):
+            run_solvers(problem, ["nope"], x=0)
+
+
+class TestHomogeneousSweeps:
+    def test_threshold_sweep_structure(self):
+        result = sweep_threshold(SMALL, thresholds=(0.87, 0.95))
+        assert result.x_values == [0.87, 0.95]
+        assert set(result.solvers) == {"greedy", "opq", "baseline"}
+        assert all(row.feasible for row in result.rows)
+
+    def test_cost_weakly_increases_with_threshold(self):
+        result = sweep_threshold(SMALL, thresholds=(0.87, 0.97))
+        for solver in ("greedy", "opq"):
+            series = dict(result.series(solver))
+            assert series[0.97] >= series[0.87] - 1e-9
+
+    def test_cardinality_sweep_cost_decreases(self):
+        result = sweep_max_cardinality(SMALL, cardinalities=(1, 5, 15))
+        for solver in ("greedy", "opq"):
+            series = dict(result.series(solver))
+            assert series[15] <= series[1] + 1e-9
+
+    def test_scale_sweep_cost_grows_linearly(self):
+        result = sweep_scale(SMALL, n_values=(100, 400))
+        for solver in ("greedy", "opq"):
+            series = dict(result.series(solver))
+            ratio = series[400] / series[100]
+            assert 3.0 <= ratio <= 5.0
+
+    def test_opq_not_worse_than_greedy_or_baseline(self):
+        result = sweep_threshold(SMALL, thresholds=(0.9,))
+        costs = {row.solver: row.total_cost for row in result.rows}
+        assert costs["opq"] <= costs["greedy"] + 1e-9
+        assert costs["opq"] <= costs["baseline"] + 1e-9
+
+
+class TestHeterogeneousSweeps:
+    def test_sigma_sweep_runs_all_solvers(self):
+        result = sweep_hetero_sigma(SMALL, sigmas=(0.01, 0.05))
+        assert set(result.solvers) == {"greedy", "opq-extended", "baseline"}
+        assert all(row.feasible for row in result.rows)
+
+    def test_mu_sweep_cost_increases_with_mu(self):
+        result = sweep_hetero_mu(SMALL, mus=(0.87, 0.97))
+        for solver in ("greedy", "opq-extended"):
+            series = dict(result.series(solver))
+            assert series[0.97] >= series[0.87] - 1e-9
+
+    def test_hetero_scale_sweep(self):
+        result = sweep_hetero_scale(SMALL, n_values=(100, 300))
+        for solver in ("greedy", "opq-extended"):
+            series = dict(result.series(solver))
+            assert series[300] > series[100]
+
+    def test_unknown_dataset_rejected(self):
+        config = ExperimentConfig(dataset="imagenet", n=10)
+        with pytest.raises(ValueError):
+            sweep_threshold(config, thresholds=(0.9,))

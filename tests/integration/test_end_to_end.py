@@ -1,0 +1,81 @@
+"""Integration tests: calibrate -> decompose -> execute on the simulated crowd.
+
+This is the full SLADE workflow a requester would run:
+
+1. probe the platform to learn the ``(l, r_l, c_l)`` menu,
+2. decompose the large-scale task with a solver,
+3. post every bin of the plan and aggregate the crowd's answers,
+4. check that the achieved reliability is in line with what was planned and
+   that batching actually saved money compared to naive single-task posting.
+"""
+
+import pytest
+
+from repro.algorithms.greedy import GreedySolver
+from repro.algorithms.opq import OPQSolver
+from repro.core.problem import SladeProblem
+from repro.crowd.calibration import ProbeCalibrator
+from repro.crowd.execution import PlanExecutor
+from repro.crowd.presets import jelly_platform
+from repro.datasets.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def calibrated_bins():
+    platform = jelly_platform(seed=21)
+    calibrator = ProbeCalibrator(
+        platform,
+        candidate_costs=(0.05, 0.08, 0.10),
+        assignments_per_probe=10,
+        probes_per_cardinality=3,
+        seed=21,
+    )
+    calibration = calibrator.calibrate(list(range(1, 11)))
+    return calibration.bin_set(name="jelly-calibrated")
+
+
+class TestCalibrateDecomposeExecute:
+    @pytest.fixture(scope="class")
+    def workflow(self, calibrated_bins):
+        task = make_workload(n=150, threshold=0.9, positive_rate=0.5, seed=22)
+        problem = SladeProblem(task, calibrated_bins, name="end-to-end")
+        plan = OPQSolver().solve(problem).plan
+        execution_platform = jelly_platform(seed=23)
+        report = PlanExecutor(execution_platform).execute(plan, task)
+        return problem, plan, report
+
+    def test_plan_satisfies_planned_reliability(self, workflow):
+        problem, plan, _report = workflow
+        assert plan.is_feasible(problem.task)
+
+    def test_achieved_detection_rate_near_target(self, workflow):
+        # The plan promises 0.9; with ~75 positives the observed detection
+        # rate should be at least 0.8 (allowing binomial noise and the gap
+        # between calibrated and true worker behaviour).
+        _problem, _plan, report = workflow
+        assert report.detection_rate >= 0.8
+
+    def test_spend_does_not_exceed_plan(self, workflow):
+        _problem, plan, report = workflow
+        assert report.realised_spend <= plan.total_cost + 1e-9
+
+    def test_batching_cheaper_than_singleton_posting(self, workflow, calibrated_bins):
+        # Posting every atomic task alone (cardinality 1, twice to exceed 0.9)
+        # is the naive plan the introduction argues against.
+        problem, plan, _report = workflow
+        singleton = calibrated_bins[1]
+        naive_cost = 2 * singleton.cost * problem.n
+        assert plan.total_cost < naive_cost
+
+
+class TestSolverAgreementOnCalibratedMenu:
+    def test_opq_no_worse_than_greedy(self, calibrated_bins):
+        problem = SladeProblem.homogeneous(200, 0.92, calibrated_bins)
+        opq = OPQSolver().solve(problem).total_cost
+        greedy = GreedySolver().solve(problem).total_cost
+        assert opq <= greedy + 1e-9
+
+    def test_calibrated_menu_supports_high_thresholds(self, calibrated_bins):
+        problem = SladeProblem.homogeneous(40, 0.99, calibrated_bins)
+        result = OPQSolver().solve(problem)
+        assert result.feasible

@@ -1,0 +1,99 @@
+"""Integration tests asserting the paper's qualitative evaluation trends.
+
+These are small-scale versions of the Section 7 conclusions.  Exact numbers
+differ from the paper (different substrate, different hardware) but the shape
+statements must hold:
+
+* decomposition cost decreases when the reliability threshold decreases,
+* decomposition cost decreases (weakly) as the maximum cardinality grows,
+* decomposition cost grows with the number of atomic tasks,
+* OPQ-Based is the most cost-effective and the Baseline the least,
+* OPQ-Based construction work is insensitive to the threshold compared to the
+  per-task work of Greedy.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import summarize_winners
+from repro.experiments.sweeps import (
+    sweep_hetero_mu,
+    sweep_max_cardinality,
+    sweep_scale,
+    sweep_threshold,
+)
+
+CONFIG = ExperimentConfig(
+    dataset="jelly",
+    n=400,
+    solver_options={"baseline": {"chunk_size": 100, "seed": 0}},
+)
+SMIC_CONFIG = ExperimentConfig(
+    dataset="smic",
+    n=400,
+    solver_options={"baseline": {"chunk_size": 100, "seed": 0}},
+)
+
+
+@pytest.fixture(scope="module")
+def threshold_sweep():
+    return sweep_threshold(CONFIG, thresholds=(0.87, 0.92, 0.97))
+
+
+@pytest.fixture(scope="module")
+def smic_threshold_sweep():
+    return sweep_threshold(SMIC_CONFIG, thresholds=(0.87, 0.97))
+
+
+class TestFigure6Trends:
+    def test_cost_monotone_in_threshold(self, threshold_sweep):
+        for solver in ("greedy", "opq"):
+            series = dict(threshold_sweep.series(solver))
+            assert series[0.87] <= series[0.92] + 1e-9 <= series[0.97] + 2e-9
+
+    def test_opq_most_cost_effective_at_every_threshold(self, threshold_sweep):
+        for x in threshold_sweep.x_values:
+            rows = {r.solver: r.total_cost for r in threshold_sweep.rows if r.x == x}
+            assert rows["opq"] <= rows["greedy"] + 1e-9
+            assert rows["opq"] <= rows["baseline"] + 1e-9
+
+    def test_baseline_is_least_effective(self, threshold_sweep):
+        for x in threshold_sweep.x_values:
+            rows = {r.solver: r.total_cost for r in threshold_sweep.rows if r.x == x}
+            assert rows["baseline"] >= rows["opq"]
+            assert rows["baseline"] >= rows["greedy"]
+
+    def test_same_trends_on_smic(self, smic_threshold_sweep):
+        for x in smic_threshold_sweep.x_values:
+            rows = {r.solver: r.total_cost for r in smic_threshold_sweep.rows if r.x == x}
+            assert rows["opq"] <= rows["greedy"] * 1.05
+            assert rows["opq"] <= rows["baseline"] + 1e-9
+        for solver in ("greedy", "opq", "baseline"):
+            series = dict(smic_threshold_sweep.series(solver))
+            assert series[0.87] <= series[0.97] + 1e-9
+
+    def test_cost_decreases_with_max_cardinality(self):
+        sweep = sweep_max_cardinality(CONFIG, cardinalities=(2, 8, 20))
+        for solver in ("greedy", "opq"):
+            series = dict(sweep.series(solver))
+            assert series[20] <= series[8] + 1e-9 <= series[2] + 2e-9
+
+    def test_cost_scales_with_n(self):
+        sweep = sweep_scale(CONFIG, n_values=(200, 800))
+        for solver in ("greedy", "opq", "baseline"):
+            series = dict(sweep.series(solver))
+            assert series[800] > series[200]
+
+
+class TestFigure7Trends:
+    def test_cost_increases_with_mu(self):
+        sweep = sweep_hetero_mu(CONFIG, mus=(0.87, 0.97))
+        for solver in ("greedy", "opq-extended"):
+            series = dict(sweep.series(solver))
+            assert series[0.97] >= series[0.87] - 1e-9
+
+    def test_heuristics_beat_baseline(self):
+        sweep = sweep_hetero_mu(CONFIG, mus=(0.9,))
+        rows = {r.solver: r.total_cost for r in sweep.rows}
+        assert rows["baseline"] >= rows["opq-extended"] - 1e-9
+        assert rows["baseline"] >= rows["greedy"] - 1e-9

@@ -1,0 +1,111 @@
+"""Tests for the analysis package (bounds and plan statistics)."""
+
+import pytest
+
+from repro.algorithms.exhaustive import ExactSolver
+from repro.algorithms.greedy import GreedySolver
+from repro.algorithms.opq import OPQSolver
+from repro.analysis.bounds import bounds, lower_bound, naive_upper_bound, optimality_gap
+from repro.analysis.plan_stats import compare_plans, describe_plan, format_comparison
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+
+
+class TestBounds:
+    def test_lower_bound_below_exact_optimum(self, example4_problem):
+        exact = ExactSolver().solve(example4_problem).total_cost
+        assert lower_bound(example4_problem) <= exact + 1e-9
+
+    def test_lower_bound_on_running_example_value(self, example4_problem):
+        # Head of the Table 3 OPQ has unit cost 0.16, so the bound is 4 * 0.16.
+        assert lower_bound(example4_problem) == pytest.approx(0.64)
+
+    def test_naive_upper_bound_is_feasible_cost(self, example4_problem):
+        # Two singleton bins per task: 4 * 2 * 0.1 = 0.8.
+        assert naive_upper_bound(example4_problem) == pytest.approx(0.8)
+
+    def test_bounds_bracket_every_solver(self, example4_problem):
+        box = bounds(example4_problem)
+        for solver in (GreedySolver(), OPQSolver(), ExactSolver()):
+            cost = solver.solve(example4_problem).total_cost
+            assert box.contains(cost)
+
+    def test_spread_reports_saving_opportunity(self, example4_problem):
+        box = bounds(example4_problem)
+        assert box.spread == pytest.approx(0.8 / 0.64)
+
+    def test_heterogeneous_lower_bound(self, heterogeneous_example_problem):
+        bound = lower_bound(heterogeneous_example_problem)
+        exact_like = OPQSolver  # no exact heterogeneous oracle; compare to plans
+        from repro.algorithms.opq_extended import OPQExtendedSolver
+
+        plan_cost = OPQExtendedSolver().solve(heterogeneous_example_problem).total_cost
+        assert bound <= plan_cost + 1e-9
+
+    def test_optimality_gap_of_opq_within_bound(self):
+        problem = SladeProblem.homogeneous(300, 0.9, jelly_bin_set(10))
+        result = OPQSolver().solve(problem)
+        gap = optimality_gap(result.plan, problem)
+        assert 1.0 - 1e-9 <= gap <= 1.2
+
+    def test_optimality_gap_accepts_precomputed_bound(self, example4_problem):
+        plan = OPQSolver().solve(example4_problem).plan
+        gap = optimality_gap(plan, example4_problem, precomputed_lower=0.64)
+        assert gap == pytest.approx(0.68 / 0.64)
+
+
+class TestPlanStatistics:
+    def test_describe_plan_basics(self, example4_problem):
+        plan = OPQSolver().solve(example4_problem).plan
+        stats = describe_plan(plan, example4_problem)
+        assert stats.total_cost == pytest.approx(0.68)
+        assert stats.postings == len(plan)
+        assert stats.feasible
+        assert stats.min_slack >= 0.0
+        assert stats.cost_per_task == pytest.approx(0.17)
+
+    def test_cost_by_cardinality_sums_to_total(self, example4_problem):
+        plan = GreedySolver().solve(example4_problem).plan
+        stats = describe_plan(plan, example4_problem)
+        assert sum(stats.cost_by_cardinality.values()) == pytest.approx(stats.total_cost)
+
+    def test_assignments_per_task_range(self, example4_problem):
+        plan = OPQSolver().solve(example4_problem).plan
+        stats = describe_plan(plan, example4_problem)
+        assert stats.assignments_per_task["min"] >= 1.0
+        assert stats.assignments_per_task["max"] >= stats.assignments_per_task["mean"]
+
+    def test_infeasible_plan_has_negative_slack(self, example4_problem, table1_bins):
+        from repro.core.plan import DecompositionPlan
+
+        plan = DecompositionPlan()
+        plan.add(table1_bins[1], (0,))
+        stats = describe_plan(plan, example4_problem)
+        assert not stats.feasible
+        assert stats.min_slack < 0.0
+
+    def test_as_dict_round_trip(self, example4_problem):
+        plan = OPQSolver().solve(example4_problem).plan
+        info = describe_plan(plan, example4_problem).as_dict()
+        assert info["feasible"] is True
+        assert "assignments_mean" in info
+
+
+class TestComparison:
+    def test_compare_plans_orders_and_labels(self, example4_problem):
+        plans = {
+            "opq": OPQSolver().solve(example4_problem).plan,
+            "greedy": GreedySolver().solve(example4_problem).plan,
+        }
+        comparison = compare_plans(plans, example4_problem)
+        assert list(comparison) == ["opq", "greedy"]
+        assert comparison["opq"].total_cost <= comparison["greedy"].total_cost
+
+    def test_format_comparison_is_a_table(self, example4_problem):
+        plans = {
+            "opq": OPQSolver().solve(example4_problem).plan,
+            "greedy": GreedySolver().solve(example4_problem).plan,
+        }
+        text = format_comparison(compare_plans(plans, example4_problem))
+        assert "cost/task" in text
+        assert "opq" in text and "greedy" in text

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolveCommand:
+    def test_homogeneous_solve(self, capsys):
+        exit_code = main([
+            "solve", "--solver", "opq", "--dataset", "jelly",
+            "--n", "200", "--threshold", "0.9", "--max-cardinality", "10",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "total cost" in out
+        assert "feasible          : True" in out
+
+    def test_heterogeneous_solve(self, capsys):
+        exit_code = main([
+            "solve", "--solver", "opq-extended", "--dataset", "jelly",
+            "--n", "150", "--heterogeneous", "--mu", "0.9", "--sigma", "0.02",
+            "--max-cardinality", "8",
+        ])
+        assert exit_code == 0
+        assert "heterogeneous" in capsys.readouterr().out
+
+    def test_greedy_on_smic(self, capsys):
+        exit_code = main([
+            "solve", "--solver", "greedy", "--dataset", "smic",
+            "--n", "100", "--max-cardinality", "6",
+        ])
+        assert exit_code == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--solver", "magic"])
+
+
+class TestFigureCommand:
+    def test_cost_figure(self, capsys):
+        exit_code = main(["figure", "fig6e", "--n", "100"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "|B|" in out
+        assert "opq" in out
+
+    def test_motivation_figure(self, capsys):
+        exit_code = main(["figure", "fig3c"])
+        assert exit_code == 0
+        assert "difficulty" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestCalibrateCommand:
+    def test_jelly_calibration(self, capsys):
+        exit_code = main(["calibrate", "--dataset", "jelly", "--max-cardinality", "4"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "probe spend" in out
+        assert "cardinality" in out
+
+    def test_smic_calibration(self, capsys):
+        exit_code = main(["calibrate", "--dataset", "smic", "--max-cardinality", "3"])
+        assert exit_code == 0
+        assert "confidence" in capsys.readouterr().out
+
+
+class TestArgumentParsing:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

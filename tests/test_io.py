@@ -1,0 +1,111 @@
+"""Tests for JSON serialisation of bin sets, problems and plans."""
+
+import json
+
+import pytest
+
+from repro.algorithms.opq import OPQSolver
+from repro.core.errors import InvalidBinError
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.workloads import make_workload
+from repro.io.serialization import (
+    SerializationError,
+    bin_set_from_dict,
+    bin_set_to_dict,
+    load_bin_set,
+    load_plan,
+    load_problem,
+    plan_from_dict,
+    plan_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    save_bin_set,
+    save_plan,
+    save_problem,
+)
+
+
+class TestBinSetSerialization:
+    def test_round_trip_preserves_bins(self, table1_bins):
+        restored = bin_set_from_dict(bin_set_to_dict(table1_bins))
+        assert restored.cardinalities == table1_bins.cardinalities
+        for cardinality in table1_bins.cardinalities:
+            assert restored[cardinality].confidence == table1_bins[cardinality].confidence
+            assert restored[cardinality].cost == table1_bins[cardinality].cost
+
+    def test_file_round_trip(self, table1_bins, tmp_path):
+        path = tmp_path / "bins.json"
+        save_bin_set(table1_bins, path)
+        assert load_bin_set(path).name == table1_bins.name
+
+    def test_wrong_kind_rejected(self, table1_bins):
+        payload = bin_set_to_dict(table1_bins)
+        payload["kind"] = "something-else"
+        with pytest.raises(SerializationError):
+            bin_set_from_dict(payload)
+
+    def test_wrong_version_rejected(self, table1_bins):
+        payload = bin_set_to_dict(table1_bins)
+        payload["version"] = 99
+        with pytest.raises(SerializationError):
+            bin_set_from_dict(payload)
+
+    def test_invalid_bin_values_rejected_by_model(self, table1_bins):
+        payload = bin_set_to_dict(table1_bins)
+        payload["bins"][0]["confidence"] = 1.5
+        with pytest.raises((InvalidBinError, ValueError)):
+            bin_set_from_dict(payload)
+
+
+class TestProblemSerialization:
+    def test_round_trip_preserves_thresholds_and_payloads(self, tmp_path):
+        task = make_workload(20, threshold=0.92, positive_rate=0.3, seed=0)
+        problem = SladeProblem(task, jelly_bin_set(5), name="io-test")
+        path = tmp_path / "problem.json"
+        save_problem(problem, path)
+        restored = load_problem(path)
+        assert restored.name == "io-test"
+        assert restored.n == 20
+        assert restored.task.thresholds == problem.task.thresholds
+        assert [a.payload["truth"] for a in restored.task] == [
+            a.payload["truth"] for a in problem.task
+        ]
+
+    def test_dict_round_trip_heterogeneous(self, table1_bins):
+        problem = SladeProblem.heterogeneous([0.5, 0.9], table1_bins)
+        restored = problem_from_dict(problem_to_dict(problem))
+        assert restored.task.thresholds == [0.5, 0.9]
+
+    def test_payload_is_json_compatible(self, table1_bins):
+        problem = SladeProblem.homogeneous(2, 0.9, table1_bins)
+        json.dumps(problem_to_dict(problem))  # must not raise
+
+
+class TestPlanSerialization:
+    def test_round_trip_preserves_cost_and_reliability(self, example4_problem, tmp_path):
+        plan = OPQSolver().solve(example4_problem).plan
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        restored = load_plan(path)
+        assert restored.total_cost == pytest.approx(plan.total_cost)
+        assert restored.reliabilities() == pytest.approx(plan.reliabilities())
+        assert restored.is_feasible(example4_problem.task)
+        assert restored.solver == plan.solver
+
+    def test_tampered_total_cost_rejected(self, example4_problem):
+        plan = OPQSolver().solve(example4_problem).plan
+        payload = plan_to_dict(plan)
+        payload["total_cost"] = 0.01
+        with pytest.raises(SerializationError):
+            plan_from_dict(payload)
+
+    def test_plan_file_is_self_contained(self, example4_problem, tmp_path):
+        plan = OPQSolver().solve(example4_problem).plan
+        payload = plan_to_dict(plan)
+        # No reference to the original bin set object: bins are inlined.
+        assert all("cardinality" in entry for entry in payload["assignments"])
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SerializationError):
+            plan_from_dict(["not", "a", "mapping"])

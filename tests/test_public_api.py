@@ -1,0 +1,32 @@
+"""Tests for the package-level public API surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing attribute {name}"
+
+    def test_quickstart_from_module_docstring(self):
+        # The docstring example must keep working verbatim.
+        bins = repro.TaskBinSet.from_triples(
+            [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)]
+        )
+        problem = repro.SladeProblem.homogeneous(n=4, threshold=0.95, bins=bins)
+        result = repro.OPQSolver().solve(problem)
+        assert round(result.total_cost, 2) == 0.68
+
+    def test_solver_registry_exposed(self):
+        assert "opq" in repro.available_solvers()
+        solver = repro.create_solver("greedy")
+        assert isinstance(solver, repro.GreedySolver)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.InvalidBinError, repro.SladeError)
+        assert issubclass(repro.InvalidProblemError, repro.SladeError)
+        assert issubclass(repro.InfeasiblePlanError, repro.SladeError)

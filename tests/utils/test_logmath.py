@@ -1,0 +1,107 @@
+"""Tests for the log-space reliability arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.logmath import (
+    RESIDUAL_EPSILON,
+    is_satisfied,
+    lcm_of,
+    reliability_from_residual,
+    residual_from_reliability,
+    safe_log1m,
+)
+
+
+class TestSafeLog1m:
+    def test_zero_probability_gives_zero_residual(self):
+        assert safe_log1m(0.0) == 0.0
+
+    def test_known_value(self):
+        assert safe_log1m(0.9) == pytest.approx(-math.log(0.1))
+
+    def test_paper_value_for_threshold_095(self):
+        # Example 5 initialises every residual to 2.996 for t = 0.95.
+        assert safe_log1m(0.95) == pytest.approx(2.996, abs=1e-3)
+
+    def test_rejects_one(self):
+        with pytest.raises(ValueError):
+            safe_log1m(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            safe_log1m(-0.1)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            safe_log1m(1.5)
+
+
+class TestRoundTrip:
+    @given(st.floats(min_value=0.0, max_value=0.999999))
+    def test_residual_reliability_round_trip(self, probability):
+        residual = residual_from_reliability(probability)
+        assert reliability_from_residual(residual) == pytest.approx(
+            probability, abs=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=20.0))
+    def test_reliability_residual_round_trip(self, residual):
+        # Above ~20 the reliability is within double-precision distance of 1.0
+        # and the inverse transform can no longer recover the residual.
+        reliability = reliability_from_residual(residual)
+        assert residual_from_reliability(reliability) == pytest.approx(
+            residual, rel=1e-6, abs=1e-9
+        )
+
+    def test_reliability_from_negative_residual_rejected(self):
+        with pytest.raises(ValueError):
+            reliability_from_residual(-0.1)
+
+    @given(st.floats(min_value=0.0, max_value=0.999), st.floats(min_value=0.0, max_value=0.999))
+    def test_residual_is_additive_over_independent_bins(self, r1, r2):
+        # 1 - (1-r1)(1-r2) must equal the reliability of the summed residuals.
+        combined = 1.0 - (1.0 - r1) * (1.0 - r2)
+        summed = residual_from_reliability(r1) + residual_from_reliability(r2)
+        assert reliability_from_residual(summed) == pytest.approx(combined, abs=1e-9)
+
+
+class TestLcm:
+    def test_single_value(self):
+        assert lcm_of([4]) == 4
+
+    def test_paper_example_6(self):
+        # Comb = {3 x b1, 2 x b2, 1 x b3} has LCM lcm(1, 2, 3) = 6.
+        assert lcm_of([1, 2, 3]) == 6
+
+    def test_coprime_values(self):
+        assert lcm_of([4, 9]) == 36
+
+    def test_repeated_values(self):
+        assert lcm_of([6, 6, 6]) == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_of([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            lcm_of([2, 0])
+
+    @given(st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=6))
+    def test_lcm_is_divisible_by_every_member(self, values):
+        result = lcm_of(values)
+        assert all(result % value == 0 for value in values)
+
+
+class TestIsSatisfied:
+    def test_zero_is_satisfied(self):
+        assert is_satisfied(0.0)
+
+    def test_small_positive_noise_is_satisfied(self):
+        assert is_satisfied(RESIDUAL_EPSILON / 2)
+
+    def test_clear_shortfall_is_not_satisfied(self):
+        assert not is_satisfied(0.5)

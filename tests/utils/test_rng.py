@@ -1,0 +1,45 @@
+"""Tests for random number generator plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_child
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(123).random(5)
+        b = ensure_rng(123).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(7)
+        assert ensure_rng(rng) is rng
+
+    def test_numpy_integer_seed_accepted(self):
+        seed = np.int64(5)
+        assert isinstance(ensure_rng(seed), np.random.Generator)
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnChild:
+    def test_child_is_independent_object(self):
+        parent = ensure_rng(0)
+        child = spawn_child(parent)
+        assert child is not parent
+
+    def test_children_are_deterministic_given_parent_state(self):
+        a = spawn_child(ensure_rng(0)).random(3)
+        b = spawn_child(ensure_rng(0)).random(3)
+        assert np.allclose(a, b)

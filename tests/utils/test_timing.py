@@ -1,0 +1,57 @@
+"""Tests for the Stopwatch helper."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, time_callable
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates_time(self):
+        watch = Stopwatch()
+        with watch:
+            sum(range(1000))
+        assert watch.elapsed >= 0.0
+        assert not watch.running
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+        watch.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset_zeroes_elapsed(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_reset_while_running_rejected(self):
+        watch = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            watch.reset()
+        watch.stop()
+
+    def test_multiple_intervals_accumulate(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            pass
+        assert watch.elapsed >= first
+
+
+class TestTimeCallable:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = time_callable(lambda x: x * 2, 21)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_kwargs_forwarded(self):
+        result, _ = time_callable(lambda *, value: value + 1, value=1)
+        assert result == 2

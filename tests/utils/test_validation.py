@@ -1,0 +1,65 @@
+"""Tests for argument validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    require_in_unit_interval,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    require_probability_open,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequireInUnitInterval:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert require_in_unit_interval(value, "x") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            require_in_unit_interval(value, "x")
+
+
+class TestRequireProbabilityOpen:
+    def test_accepts_zero(self):
+        assert require_probability_open(0.0, "p") == 0.0
+
+    def test_rejects_exactly_one(self):
+        with pytest.raises(ValueError):
+            require_probability_open(1.0, "p")
+
+    def test_accepts_near_one(self):
+        assert require_probability_open(0.999, "p") == 0.999
+
+
+class TestRequireNonEmpty:
+    def test_accepts_non_empty(self):
+        assert require_non_empty([1], "items") == [1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="items"):
+            require_non_empty([], "items")
