@@ -1,0 +1,126 @@
+"""Batch planning engine: cached OPQ reuse vs per-instance cold solves.
+
+A sweep of instances sharing one bin menu and threshold pays for Algorithm 2
+(OPQ construction) once through the engine but once *per instance* when each
+problem is solved cold.  This benchmark quantifies that speedup on a scale
+sweep and checks the engine's statistics — the numbers behind the "batching"
+item of the ROADMAP north star.
+
+Set ``SLADE_BENCH_SMOKE=1`` for a CI-sized run (fewer instances, same
+assertions).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import report
+from repro.algorithms.registry import create_solver
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.thresholds import normal_thresholds
+from repro.engine import BatchPlanner, BatchSpec, PlanCache
+from repro.utils.timing import Stopwatch
+
+#: CI smoke mode: fewer instances, identical assertions.
+SMOKE = os.environ.get("SLADE_BENCH_SMOKE", "0") == "1"
+
+#: Number of instances in the shared-menu sweep (the acceptance scenario
+#: uses 50; the smoke profile keeps the >= 5x headroom with fewer).
+INSTANCES = 12 if SMOKE else 50
+
+#: The shared menu and threshold.  t = 0.95 makes Algorithm 2 roughly 40x
+#: more expensive than Algorithm 3 on these task counts, which is exactly
+#: the regime the cache targets.
+THRESHOLD = 0.95
+MAX_CARDINALITY = 20
+
+
+def _sweep_spec() -> BatchSpec:
+    """A cardinality-style sweep: one menu, many task counts."""
+    bins = jelly_bin_set(MAX_CARDINALITY)
+    n_values = tuple(100 + 10 * i for i in range(INSTANCES))
+    return BatchSpec(
+        bins=bins, n_values=n_values, thresholds=(THRESHOLD,), name="bench-batch"
+    )
+
+
+def test_batch_engine_speedup_on_shared_bin_sweep():
+    """Engine >= 5x faster than cold solves on a shared-menu sweep."""
+    spec = _sweep_spec()
+    problems = spec.problems()
+
+    cold_watch = Stopwatch()
+    with cold_watch:
+        cold_costs = [
+            create_solver("opq").solve(problem).total_cost for problem in problems
+        ]
+
+    planner = BatchPlanner()
+    batch = planner.solve_many(spec, solver="opq")
+    warm_seconds = batch.stats.wall_seconds
+
+    speedup = cold_watch.elapsed / warm_seconds if warm_seconds > 0 else float("inf")
+    report(
+        f"Batch engine vs cold solves ({len(problems)} instances, "
+        f"jelly |B|={MAX_CARDINALITY}, t={THRESHOLD})",
+        "\n".join(
+            [
+                f"  cold per-instance solves : {cold_watch.elapsed * 1000:.1f} ms",
+                f"  batch engine (cached)    : {warm_seconds * 1000:.1f} ms",
+                f"  speedup                  : {speedup:.1f}x",
+                f"  cache hits/misses        : {batch.stats.cache_hits}/"
+                f"{batch.stats.cache_misses} "
+                f"(hit rate {batch.stats.cache_hit_rate:.1%})",
+                f"  opq build time           : "
+                f"{batch.stats.build_seconds * 1000:.2f} ms",
+            ]
+        ),
+    )
+
+    # The plans must be identical, only faster.
+    assert [item.total_cost for item in batch] == cold_costs
+    assert batch.all_feasible
+    # Acceptance criteria: >= 5x on the shared-menu sweep, with cache hits.
+    assert batch.stats.cache_hits > 0
+    assert batch.stats.cache_hit_rate > 0.0
+    assert speedup >= 5.0, f"expected >= 5x speedup, measured {speedup:.1f}x"
+
+
+def test_batch_engine_heterogeneous_group_reuse():
+    """Heterogeneous batches reuse per-group queues across instances."""
+    bins = jelly_bin_set(12)
+    count = 4 if SMOKE else 10
+    problems = [
+        SladeProblem.heterogeneous(
+            normal_thresholds(120, mu=0.9, sigma=0.03, seed=seed),
+            bins,
+            name=f"hetero-{seed}",
+        )
+        for seed in range(count)
+    ]
+
+    planner = BatchPlanner()
+    batch = planner.solve_many(problems, solver="opq-extended")
+    report(
+        f"Heterogeneous batch ({count} instances, opq-extended)",
+        f"  cache hits/misses: {batch.stats.cache_hits}/"
+        f"{batch.stats.cache_misses} "
+        f"(hit rate {batch.stats.cache_hit_rate:.1%})",
+    )
+    assert batch.all_feasible
+    # Group thresholds repeat across instances, so all but the first
+    # instance's queues come from the cache.
+    assert batch.stats.cache_hits > 0
+
+
+def test_shared_cache_across_batches():
+    """A cache passed across planners keeps its queues warm."""
+    cache = PlanCache()
+    spec = _sweep_spec()
+    first = BatchPlanner(cache=cache).solve_many(spec, solver="opq")
+    second = BatchPlanner(cache=cache).solve_many(spec, solver="opq")
+    assert first.stats.cache_misses > 0
+    assert second.stats.cache_misses == 0
+    assert second.stats.cache_hit_rate == 1.0
+    assert second.total_cost == first.total_cost

@@ -35,6 +35,15 @@ from repro.algorithms import (
     available_solvers,
     create_solver,
 )
+from repro.engine import (
+    BatchItem,
+    BatchPlanner,
+    BatchResult,
+    BatchSpec,
+    BatchStats,
+    CacheStats,
+    PlanCache,
+)
 from repro.core import (
     AtomicTask,
     BinAssignment,
@@ -49,7 +58,7 @@ from repro.core import (
     TaskBinSet,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -80,4 +89,12 @@ __all__ = [
     "BudgetedDecomposer",
     "BudgetedResult",
     "OnlineDecomposer",
+    # batch planning engine
+    "BatchItem",
+    "BatchPlanner",
+    "BatchResult",
+    "BatchSpec",
+    "BatchStats",
+    "CacheStats",
+    "PlanCache",
 ]

@@ -88,6 +88,12 @@ class Solver(abc.ABC):
     #: Human-readable solver name; subclasses override.
     name: str = "abstract"
 
+    #: Whether the constructor accepts a ``queue_factory`` keyword through
+    #: which a shared OPQ cache can be injected.  Solvers that build optimal
+    #: priority queues (Algorithm 2) set this to ``True``; the batch planning
+    #: engine checks it before injecting its :class:`~repro.engine.cache.PlanCache`.
+    accepts_queue_factory: bool = False
+
     def __init__(self, verify: bool = True) -> None:
         self.verify = verify
         self._metadata: Dict[str, Any] = {}

@@ -23,7 +23,7 @@ reliability threshold for a *block* of atomic tasks at once?".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import Solver
 from repro.core.bins import TaskBin, TaskBinSet
@@ -292,6 +292,13 @@ def build_optimal_priority_queue(
     return queue
 
 
+#: Signature of a queue supplier: ``(bins, threshold) -> OptimalPriorityQueue``.
+#: :func:`build_optimal_priority_queue` satisfies it, and so does the bound
+#: ``queue_for`` method of :class:`repro.engine.cache.PlanCache`, which is how
+#: the batch planning engine shares one OPQ construction across instances.
+QueueFactory = Callable[[TaskBinSet, float], OptimalPriorityQueue]
+
+
 class OPQSolver(Solver):
     """Algorithm 3: the OPQ-Based approximation for the homogeneous problem.
 
@@ -303,6 +310,12 @@ class OPQSolver(Solver):
         An already-constructed OPQ to reuse (the heterogeneous solver passes
         one per threshold group).  When ``None`` the queue is built from the
         problem's bin set and common threshold.
+    queue_factory:
+        Optional supplier used to obtain the queue when no ``prebuilt_queue``
+        is given.  The batch planning engine injects a
+        :class:`~repro.engine.cache.PlanCache` bound method here so Algorithm 2
+        runs once per ``(bin set, threshold)`` pair across a whole batch.
+        Defaults to :func:`build_optimal_priority_queue` (a cold build).
 
     Raises
     ------
@@ -313,13 +326,19 @@ class OPQSolver(Solver):
 
     name = "opq"
 
+    #: The batch planning engine injects its cache into solvers advertising
+    #: this flag (see :func:`repro.algorithms.registry.solver_accepts_queue_factory`).
+    accepts_queue_factory = True
+
     def __init__(
         self,
         verify: bool = True,
         prebuilt_queue: Optional[OptimalPriorityQueue] = None,
+        queue_factory: Optional[QueueFactory] = None,
     ) -> None:
         super().__init__(verify=verify)
         self._prebuilt_queue = prebuilt_queue
+        self._queue_factory = queue_factory or build_optimal_priority_queue
 
     def _solve(self, problem: SladeProblem) -> DecompositionPlan:
         if self._prebuilt_queue is not None:
@@ -330,7 +349,7 @@ class OPQSolver(Solver):
                     "OPQSolver handles the homogeneous SLADE problem; use "
                     "OPQExtendedSolver for heterogeneous thresholds"
                 )
-            queue = build_optimal_priority_queue(
+            queue = self._queue_factory(
                 problem.bins, problem.homogeneous_threshold
             )
             self.record("opq_size", len(queue))

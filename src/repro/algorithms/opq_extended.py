@@ -21,6 +21,7 @@ from repro.algorithms.base import Solver
 from repro.algorithms.opq import (
     OptimalPriorityQueue,
     OPQSolver,
+    QueueFactory,
     build_optimal_priority_queue,
 )
 from repro.core.bins import TaskBinSet
@@ -86,9 +87,30 @@ def partition_boundaries(theta_min: float, theta_max: float) -> List[float]:
     return boundaries
 
 
+def _group_boundaries(thresholds: Sequence[float]) -> List[float]:
+    """The residual-space upper bounds of the Algorithm 4 groups."""
+    if not thresholds:
+        raise InvalidProblemError("thresholds must not be empty")
+    residuals = [residual_from_reliability(t) for t in thresholds]
+    return partition_boundaries(min(residuals), max(residuals))
+
+
+def group_thresholds(thresholds: Sequence[float]) -> List[float]:
+    """The reliability each Algorithm 4 group's queue is built for.
+
+    This exposes the group boundaries *without* paying for queue
+    construction, so the batch planning engine can pre-warm its OPQ cache
+    before dispatching heterogeneous instances to worker processes.  It
+    shares :func:`_group_boundaries` with :func:`build_opq_set`, so the two
+    can never disagree on which queues an instance needs.
+    """
+    return [reliability_from_residual(upper) for upper in _group_boundaries(thresholds)]
+
+
 def build_opq_set(
     bins: TaskBinSet,
     thresholds: Sequence[float],
+    queue_factory: Optional[QueueFactory] = None,
 ) -> List[ThresholdGroup]:
     """Algorithm 4: build one optimal priority queue per threshold interval.
 
@@ -98,6 +120,11 @@ def build_opq_set(
         The task bin set ``B``.
     thresholds:
         The reliability thresholds ``t_1..t_n`` of the atomic tasks.
+    queue_factory:
+        Optional queue supplier (defaults to a cold
+        :func:`~repro.algorithms.opq.build_optimal_priority_queue` run); the
+        batch planning engine passes a cache here so repeated group
+        thresholds across instances construct each queue only once.
 
     Returns
     -------
@@ -106,14 +133,12 @@ def build_opq_set(
         exactly ``theta_max`` so no task over-pays beyond the paper's 2x
         rounding factor.
     """
-    if not thresholds:
-        raise InvalidProblemError("thresholds must not be empty")
-    residuals = [residual_from_reliability(t) for t in thresholds]
-    boundaries = partition_boundaries(min(residuals), max(residuals))
+    factory = queue_factory or build_optimal_priority_queue
+    boundaries = _group_boundaries(thresholds)
     groups: List[ThresholdGroup] = []
     for index, upper in enumerate(boundaries):
         reliability = reliability_from_residual(upper)
-        queue = build_optimal_priority_queue(bins, reliability)
+        queue = factory(bins, reliability)
         groups.append(ThresholdGroup(index, upper, queue))
     return groups
 
@@ -156,13 +181,32 @@ class OPQExtendedSolver(Solver):
 
     The solver also accepts homogeneous instances (they form a single group),
     so experiment sweeps can use it uniformly.
+
+    Parameters
+    ----------
+    verify:
+        See :class:`~repro.algorithms.base.Solver`.
+    queue_factory:
+        Optional queue supplier forwarded to :func:`build_opq_set`; the batch
+        planning engine injects its shared OPQ cache here.
     """
 
     name = "opq-extended"
+    accepts_queue_factory = True
+
+    def __init__(
+        self,
+        verify: bool = True,
+        queue_factory: Optional[QueueFactory] = None,
+    ) -> None:
+        super().__init__(verify=verify)
+        self._queue_factory = queue_factory
 
     def _solve(self, problem: SladeProblem) -> DecompositionPlan:
         thresholds = problem.task.thresholds
-        groups = build_opq_set(problem.bins, thresholds)
+        groups = build_opq_set(
+            problem.bins, thresholds, queue_factory=self._queue_factory
+        )
         residuals = {
             atomic.task_id: residual_from_reliability(atomic.threshold)
             for atomic in problem.task

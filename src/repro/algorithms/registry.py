@@ -36,19 +36,35 @@ def register_solver(name: str, factory: SolverFactory, overwrite: bool = False) 
     _REGISTRY[name] = factory
 
 
-def create_solver(name: str, **kwargs) -> Solver:
-    """Instantiate a registered solver by name, forwarding keyword arguments."""
+def _get_factory(name: str) -> SolverFactory:
+    """Look up a registered factory, raising a helpful error when unknown."""
     try:
-        factory = _REGISTRY[name]
+        return _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown solver {name!r}; known solvers: {known}") from None
-    return factory(**kwargs)
+
+
+def create_solver(name: str, **kwargs) -> Solver:
+    """Instantiate a registered solver by name, forwarding keyword arguments."""
+    return _get_factory(name)(**kwargs)
 
 
 def available_solvers() -> List[str]:
     """Names of all registered solvers, sorted alphabetically."""
     return sorted(_REGISTRY)
+
+
+def solver_accepts_queue_factory(name: str) -> bool:
+    """Whether the named solver can take an injected OPQ cache.
+
+    The batch planning engine uses this to decide whether to pass its
+    :class:`~repro.engine.cache.PlanCache` as the ``queue_factory`` keyword
+    when instantiating the solver.  Factories that are not classes (plain
+    functions registered by extensions) default to ``False`` unless they set
+    the ``accepts_queue_factory`` attribute themselves.
+    """
+    return bool(getattr(_get_factory(name), "accepts_queue_factory", False))
 
 
 # Built-in solvers.

@@ -13,6 +13,11 @@ Three sub-commands cover the common workflows:
 ``calibrate``
     Run probe-based calibration against the simulated Jelly or SMIC platform
     and print the resulting task-bin menu.
+
+``batch``
+    Decompose a whole grid of instances through the batch planning engine,
+    sharing OPQ construction across instances, and print per-instance results
+    plus the batch statistics (cache hit rate, solve-time breakdown).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import List, Optional, Sequence
 
 from repro.algorithms.registry import available_solvers, create_solver
 from repro.core.problem import SladeProblem
+from repro.engine import EXECUTORS, BatchPlanner, BatchSpec
 from repro.crowd.calibration import ProbeCalibrator
 from repro.crowd.presets import jelly_platform, smic_platform
 from repro.datasets.jelly import jelly_bin_set
@@ -60,6 +66,26 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--n", type=int, default=2_000,
                         help="number of atomic tasks for sweep-based figures")
     figure.add_argument("--seed", type=int, default=42)
+
+    batch = sub.add_parser(
+        "batch",
+        help="decompose a grid of instances through the batch planning engine",
+    )
+    batch.add_argument("--solver", default="opq", choices=available_solvers())
+    batch.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
+    batch.add_argument("--n-values", default="1000",
+                       help="comma-separated task counts, one instance per value")
+    batch.add_argument("--thresholds", default="0.9",
+                       help="comma-separated homogeneous reliability thresholds")
+    batch.add_argument("--max-cardinality", type=int, default=20,
+                       help="largest task bin cardinality |B|")
+    batch.add_argument("--repeat", type=int, default=1,
+                       help="solve the grid this many times (repeats hit the cache)")
+    batch.add_argument("--executor", default="serial", choices=list(EXECUTORS))
+    batch.add_argument("--workers", type=int, default=None,
+                       help="worker count for thread/process executors")
+    batch.add_argument("--no-verify", action="store_true",
+                       help="skip plan feasibility verification (pure solve timing)")
 
     calibrate = sub.add_parser("calibrate", help="probe the simulated platform")
     calibrate.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
@@ -116,6 +142,57 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid(raw: str, caster, flag: str) -> List:
+    try:
+        values = [caster(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"invalid {flag} value: {raw!r}")
+    if not values:
+        raise SystemExit(f"{flag} must name at least one value")
+    return values
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.repeat < 1:
+        raise SystemExit(f"--repeat must be >= 1; got {args.repeat}")
+    bins = jelly_bin_set(args.max_cardinality) if args.dataset == "jelly" \
+        else smic_bin_set(args.max_cardinality)
+    spec = BatchSpec(
+        bins=bins,
+        n_values=tuple(_parse_grid(args.n_values, int, "--n-values")),
+        thresholds=tuple(_parse_grid(args.thresholds, float, "--thresholds")),
+        name=f"{args.dataset}-batch",
+        repeat=args.repeat,
+    )
+    planner = BatchPlanner(
+        verify=not args.no_verify,
+        executor=args.executor,
+        max_workers=args.workers,
+    )
+    batch = planner.solve_many(spec, solver=args.solver)
+    stats = batch.stats
+
+    print(f"batch              : {args.dataset}, {stats.instances} instance(s), "
+          f"solver={stats.solver}")
+    print(f"executor           : {stats.executor} (workers={stats.workers})")
+    print(f"total cost (USD)   : {batch.total_cost:.2f}")
+    print(f"all feasible       : {batch.all_feasible}")
+    print(f"wall time (s)      : {stats.wall_seconds:.3f}")
+    print(f"solve time (s)     : {stats.solve_seconds:.3f}")
+    print(f"opq build time (s) : {stats.build_seconds:.3f}")
+    print(f"cache hits/misses  : {stats.cache_hits}/{stats.cache_misses} "
+          f"(hit rate {stats.cache_hit_rate:.1%})")
+    print()
+    print(f"{'instance':<28} {'n':>7} {'t':>6} {'cost':>10} {'time (s)':>9}")
+    for item in batch:
+        print(
+            f"{item.problem.name:<28} {item.problem.n:>7} "
+            f"{item.problem.homogeneous_threshold:>6.3f} "
+            f"{item.total_cost:>10.2f} {item.elapsed_seconds:>9.4f}"
+        )
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     if args.dataset == "jelly":
         platform = jelly_platform(difficulty=args.difficulty, seed=args.seed)
@@ -141,6 +218,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_solve(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

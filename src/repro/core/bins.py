@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.errors import InvalidBinError
+from repro.utils.hashing import float_token, stable_digest
 from repro.utils.logmath import residual_from_reliability
 from repro.utils.validation import require_positive, require_probability_open
 
@@ -57,6 +58,14 @@ class TaskBin:
     def cost_per_task(self) -> float:
         """Average incentive cost per atomic task when the bin is full."""
         return self.cost / self.cardinality
+
+    @property
+    def fingerprint_token(self) -> str:
+        """The bin's contribution to a :class:`TaskBinSet` fingerprint."""
+        return (
+            f"{self.cardinality}:{float_token(self.confidence)}:"
+            f"{float_token(self.cost)}"
+        )
 
     def __str__(self) -> str:
         return (
@@ -169,6 +178,20 @@ class TaskBinSet:
     def min_confidence(self) -> float:
         """The lowest confidence of any bin in the set."""
         return min(task_bin.confidence for task_bin in self)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content digest of the menu, usable as a cache key.
+
+        Two bin sets share a fingerprint exactly when they offer the same
+        ``(cardinality, confidence, cost)`` triples; the display ``name`` is
+        deliberately excluded because it never influences a solver's output.
+        The digest is stable across processes (unlike ``hash()``), so the
+        batch planning engine can key shared OPQ caches with it.
+        """
+        return stable_digest(
+            ("task_bin_set",) + tuple(b.fingerprint_token for b in self)
+        )
 
     def bins(self) -> List[TaskBin]:
         """Return the bins as a list ordered by cardinality."""

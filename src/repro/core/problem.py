@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 from repro.core.bins import TaskBinSet
 from repro.core.errors import InvalidProblemError
 from repro.core.task import AtomicTask, CrowdsourcingTask
+from repro.utils.hashing import stable_digest
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,18 @@ class SladeProblem:
     def atomic_tasks(self) -> List[AtomicTask]:
         """The atomic tasks in declaration order."""
         return list(self.task)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content digest of the instance (tasks + bins, not the name).
+
+        Problems with equal fingerprints are solved identically by every
+        deterministic solver, which is what lets the batch planning engine
+        reuse work across instances.
+        """
+        return stable_digest(
+            ("slade_problem", self.task.fingerprint, self.bins.fingerprint)
+        )
 
     def is_relaxed_variant(self) -> bool:
         """Test the polynomial-time relaxed variant of Section 4.2.

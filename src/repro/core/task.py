@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from repro.core.errors import InvalidProblemError
+from repro.utils.hashing import float_token, stable_digest
 from repro.utils.logmath import residual_from_reliability
 from repro.utils.validation import require_probability_open
 
@@ -163,6 +164,22 @@ class CrowdsourcingTask:
     def min_threshold(self) -> float:
         """The smallest reliability threshold among the atomic tasks."""
         return min(task.threshold for task in self._tasks)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content digest of the task ids and thresholds.
+
+        Payloads and the display ``name`` are excluded: the decomposition
+        algorithms never read them, so two tasks with the same ids and
+        thresholds are interchangeable for planning purposes.
+        """
+        return stable_digest(
+            ("crowdsourcing_task",)
+            + tuple(
+                f"{task.task_id}:{float_token(task.threshold)}"
+                for task in self._tasks
+            )
+        )
 
     def by_id(self, task_id: int) -> AtomicTask:
         """Return the atomic task with the given identifier.

@@ -1,0 +1,43 @@
+"""The batch planning engine: plan/OPQ caching and batched dispatch.
+
+Solving a SLADE instance splits into two phases: constructing the optimal
+priority queue (Algorithm 2, a function of the bin menu and the reliability
+threshold alone) and covering the task set with it (Algorithm 3, cheap and
+linear in ``n``).  Experiment sweeps, figure scripts and production batches
+solve many instances sharing the same ``(bins, threshold)`` pair, so this
+package memoises phase one and dispatches phase two — serially or in
+thread/process pools — while collecting per-batch statistics.
+
+Typical use::
+
+    from repro.engine import BatchPlanner, BatchSpec
+
+    spec = BatchSpec(bins=jelly_bin_set(20), n_values=(1000, 2000, 5000),
+                     thresholds=(0.9,))
+    batch = BatchPlanner().solve_many(spec, solver="opq")
+    print(batch.total_cost, batch.stats.cache_hit_rate)
+"""
+
+from repro.engine.cache import CacheStats, PlanCache
+from repro.engine.fingerprint import opq_key, problem_key
+from repro.engine.planner import (
+    BatchItem,
+    BatchPlanner,
+    BatchResult,
+    BatchStats,
+    EXECUTORS,
+)
+from repro.engine.specs import BatchSpec
+
+__all__ = [
+    "BatchItem",
+    "BatchPlanner",
+    "BatchResult",
+    "BatchSpec",
+    "BatchStats",
+    "CacheStats",
+    "EXECUTORS",
+    "PlanCache",
+    "opq_key",
+    "problem_key",
+]

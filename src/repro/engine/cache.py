@@ -1,0 +1,183 @@
+"""The plan cache: share OPQ construction across problem instances.
+
+Algorithm 2 (optimal priority queue construction) dominates the cost of
+solving a SLADE instance whenever ``n`` is not enormous — building the queue
+for the SMIC menu at ``t = 0.97`` is two orders of magnitude slower than
+running Algorithm 3 with the queue in hand.  Experiment sweeps and production
+batches, however, solve many instances that share one ``(bin set, threshold)``
+pair.  :class:`PlanCache` memoises queue construction under the stable keys of
+:mod:`repro.engine.fingerprint` so that work happens once per pair.
+
+The cache is thread-safe (the batch planner's thread executor shares one
+instance) and LRU-bounded when ``max_entries`` is set.  For process-based
+parallelism the cache cannot be shared directly; :meth:`export_entries` /
+:meth:`absorb` ship a pre-warmed snapshot to the workers instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.algorithms.opq import OptimalPriorityQueue, build_optimal_priority_queue
+from repro.core.bins import TaskBinSet
+from repro.engine.fingerprint import OPQKey, opq_key
+from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of a cache's counters.
+
+    Attributes
+    ----------
+    hits:
+        Queue requests answered from the cache.
+    misses:
+        Queue requests that triggered an Algorithm 2 run.
+    entries:
+        Queues currently stored.
+    build_seconds:
+        Total wall-clock time spent constructing queues on misses.
+    """
+
+    hits: int
+    misses: int
+    entries: int
+    build_seconds: float
+
+    @property
+    def requests(self) -> int:
+        """Total queue requests served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered without construction (0.0 when idle)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The delta between this snapshot and an ``earlier`` one.
+
+        The batch planner brackets each batch with two snapshots so its
+        statistics describe that batch alone even when the cache is reused.
+        """
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            entries=self.entries,
+            build_seconds=self.build_seconds - earlier.build_seconds,
+        )
+
+
+class PlanCache:
+    """Memoises optimal priority queues by ``(bin set, threshold)``.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional LRU bound on the number of stored queues.  ``None`` (the
+        default) keeps every queue, which is appropriate for sweeps whose
+        distinct ``(bins, threshold)`` pairs number in the dozens.
+
+    The bound method :meth:`queue_for` matches the
+    :data:`~repro.algorithms.opq.QueueFactory` signature, so a cache can be
+    injected directly into :class:`~repro.algorithms.opq.OPQSolver` and
+    :class:`~repro.algorithms.opq_extended.OPQExtendedSolver` via their
+    ``queue_factory`` parameter.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive; got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[OPQKey, OptimalPriorityQueue]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._build_seconds = 0.0
+
+    # -- the hot path ----------------------------------------------------------
+
+    def queue_for(self, bins: TaskBinSet, threshold: float) -> OptimalPriorityQueue:
+        """Return the OPQ for ``(bins, threshold)``, building it on first use.
+
+        Matches the :data:`~repro.algorithms.opq.QueueFactory` signature so it
+        can be passed wherever a queue supplier is expected.
+        """
+        key = opq_key(bins, threshold)
+        with self._lock:
+            queue = self._entries.get(key)
+            if queue is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return queue
+            # Build under the lock: construction is pure Python (GIL-bound),
+            # so releasing the lock would only let threads duplicate work.
+            self._misses += 1
+            watch = Stopwatch()
+            with watch:
+                queue = build_optimal_priority_queue(bins, threshold)
+            self._build_seconds += watch.elapsed
+            self._entries[key] = queue
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+            return queue
+
+    def warm(self, bins: TaskBinSet, thresholds: Iterable[float]) -> None:
+        """Pre-build the queues for every threshold in ``thresholds``.
+
+        Used by the batch planner before dispatching to worker processes, so
+        each expensive construction happens exactly once in the parent.
+        """
+        for threshold in thresholds:
+            self.queue_for(bins, threshold)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: OPQKey) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._entries),
+                build_seconds=self._build_seconds,
+            )
+
+    def clear(self) -> None:
+        """Drop every stored queue (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # -- process-parallel support ----------------------------------------------
+
+    def export_entries(self) -> Dict[OPQKey, OptimalPriorityQueue]:
+        """A picklable snapshot of the stored queues for worker processes."""
+        with self._lock:
+            return dict(self._entries)
+
+    def absorb(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
+        """Adopt queues exported by another cache (counted as neither hit nor miss)."""
+        with self._lock:
+            for key, queue in entries.items():
+                self._entries.setdefault(key, queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.stats
+        return (
+            f"PlanCache(entries={snapshot.entries}, hits={snapshot.hits}, "
+            f"misses={snapshot.misses})"
+        )

@@ -1,0 +1,34 @@
+"""Cache keys for the batch planning engine.
+
+The engine memoises optimal-priority-queue construction (Algorithm 2) across
+problem instances.  A queue is fully determined by the task bin set and the
+reliability threshold it was built for, so the cache key combines the bin
+set's content fingerprint with the bit-exact threshold.  Key helpers live in
+one module so every cache layer (in-process, per-worker, a future
+cross-process store) agrees on what "the same queue" means.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.bins import TaskBinSet
+from repro.core.problem import SladeProblem
+from repro.utils.hashing import float_token
+
+#: A cache key: (bin-set content digest, bit-exact threshold token).
+OPQKey = Tuple[str, str]
+
+
+def opq_key(bins: TaskBinSet, threshold: float) -> OPQKey:
+    """The cache key under which the OPQ for ``(bins, threshold)`` is stored."""
+    return (bins.fingerprint, float_token(threshold))
+
+
+def problem_key(problem: SladeProblem) -> str:
+    """Content fingerprint of a whole problem instance.
+
+    Exposed for batch statistics and deduplication; identical keys mean a
+    deterministic solver would produce identical plans.
+    """
+    return problem.fingerprint

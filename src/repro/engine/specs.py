@@ -1,0 +1,73 @@
+"""Declarative batch specifications.
+
+A :class:`BatchSpec` names a family of homogeneous SLADE instances — one bin
+menu crossed with grids of task counts and reliability thresholds — without
+materialising them.  The batch planner expands a spec into concrete
+:class:`~repro.core.problem.SladeProblem` instances at dispatch time; the CLI's
+``batch`` sub-command and the scalability benchmark both build their workloads
+this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.core.bins import TaskBinSet
+from repro.core.errors import InvalidProblemError
+from repro.core.problem import SladeProblem
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """A grid of homogeneous instances sharing one task bin menu.
+
+    Attributes
+    ----------
+    bins:
+        The task bin menu shared by every instance (what makes the batch
+        cache-friendly: one OPQ per distinct threshold serves the whole grid).
+    n_values:
+        Task counts, one instance per value per threshold.
+    thresholds:
+        Homogeneous reliability thresholds.
+    name:
+        Label prefix for the generated problem names.
+    repeat:
+        How many copies of the grid to generate (used to model repeated
+        traffic hitting the same instances; copies beyond the first are pure
+        cache hits).
+    """
+
+    bins: TaskBinSet
+    n_values: Tuple[int, ...] = (1_000,)
+    thresholds: Tuple[float, ...] = (0.9,)
+    name: str = "batch"
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.n_values:
+            raise InvalidProblemError("a batch spec needs at least one task count")
+        if not self.thresholds:
+            raise InvalidProblemError("a batch spec needs at least one threshold")
+        if self.repeat < 1:
+            raise InvalidProblemError(f"repeat must be >= 1; got {self.repeat}")
+
+    def __len__(self) -> int:
+        return len(self.n_values) * len(self.thresholds) * self.repeat
+
+    def __iter__(self) -> Iterator[SladeProblem]:
+        for round_index in range(self.repeat):
+            suffix = f"#{round_index}" if self.repeat > 1 else ""
+            for threshold in self.thresholds:
+                for n in self.n_values:
+                    yield SladeProblem.homogeneous(
+                        n,
+                        threshold,
+                        self.bins,
+                        name=f"{self.name}-t{threshold}-n{n}{suffix}",
+                    )
+
+    def problems(self) -> List[SladeProblem]:
+        """Materialise the grid as a list of problem instances."""
+        return list(self)

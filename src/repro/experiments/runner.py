@@ -2,16 +2,17 @@
 
 The runner is the smallest unit of the experiment harness: given a
 :class:`~repro.core.problem.SladeProblem` and a list of solver names, it
-instantiates each solver from the registry (with optional per-solver keyword
-arguments), solves the instance, and returns uniform measurement rows.
+dispatches each solver through the batch planning engine (so OPQ construction
+is cached when a shared :class:`~repro.engine.planner.BatchPlanner` is
+supplied), solves the instance, and returns uniform measurement rows.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.algorithms.registry import create_solver
 from repro.core.problem import SladeProblem
+from repro.engine.planner import BatchPlanner
 from repro.experiments.config import SweepRow
 
 
@@ -20,7 +21,8 @@ def run_solvers(
     solver_names: Sequence[str],
     x: float,
     solver_options: Optional[Dict[str, Dict[str, object]]] = None,
-    verify: bool = True,
+    verify: Optional[bool] = None,
+    planner: Optional[BatchPlanner] = None,
 ) -> List[SweepRow]:
     """Solve ``problem`` with every named solver and return measurement rows.
 
@@ -35,8 +37,16 @@ def run_solvers(
     solver_options:
         Optional per-solver keyword arguments, keyed by solver name.
     verify:
-        Whether solvers should assert feasibility of their plans (leave on in
-        experiments; benchmarks measuring pure solve time may disable it).
+        Whether solvers should assert feasibility of their plans.  ``None``
+        (the default) defers to the planner's setting — ``True`` for a
+        private planner — so a caller-supplied ``BatchPlanner(verify=False)``
+        (benchmarks measuring pure solve time) is honoured.
+    planner:
+        Optional shared :class:`~repro.engine.planner.BatchPlanner`.  Sweeps
+        pass one planner across all of their x-values so instances sharing a
+        ``(bin set, threshold)`` pair reuse the same optimal priority queue;
+        when omitted, a private planner (with a cold cache) is created, which
+        reproduces the historical per-call behaviour exactly.
 
     Returns
     -------
@@ -44,12 +54,14 @@ def run_solvers(
         One row per solver, in the order the names were given.
     """
     solver_options = solver_options or {}
+    active = planner if planner is not None else BatchPlanner(
+        verify=True if verify is None else verify
+    )
     rows: List[SweepRow] = []
     for name in solver_names:
-        options = dict(solver_options.get(name, {}))
-        options.setdefault("verify", verify)
-        solver = create_solver(name, **options)
-        result = solver.solve(problem)
+        result = active.solve(
+            problem, name, options=solver_options.get(name), verify=verify
+        )
         rows.append(
             SweepRow(
                 x=x,

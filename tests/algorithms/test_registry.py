@@ -7,6 +7,7 @@ from repro.algorithms.registry import (
     available_solvers,
     create_solver,
     register_solver,
+    solver_accepts_queue_factory,
 )
 from repro.core.plan import DecompositionPlan
 
@@ -29,6 +30,29 @@ class TestRegistry:
     def test_unknown_solver_lists_known_names(self):
         with pytest.raises(KeyError, match="greedy"):
             create_solver("does-not-exist")
+
+    def test_queue_factory_capability_flags(self):
+        # Only the OPQ-building solvers advertise the cache injection hook.
+        assert solver_accepts_queue_factory("opq")
+        assert solver_accepts_queue_factory("opq-extended")
+        for name in ("greedy", "baseline", "dp-relaxed", "exact"):
+            assert not solver_accepts_queue_factory(name)
+        with pytest.raises(KeyError):
+            solver_accepts_queue_factory("does-not-exist")
+
+    def test_queue_factory_injection_is_used(self, example4_problem):
+        calls = []
+
+        def counting_factory(bins, threshold):
+            from repro.algorithms.opq import build_optimal_priority_queue
+
+            calls.append(threshold)
+            return build_optimal_priority_queue(bins, threshold)
+
+        solver = create_solver("opq", queue_factory=counting_factory)
+        result = solver.solve(example4_problem)
+        assert result.feasible
+        assert calls == [0.95]
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError):

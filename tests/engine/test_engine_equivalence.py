@@ -1,0 +1,119 @@
+"""Equivalence: the engine must change nothing but the wall-clock.
+
+Batch-planned results must be byte-for-byte identical to solving each problem
+individually with a cold solver — through the cache-hit path, the thread
+executor and the process executor alike.  Plans are compared via their
+canonical JSON serialisation, which captures every posting, bin and task id.
+"""
+
+import json
+
+import pytest
+
+from repro.algorithms.registry import create_solver
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.datasets.smic import smic_bin_set
+from repro.datasets.thresholds import normal_thresholds
+from repro.engine import BatchPlanner
+from repro.io.serialization import plan_to_dict
+
+
+def plan_bytes(plan) -> bytes:
+    """Canonical byte serialisation of a decomposition plan."""
+    return json.dumps(plan_to_dict(plan), sort_keys=True).encode("utf-8")
+
+
+def homogeneous_mix():
+    """Instances sharing menus/thresholds (cache hits guaranteed)."""
+    jelly = jelly_bin_set(12)
+    smic = smic_bin_set(8)
+    return [
+        SladeProblem.homogeneous(30, 0.9, jelly, name="j-30"),
+        SladeProblem.homogeneous(47, 0.9, jelly, name="j-47"),
+        SladeProblem.homogeneous(64, 0.95, jelly, name="j-64"),
+        SladeProblem.homogeneous(30, 0.9, jelly, name="j-30-again"),
+        SladeProblem.homogeneous(25, 0.9, smic, name="s-25"),
+        SladeProblem.homogeneous(42, 0.95, smic, name="s-42"),
+    ]
+
+
+def heterogeneous_mix():
+    jelly = jelly_bin_set(10)
+    return [
+        SladeProblem.heterogeneous(
+            normal_thresholds(40, mu=0.9, sigma=0.03, seed=seed),
+            jelly,
+            name=f"h-{seed}",
+        )
+        for seed in range(3)
+    ]
+
+
+def cold_plan_bytes(problems, solver):
+    return [plan_bytes(create_solver(solver).solve(p).plan) for p in problems]
+
+
+class TestSerialEquivalence:
+    def test_homogeneous_cache_hits_do_not_change_plans(self):
+        problems = homogeneous_mix()
+        batch = BatchPlanner().solve_many(problems, solver="opq")
+        assert batch.stats.cache_hits > 0  # the path under test
+        assert [
+            plan_bytes(item.result.plan) for item in batch
+        ] == cold_plan_bytes(problems, "opq")
+
+    def test_heterogeneous_group_reuse_does_not_change_plans(self):
+        problems = heterogeneous_mix()
+        batch = BatchPlanner().solve_many(problems, solver="opq-extended")
+        assert batch.stats.cache_hits > 0
+        assert [
+            plan_bytes(item.result.plan) for item in batch
+        ] == cold_plan_bytes(problems, "opq-extended")
+
+    def test_single_solve_through_cache_equals_cold(self):
+        problem = homogeneous_mix()[0]
+        planner = BatchPlanner()
+        planner.solve(problem, "opq")           # prime the cache
+        warm = planner.solve(problem, "opq")    # cache-hit path
+        cold = create_solver("opq").solve(problem)
+        assert plan_bytes(warm.plan) == plan_bytes(cold.plan)
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+class TestParallelEquivalence:
+    def test_homogeneous_parallel_plans_identical(self, executor):
+        problems = homogeneous_mix()
+        planner = BatchPlanner(executor=executor, max_workers=3)
+        batch = planner.solve_many(problems, solver="opq")
+        assert [item.index for item in batch] == list(range(len(problems)))
+        assert [
+            plan_bytes(item.result.plan) for item in batch
+        ] == cold_plan_bytes(problems, "opq")
+
+    def test_heterogeneous_parallel_plans_identical(self, executor):
+        problems = heterogeneous_mix()
+        planner = BatchPlanner(executor=executor, max_workers=2)
+        batch = planner.solve_many(problems, solver="opq-extended")
+        assert [
+            plan_bytes(item.result.plan) for item in batch
+        ] == cold_plan_bytes(problems, "opq-extended")
+
+
+class TestProcessPathDetails:
+    def test_process_workers_report_cache_hits(self):
+        problems = homogeneous_mix()
+        planner = BatchPlanner(executor="process", max_workers=2)
+        batch = planner.solve_many(problems, solver="opq")
+        # The parent pre-warms the 4 distinct (menu, threshold) queues and
+        # every worker request is then a hit against the shipped entries.
+        assert batch.stats.cache_misses == 4
+        assert batch.stats.cache_hits >= len(problems)
+
+    def test_non_cacheable_solver_through_process_pool(self):
+        problems = homogeneous_mix()[:2]
+        planner = BatchPlanner(executor="process", max_workers=2)
+        batch = planner.solve_many(problems, solver="greedy")
+        assert [
+            plan_bytes(item.result.plan) for item in batch
+        ] == cold_plan_bytes(problems, "greedy")

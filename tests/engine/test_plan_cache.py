@@ -1,0 +1,137 @@
+"""Tests for the OPQ plan cache."""
+
+import threading
+
+import pytest
+
+from repro.algorithms.opq import build_optimal_priority_queue
+from repro.core.bins import TaskBinSet
+from repro.engine.cache import PlanCache
+from repro.engine.fingerprint import opq_key
+
+TRIPLES = [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)]
+
+
+@pytest.fixture
+def bins():
+    return TaskBinSet.from_triples(TRIPLES, name="table1")
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self, bins):
+        cache = PlanCache()
+        first = cache.queue_for(bins, 0.95)
+        second = cache.queue_for(bins, 0.95)
+        assert first is second
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+        assert stats.build_seconds > 0.0
+
+    def test_cached_queue_matches_cold_build(self, bins):
+        cache = PlanCache()
+        cached = cache.queue_for(bins, 0.95)
+        cold = build_optimal_priority_queue(bins, 0.95)
+        assert [(c.counts, c.lcm) for c in cached] == [
+            (c.counts, c.lcm) for c in cold
+        ]
+
+    def test_distinct_thresholds_are_distinct_entries(self, bins):
+        cache = PlanCache()
+        cache.queue_for(bins, 0.9)
+        cache.queue_for(bins, 0.95)
+        assert len(cache) == 2
+        assert cache.stats.misses == 2
+
+    def test_equal_content_bin_sets_share_entries(self, bins):
+        cache = PlanCache()
+        clone = TaskBinSet.from_triples(TRIPLES, name="other-name")
+        a = cache.queue_for(bins, 0.95)
+        b = cache.queue_for(clone, 0.95)
+        assert a is b
+        assert cache.stats.hits == 1
+
+    def test_clear_keeps_counters(self, bins):
+        cache = PlanCache()
+        cache.queue_for(bins, 0.9)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_contains_uses_opq_key(self, bins):
+        cache = PlanCache()
+        cache.queue_for(bins, 0.9)
+        assert opq_key(bins, 0.9) in cache
+        assert opq_key(bins, 0.95) not in cache
+
+
+class TestLRUBound:
+    def test_max_entries_evicts_least_recently_used(self, bins):
+        cache = PlanCache(max_entries=2)
+        cache.queue_for(bins, 0.90)
+        cache.queue_for(bins, 0.95)
+        cache.queue_for(bins, 0.90)   # refresh 0.90
+        cache.queue_for(bins, 0.97)   # evicts 0.95
+        assert opq_key(bins, 0.90) in cache
+        assert opq_key(bins, 0.97) in cache
+        assert opq_key(bins, 0.95) not in cache
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+
+class TestWarmAndExport:
+    def test_warm_builds_each_once(self, bins):
+        cache = PlanCache()
+        cache.warm(bins, (0.9, 0.95, 0.9))
+        stats = cache.stats
+        assert stats.misses == 2
+        assert stats.hits == 1
+
+    def test_export_absorb_roundtrip(self, bins):
+        parent = PlanCache()
+        parent.warm(bins, (0.9, 0.95))
+        child = PlanCache()
+        child.absorb(parent.export_entries())
+        assert len(child) == 2
+        # Absorbed entries count as neither hit nor miss...
+        assert child.stats.requests == 0
+        # ...but serve requests as hits afterwards.
+        child.queue_for(bins, 0.9)
+        assert child.stats.hits == 1
+
+
+class TestStatsDelta:
+    def test_since_produces_batch_scoped_numbers(self, bins):
+        cache = PlanCache()
+        cache.queue_for(bins, 0.9)
+        before = cache.stats
+        cache.queue_for(bins, 0.9)
+        cache.queue_for(bins, 0.95)
+        delta = cache.stats.since(before)
+        assert (delta.hits, delta.misses) == (1, 1)
+
+    def test_idle_hit_rate_is_zero(self):
+        assert PlanCache().stats.hit_rate == 0.0
+
+
+class TestThreadSafety:
+    def test_concurrent_requests_build_once(self, bins):
+        cache = PlanCache()
+        barrier = threading.Barrier(8)
+        queues = []
+
+        def request():
+            barrier.wait()
+            queues.append(cache.queue_for(bins, 0.97))
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 7
+        assert all(queue is queues[0] for queue in queues)

@@ -1,0 +1,138 @@
+"""Golden regression tests: pin the paper-trend metrics to committed JSON.
+
+``tests/integration/test_paper_trends.py`` asserts the *shape* of the
+evaluation (monotonicity, solver ordering).  These tests pin the *numbers*:
+every scenario's per-(x, solver) total cost is compared against a committed
+golden file with a small relative tolerance, so a performance refactor (like
+the batch planning engine) cannot silently change results.
+
+All scenario inputs are deterministic — seeded threshold generators, seeded
+baseline randomisation — so the goldens are exact up to floating-point noise.
+
+Regenerating after an *intentional* behaviour change::
+
+    SLADE_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_golden_regression.py -q
+
+then commit the updated ``tests/golden/paper_trends_golden.json`` together
+with an explanation of why the numbers moved.
+"""
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import (
+    sweep_hetero_mu,
+    sweep_max_cardinality,
+    sweep_scale,
+    sweep_threshold,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "golden" / "paper_trends_golden.json"
+
+#: Maximum relative drift tolerated before a golden comparison fails.
+RELATIVE_TOLERANCE = 1e-6
+
+CONFIG = ExperimentConfig(
+    dataset="jelly",
+    n=400,
+    solver_options={"baseline": {"chunk_size": 100, "seed": 0}},
+)
+SMIC_CONFIG = ExperimentConfig(
+    dataset="smic",
+    n=400,
+    solver_options={"baseline": {"chunk_size": 100, "seed": 0}},
+)
+
+#: Scenario name -> zero-argument callable producing a SweepResult.  These
+#: mirror the instances test_paper_trends.py asserts trends on.
+SCENARIOS = {
+    "jelly-threshold": lambda: sweep_threshold(CONFIG, thresholds=(0.87, 0.92, 0.97)),
+    "smic-threshold": lambda: sweep_threshold(SMIC_CONFIG, thresholds=(0.87, 0.97)),
+    "jelly-max-cardinality": lambda: sweep_max_cardinality(
+        CONFIG, cardinalities=(2, 8, 20)
+    ),
+    "jelly-scale": lambda: sweep_scale(CONFIG, n_values=(200, 800)),
+    "jelly-hetero-mu": lambda: sweep_hetero_mu(CONFIG, mus=(0.87, 0.97)),
+}
+
+
+def snapshot(scenario_name: str) -> dict:
+    """Compute the golden payload of one scenario from a fresh sweep."""
+    result = SCENARIOS[scenario_name]()
+    return {
+        "x_label": result.x_label,
+        "rows": [
+            {
+                "x": row.x,
+                "solver": row.solver,
+                "total_cost": row.total_cost,
+                "feasible": row.feasible,
+                "n": row.n,
+                "assignments": row.extra["assignments"],
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def regenerate() -> dict:
+    payload = {
+        "format": 1,
+        "relative_tolerance": RELATIVE_TOLERANCE,
+        "scenarios": {name: snapshot(name) for name in SCENARIOS},
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    if os.environ.get("SLADE_REGEN_GOLDENS") == "1":
+        return regenerate()
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden file {GOLDEN_PATH} is missing; regenerate it with "
+            "SLADE_REGEN_GOLDENS=1"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+def test_scenario_matches_golden(scenario_name, goldens):
+    golden = goldens["scenarios"][scenario_name]
+    tolerance = goldens.get("relative_tolerance", RELATIVE_TOLERANCE)
+    current = snapshot(scenario_name)
+
+    assert current["x_label"] == golden["x_label"]
+    assert len(current["rows"]) == len(golden["rows"]), (
+        f"{scenario_name}: row count changed "
+        f"({len(golden['rows'])} -> {len(current['rows'])})"
+    )
+    for got, expected in zip(current["rows"], golden["rows"]):
+        label = f"{scenario_name} x={expected['x']} solver={expected['solver']}"
+        assert got["x"] == expected["x"], label
+        assert got["solver"] == expected["solver"], label
+        assert got["n"] == expected["n"], label
+        assert got["feasible"] == expected["feasible"], label
+        assert got["assignments"] == expected["assignments"], (
+            f"{label}: posting count drifted "
+            f"{expected['assignments']} -> {got['assignments']}"
+        )
+        assert math.isclose(
+            got["total_cost"], expected["total_cost"], rel_tol=tolerance
+        ), (
+            f"{label}: total cost drifted "
+            f"{expected['total_cost']} -> {got['total_cost']}"
+        )
+
+
+def test_golden_file_is_committed_and_versioned(goldens):
+    assert goldens["format"] == 1
+    assert set(goldens["scenarios"]) == set(SCENARIOS)

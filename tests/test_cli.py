@@ -56,6 +56,39 @@ class TestFigureCommand:
             main(["figure", "fig99"])
 
 
+class TestBatchCommand:
+    def test_batch_grid_with_cache_stats(self, capsys):
+        exit_code = main([
+            "batch", "--dataset", "jelly", "--solver", "opq",
+            "--n-values", "50,100", "--thresholds", "0.9,0.95",
+            "--max-cardinality", "8", "--repeat", "2",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "8 instance(s)" in out
+        assert "cache hits/misses" in out
+        # 8 instances over 2 distinct thresholds -> 6 hits, 2 misses.
+        assert "6/2" in out
+        assert "all feasible       : True" in out
+
+    def test_batch_thread_executor(self, capsys):
+        exit_code = main([
+            "batch", "--n-values", "40,80", "--thresholds", "0.9",
+            "--max-cardinality", "6", "--executor", "thread", "--workers", "2",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "executor           : thread" in out
+
+    def test_batch_invalid_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--n-values", "ten"])
+        with pytest.raises(SystemExit):
+            main(["batch", "--thresholds", ""])
+        with pytest.raises(SystemExit):
+            main(["batch", "--n-values", "10", "--repeat", "0"])
+
+
 class TestCalibrateCommand:
     def test_jelly_calibration(self, capsys):
         exit_code = main(["calibrate", "--dataset", "jelly", "--max-cardinality", "4"])

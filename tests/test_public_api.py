@@ -30,3 +30,38 @@ class TestPublicApi:
         assert issubclass(repro.InvalidBinError, repro.SladeError)
         assert issubclass(repro.InvalidProblemError, repro.SladeError)
         assert issubclass(repro.InfeasiblePlanError, repro.SladeError)
+
+
+class TestEngineApi:
+    """The batch planning engine is part of the public surface."""
+
+    def test_engine_classes_reexported_at_top_level(self):
+        import repro.engine as engine
+
+        for name in ("PlanCache", "BatchPlanner", "BatchResult", "BatchSpec",
+                     "BatchStats", "CacheStats"):
+            assert name in repro.__all__, f"{name} missing from repro.__all__"
+            assert getattr(repro, name) is getattr(engine, name)
+
+    def test_engine_all_is_covered(self):
+        import repro.engine as engine
+
+        for name in engine.__all__:
+            assert hasattr(engine, name)
+            # Every class export is reachable from the package root too; the
+            # key helpers stay namespaced under repro.engine.
+            if isinstance(getattr(engine, name), type):
+                assert hasattr(repro, name), (
+                    f"engine class {name} not re-exported from repro"
+                )
+
+    def test_engine_quickstart(self):
+        bins = repro.TaskBinSet.from_triples(
+            [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)]
+        )
+        spec = repro.BatchSpec(bins=bins, n_values=(4, 8), thresholds=(0.95,))
+        batch = repro.BatchPlanner().solve_many(spec, solver="opq")
+        assert len(batch) == 2
+        assert batch.all_feasible
+        assert batch.stats.cache_hits == 1
+        assert round(batch.results[0].total_cost, 2) == 0.68
