@@ -17,7 +17,6 @@ from repro.algorithms.registry import create_solver
 from repro.core.problem import SladeProblem
 from repro.datasets.jelly import jelly_bin_set
 from repro.datasets.smic import smic_bin_set
-from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_sweep_table
 from repro.experiments.sweeps import sweep_threshold
 

@@ -35,7 +35,7 @@ from repro.analysis import compare_plans, lower_bound, optimality_gap
 from repro.analysis.plan_stats import format_comparison
 from repro.core.task import AtomicTask
 from repro.datasets import jelly_bin_set
-from repro.io import plan_to_dict, save_plan
+from repro.io import save_plan
 
 N_TILES = 2_000
 THRESHOLD = 0.92

@@ -15,9 +15,18 @@ Quickstart
 >>> round(result.total_cost, 2)
 0.68
 
-The public surface re-exports the core data model, the solvers, the crowd
-simulation substrate, and the dataset generators; see ``DESIGN.md`` for the
-full system inventory.
+The public surface re-exports the core data model, the solvers, the batch
+planning engine, and the service layer; the layered architecture
+(core → algorithms → engine → service) and the full system inventory are
+documented in ``DESIGN.md`` at the repository root.
+
+Serving requests
+----------------
+>>> from repro import ServiceConfig, SladeService, SolveRequest
+>>> service = SladeService(ServiceConfig(solver="opq"))
+>>> response = service.solve(SolveRequest(problem=problem))
+>>> response.ok, round(response.total_cost, 2)  # doctest: +SKIP
+(True, 0.68)
 """
 
 from repro.algorithms import (
@@ -41,8 +50,23 @@ from repro.engine import (
     BatchResult,
     BatchSpec,
     BatchStats,
+    CacheBackend,
     CacheStats,
+    MemoryBackend,
     PlanCache,
+    SQLiteBackend,
+    open_backend,
+)
+from repro.service import (
+    AsyncSladeService,
+    ErrorEnvelope,
+    RequestValidationError,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceError,
+    SladeService,
+    SolveRequest,
+    SolveResponse,
 )
 from repro.core import (
     AtomicTask,
@@ -58,7 +82,7 @@ from repro.core import (
     TaskBinSet,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -95,6 +119,20 @@ __all__ = [
     "BatchResult",
     "BatchSpec",
     "BatchStats",
+    "CacheBackend",
     "CacheStats",
+    "MemoryBackend",
     "PlanCache",
+    "SQLiteBackend",
+    "open_backend",
+    # service layer
+    "AsyncSladeService",
+    "ErrorEnvelope",
+    "RequestValidationError",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "SladeService",
+    "SolveRequest",
+    "SolveResponse",
 ]

@@ -21,7 +21,7 @@ remainder block per distinct threshold — a bounded, quantifiable regret.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.algorithms.opq import Combination, OptimalPriorityQueue, build_optimal_priority_queue
 from repro.core.bins import TaskBinSet

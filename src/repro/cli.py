@@ -18,15 +18,27 @@ Three sub-commands cover the common workflows:
     Decompose a whole grid of instances through the batch planning engine,
     sharing OPQ construction across instances, and print per-instance results
     plus the batch statistics (cache hit rate, solve-time breakdown).
+
+``serve``
+    Run the service facade as a JSON-lines request loop: read one solve
+    request per line from stdin (or a file), write one structured response
+    per line to stdout.  ``--cache sqlite:<path>`` keeps the plan cache warm
+    across restarts.
+
+Every sub-command reports library-level failures (:class:`SladeError`
+subclasses) as a one-line ``error:`` message on stderr with exit code 2
+instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TextIO
 
 from repro.algorithms.registry import available_solvers, create_solver
+from repro.core.errors import SladeError
 from repro.core.problem import SladeProblem
 from repro.engine import EXECUTORS, BatchPlanner, BatchSpec
 from repro.crowd.calibration import ProbeCalibrator
@@ -38,6 +50,17 @@ from repro.experiments.config import ExperimentConfig, SweepResult
 from repro.experiments.figures import figure_ids, run_figure
 from repro.experiments.motivation import MotivationSeries
 from repro.experiments.report import format_series, format_sweep_table
+from repro.io.serialization import (
+    solve_request_from_dict,
+    solve_response_to_dict,
+)
+from repro.service import (
+    CACHE_NONE,
+    ErrorEnvelope,
+    ServiceConfig,
+    SladeService,
+    SolveResponse,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +109,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker count for thread/process executors")
     batch.add_argument("--no-verify", action="store_true",
                        help="skip plan feasibility verification (pure solve timing)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve solve requests as a JSON-lines loop (stdin -> stdout)",
+    )
+    serve.add_argument("--solver", default="opq", choices=available_solvers(),
+                       help="default solver for requests that do not name one")
+    serve.add_argument("--cache", default=None,
+                       help="plan-cache backend spec: 'memory', 'memory:<N>', "
+                            "or 'sqlite:<path>' (default: in-memory)")
+    serve.add_argument("--input", default="-",
+                       help="file of JSON-line requests ('-' reads stdin)")
+    serve.add_argument("--no-plans", action="store_true",
+                       help="omit plan bodies from responses (headline numbers only)")
+    serve.add_argument("--no-verify", action="store_true",
+                       help="skip plan feasibility verification")
+    serve.add_argument("--stats", action="store_true",
+                       help="print cache statistics to stderr on exit")
 
     calibrate = sub.add_parser("calibrate", help="probe the simulated platform")
     calibrate.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
@@ -193,6 +234,87 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _line_failure(request_id: str, exc: Exception) -> SolveResponse:
+    """A response envelope for a line that never became a valid request."""
+    return SolveResponse(
+        request_id=request_id,
+        ok=False,
+        solver=None,
+        plan=None,
+        total_cost=None,
+        feasible=None,
+        cache=CACHE_NONE,
+        elapsed_seconds=0.0,
+        solve_seconds=0.0,
+        error=ErrorEnvelope.from_exception(exc),
+    )
+
+
+def _serve_loop(service: SladeService, stream: TextIO, include_plans: bool) -> int:
+    """Answer each JSON-line request on ``stream`` with a JSON-line response."""
+    handled = 0
+    for line_no, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        request_id = f"line-{line_no}"
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = _line_failure(request_id, exc)
+        else:
+            try:
+                request = solve_request_from_dict(
+                    payload, default_request_id=request_id
+                )
+            except (SladeError, KeyError, TypeError, ValueError) as exc:
+                response = _line_failure(request_id, exc)
+            else:
+                response = service.solve(request)
+        print(
+            json.dumps(solve_response_to_dict(response, include_plan=include_plans)),
+            flush=True,
+        )
+        handled += 1
+    return handled
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.input == "-":
+        stream = sys.stdin
+    else:
+        try:
+            stream = open(args.input, "r")
+        except OSError as exc:
+            raise SladeError(f"cannot open --input file: {exc}") from exc
+    config = ServiceConfig(
+        solver=args.solver,
+        verify=not args.no_verify,
+        cache_backend=args.cache,
+    )
+    try:
+        service = SladeService(config=config)
+    except SladeError:
+        if stream is not sys.stdin:
+            stream.close()
+        raise
+    try:
+        handled = _serve_loop(service, stream, include_plans=not args.no_plans)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+        stats = service.cache_stats
+        service.close()
+    if args.stats:
+        print(
+            f"served {handled} request(s); cache hits/misses "
+            f"{stats.hits}/{stats.misses} (hit rate {stats.hit_rate:.1%}), "
+            f"opq build time {stats.build_seconds:.3f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     if args.dataset == "jelly":
         platform = jelly_platform(difficulty=args.difficulty, seed=args.seed)
@@ -210,20 +332,33 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "figure": _cmd_figure,
+    "batch": _cmd_batch,
+    "serve": _cmd_serve,
+    "calibrate": _cmd_calibrate,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library-level failures (:class:`~repro.core.errors.SladeError`
+    subclasses, including serialization errors) exit with code 2 and a
+    one-line stderr message instead of a traceback.
+    """
     parser = _build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if args.command == "solve":
-        return _cmd_solve(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "batch":
-        return _cmd_batch(args)
-    if args.command == "calibrate":
-        return _cmd_calibrate(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    command = _COMMANDS.get(args.command)
+    if command is None:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return command(args)
+    except SladeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,8 +15,8 @@ and the crowd simulator executes them.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.bins import TaskBin
 from repro.core.errors import InfeasiblePlanError, InvalidBinError

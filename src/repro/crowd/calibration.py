@@ -19,8 +19,8 @@ measurements (used to regenerate Figure 3) and a ready-to-use
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.bins import TaskBin, TaskBinSet
 from repro.core.errors import CalibrationError

@@ -11,8 +11,8 @@ roughly the reliability they were designed for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.core.plan import DecompositionPlan
 from repro.core.task import CrowdsourcingTask

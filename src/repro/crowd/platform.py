@@ -15,9 +15,8 @@ threshold, and total spend.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
-import numpy as np
 
 from repro.core.bins import TaskBin
 from repro.core.errors import SimulationError

@@ -12,8 +12,8 @@ integration tests and the execution example.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
 
 from repro.core.errors import SimulationError
 

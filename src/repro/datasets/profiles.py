@@ -30,7 +30,7 @@ cost increasing sub-linearly with cardinality, per-task cost decreasing.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.bins import TaskBin, TaskBinSet

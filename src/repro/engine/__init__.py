@@ -18,6 +18,12 @@ Typical use::
     print(batch.total_cost, batch.stats.cache_hit_rate)
 """
 
+from repro.engine.backends import (
+    CacheBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    open_backend,
+)
 from repro.engine.cache import CacheStats, PlanCache
 from repro.engine.fingerprint import opq_key, problem_key
 from repro.engine.planner import (
@@ -35,9 +41,13 @@ __all__ = [
     "BatchResult",
     "BatchSpec",
     "BatchStats",
+    "CacheBackend",
     "CacheStats",
     "EXECUTORS",
+    "MemoryBackend",
     "PlanCache",
+    "SQLiteBackend",
+    "open_backend",
     "opq_key",
     "problem_key",
 ]

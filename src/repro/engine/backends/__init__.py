@@ -1,0 +1,101 @@
+"""Pluggable storage backends for the plan cache.
+
+:class:`~repro.engine.cache.PlanCache` keeps its policy (counters, locking,
+the ``QueueFactory`` signature) and delegates storage to a
+:class:`~repro.engine.backends.base.CacheBackend`:
+
+* :class:`~repro.engine.backends.memory.MemoryBackend` — the in-process
+  ordered-dict store with optional LRU eviction (the default).
+* :class:`~repro.engine.backends.sqlite.SQLiteBackend` — a persistent SQLite
+  store shared across processes and restarts, so long-lived worker fleets
+  begin warm.
+
+:func:`open_backend` turns a compact spec string (``"memory"``,
+``"memory:128"``, ``"sqlite:plans.db"``) into a backend instance; the service
+layer and the ``repro serve`` CLI use it so deployments pick a store with a
+flag instead of code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import SladeError
+from repro.engine.backends.base import CacheBackend
+from repro.engine.backends.memory import MemoryBackend
+from repro.engine.backends.sqlite import SQLiteBackend
+
+#: File suffixes treated as SQLite databases by :func:`open_backend`.
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+class BackendSpecError(SladeError, ValueError):
+    """A cache backend spec string does not name a known backend.
+
+    Subclasses :class:`ValueError` for callers that treat spec parsing as
+    input validation, and :class:`~repro.core.errors.SladeError` so the CLI's
+    uniform error handling reports it as a one-liner instead of a traceback.
+    """
+
+
+def open_backend(
+    spec: Optional[str] = None, max_entries: Optional[int] = None
+) -> CacheBackend:
+    """Build a cache backend from a spec string.
+
+    Supported forms:
+
+    ``None`` or ``"memory"``
+        An unbounded (or ``max_entries``-bounded) :class:`MemoryBackend`.
+    ``"memory:<N>"``
+        A :class:`MemoryBackend` bounded to ``N`` entries.
+    ``"sqlite:<path>"``
+        A :class:`SQLiteBackend` at ``path``.
+    ``"<path>.db"`` / ``"<path>.sqlite"`` / ``"<path>.sqlite3"``
+        Shorthand for the SQLite form.
+
+    Raises
+    ------
+    BackendSpecError
+        If the spec matches none of the forms above.
+    """
+    # Constructor-level validation failures (e.g. a non-positive bound) are
+    # spec problems from the caller's point of view; surface them uniformly.
+    try:
+        if spec is None or spec == "memory":
+            return MemoryBackend(max_entries=max_entries)
+        if spec.startswith("memory:"):
+            raw = spec[len("memory:"):]
+            try:
+                bound = int(raw)
+            except ValueError:
+                raise BackendSpecError(
+                    f"invalid memory backend bound: {raw!r}"
+                ) from None
+            return MemoryBackend(max_entries=bound)
+        if spec.startswith("sqlite:"):
+            path = spec[len("sqlite:"):]
+            if not path:
+                raise BackendSpecError(
+                    "sqlite backend spec needs a path: 'sqlite:<path>'"
+                )
+            return SQLiteBackend(path, max_entries=max_entries)
+        if spec.endswith(_SQLITE_SUFFIXES):
+            return SQLiteBackend(spec, max_entries=max_entries)
+    except BackendSpecError:
+        raise
+    except ValueError as exc:
+        raise BackendSpecError(f"invalid cache backend spec {spec!r}: {exc}") from exc
+    raise BackendSpecError(
+        f"unknown cache backend spec {spec!r}; expected 'memory', 'memory:<N>', "
+        f"'sqlite:<path>', or a path ending in {', '.join(_SQLITE_SUFFIXES)}"
+    )
+
+
+__all__ = [
+    "BackendSpecError",
+    "CacheBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "open_backend",
+]

@@ -1,0 +1,73 @@
+"""The storage contract behind :class:`~repro.engine.cache.PlanCache`.
+
+The plan cache's *policy* (hit/miss counters, build timing, thread safety,
+the ``QueueFactory`` signature) is independent of *where* queues live.  This
+module pins the storage contract as a :class:`typing.Protocol` so the cache
+can delegate to interchangeable backends: the in-process
+:class:`~repro.engine.backends.memory.MemoryBackend` (the historical
+behaviour) or the persistent
+:class:`~repro.engine.backends.sqlite.SQLiteBackend` that survives restarts
+and is shared between processes.
+
+Backends store immutable values: the queue for a given
+:data:`~repro.engine.fingerprint.OPQKey` is fully determined by the key
+(Algorithm 2 is deterministic), so backends never need invalidation — only
+insertion, lookup and eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+from repro.algorithms.opq import OptimalPriorityQueue
+from repro.engine.fingerprint import OPQKey
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """Storage interface for optimal-priority-queue cache entries.
+
+    Implementations need not be thread-safe: :class:`~repro.engine.cache.PlanCache`
+    serialises every storage call under its own lock.  They must, however,
+    treat entries as immutable — two stores under the same key always carry
+    equivalent queues.
+    """
+
+    #: Whether entries survive process restarts (drives warm-start reporting).
+    persistent: bool
+
+    def get(self, key: OPQKey) -> Optional[OptimalPriorityQueue]:
+        """Return the stored queue for ``key``, or ``None`` on a miss.
+
+        A successful lookup refreshes the entry's recency for eviction
+        purposes (LRU semantics when the backend is bounded).
+        """
+        ...
+
+    def put(self, key: OPQKey, queue: OptimalPriorityQueue) -> None:
+        """Store ``queue`` under ``key``, evicting old entries if bounded."""
+        ...
+
+    def merge(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
+        """Adopt ``entries``, keeping existing values on key collisions."""
+        ...
+
+    def snapshot(self) -> Dict[OPQKey, OptimalPriorityQueue]:
+        """A picklable dict of every stored entry (for worker shipping)."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every stored entry."""
+        ...
+
+    def close(self) -> None:
+        """Release external resources (no-op for in-memory backends)."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of stored entries."""
+        ...
+
+    def __contains__(self, key: OPQKey) -> bool:
+        """Whether ``key`` is currently stored."""
+        ...

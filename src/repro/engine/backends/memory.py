@@ -1,0 +1,72 @@
+"""In-process cache storage: an ordered dict with optional LRU eviction.
+
+This is the historical storage of :class:`~repro.engine.cache.PlanCache`,
+extracted behind the :class:`~repro.engine.backends.base.CacheBackend`
+protocol.  Entries are held by reference, so a hit returns the *same* queue
+object that was stored — solvers may therefore share one queue across
+thousands of instances with zero copying.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.algorithms.opq import OptimalPriorityQueue
+from repro.engine.fingerprint import OPQKey
+
+
+class MemoryBackend:
+    """Ordered-dict storage with optional LRU bound.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional bound on the number of stored queues; the least recently
+        *used* entry is evicted first.  ``None`` (the default) stores
+        everything, which suits sweeps whose distinct ``(bins, threshold)``
+        pairs number in the dozens.
+    """
+
+    persistent = False
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive; got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[OPQKey, OptimalPriorityQueue]" = OrderedDict()
+
+    def get(self, key: OPQKey) -> Optional[OptimalPriorityQueue]:
+        queue = self._entries.get(key)
+        if queue is not None:
+            self._entries.move_to_end(key)
+        return queue
+
+    def put(self, key: OPQKey, queue: OptimalPriorityQueue) -> None:
+        self._entries[key] = queue
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def merge(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
+        for key, queue in entries.items():
+            self._entries.setdefault(key, queue)
+
+    def snapshot(self) -> Dict[OPQKey, OptimalPriorityQueue]:
+        return dict(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def close(self) -> None:
+        """Nothing to release for in-memory storage."""
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: OPQKey) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryBackend(entries={len(self._entries)}, max_entries={self.max_entries})"

@@ -1,0 +1,183 @@
+"""Persistent cache storage: queues pickled into a SQLite file.
+
+A long-lived worker fleet restarts, redeploys, and scales horizontally; an
+in-memory plan cache starts cold every time.  :class:`SQLiteBackend` stores
+each optimal priority queue as a pickled blob keyed by the stable
+``(bin-set fingerprint, threshold token)`` pair of
+:mod:`repro.engine.fingerprint`, so a second process — or the same process
+after a restart — opens the file and serves its first requests as cache hits.
+
+Queues are deterministic functions of their key, so concurrent writers can
+only ever race to store equivalent values; ``INSERT OR IGNORE`` plus SQLite's
+own file locking make the race harmless.  Within a process, unpickled queues
+are memoised so repeated hits return the same object without re-reading the
+blob (matching :class:`~repro.engine.backends.memory.MemoryBackend`'s
+by-reference semantics on the hot path).
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.algorithms.opq import OptimalPriorityQueue
+from repro.engine.fingerprint import OPQKey
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS opq_entries (
+    bins_fingerprint TEXT NOT NULL,
+    threshold_token  TEXT NOT NULL,
+    payload          BLOB NOT NULL,
+    touch_seq        INTEGER NOT NULL,
+    PRIMARY KEY (bins_fingerprint, threshold_token)
+)
+"""
+
+
+class SQLiteBackend:
+    """Queue storage in a SQLite file shared across processes and restarts.
+
+    Parameters
+    ----------
+    path:
+        The database file; created (with its schema) when missing.
+    max_entries:
+        Optional LRU bound on the number of stored queues.  Recency is
+        tracked with a monotone ``touch_seq`` column updated on every hit,
+        so eviction order is meaningful even across processes.
+    """
+
+    persistent = True
+
+    def __init__(self, path: Union[str, Path], max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive; got {max_entries}")
+        self.path = Path(path)
+        self.max_entries = max_entries
+        # autocommit (isolation_level=None) keeps each statement in its own
+        # implicit transaction; check_same_thread=False because PlanCache
+        # serialises calls under its lock and may be driven from a thread pool.
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=False, isolation_level=None
+        )
+        self._conn.execute(_SCHEMA)
+        self._memo: Dict[OPQKey, OptimalPriorityQueue] = {}
+
+    # -- storage protocol ------------------------------------------------------
+
+    def get(self, key: OPQKey) -> Optional[OptimalPriorityQueue]:
+        queue = self._memo.get(key)
+        if queue is not None:
+            self._touch(key)
+            return queue
+        row = self._conn.execute(
+            "SELECT payload FROM opq_entries "
+            "WHERE bins_fingerprint = ? AND threshold_token = ?",
+            key,
+        ).fetchone()
+        if row is None:
+            return None
+        queue = pickle.loads(row[0])
+        self._memo[key] = queue
+        self._touch(key)
+        return queue
+
+    def put(self, key: OPQKey, queue: OptimalPriorityQueue) -> None:
+        payload = pickle.dumps(queue, protocol=pickle.HIGHEST_PROTOCOL)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO opq_entries "
+            "(bins_fingerprint, threshold_token, payload, touch_seq) "
+            "VALUES (?, ?, ?, ?)",
+            (key[0], key[1], payload, self._next_seq()),
+        )
+        self._memo[key] = queue
+        self._evict()
+
+    def merge(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
+        for key, queue in entries.items():
+            self._conn.execute(
+                "INSERT OR IGNORE INTO opq_entries "
+                "(bins_fingerprint, threshold_token, payload, touch_seq) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    key[0],
+                    key[1],
+                    pickle.dumps(queue, protocol=pickle.HIGHEST_PROTOCOL),
+                    self._next_seq(),
+                ),
+            )
+            self._memo.setdefault(key, queue)
+        self._evict()
+
+    def snapshot(self) -> Dict[OPQKey, OptimalPriorityQueue]:
+        rows = self._conn.execute(
+            "SELECT bins_fingerprint, threshold_token, payload FROM opq_entries"
+        ).fetchall()
+        out: Dict[OPQKey, OptimalPriorityQueue] = {}
+        for bins_fp, token, payload in rows:
+            key = (bins_fp, token)
+            queue = self._memo.get(key)
+            out[key] = queue if queue is not None else pickle.loads(payload)
+        return out
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM opq_entries")
+        self._memo.clear()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM opq_entries").fetchone()[0]
+
+    def __contains__(self, key: OPQKey) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM opq_entries "
+            "WHERE bins_fingerprint = ? AND threshold_token = ?",
+            key,
+        ).fetchone()
+        return row is not None
+
+    # -- recency and eviction ---------------------------------------------------
+
+    def _next_seq(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(touch_seq), 0) + 1 FROM opq_entries"
+        ).fetchone()
+        return int(row[0])
+
+    def _touch(self, key: OPQKey) -> None:
+        # Recency only matters for eviction; unbounded stores skip the
+        # bookkeeping so warm hits stay read-only (no per-request fsync).
+        if self.max_entries is None:
+            return
+        self._conn.execute(
+            "UPDATE opq_entries SET touch_seq = ? "
+            "WHERE bins_fingerprint = ? AND threshold_token = ?",
+            (self._next_seq(), key[0], key[1]),
+        )
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        excess = len(self) - self.max_entries
+        if excess <= 0:
+            return
+        self._conn.execute(
+            "DELETE FROM opq_entries WHERE rowid IN ("
+            "  SELECT rowid FROM opq_entries ORDER BY touch_seq ASC LIMIT ?"
+            ")",
+            (excess,),
+        )
+        remaining = {
+            (bins_fp, token)
+            for bins_fp, token in self._conn.execute(
+                "SELECT bins_fingerprint, threshold_token FROM opq_entries"
+            )
+        }
+        self._memo = {k: v for k, v in self._memo.items() if k in remaining}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SQLiteBackend(path={str(self.path)!r}, entries={len(self)})"

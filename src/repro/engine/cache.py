@@ -8,21 +8,27 @@ batches, however, solve many instances that share one ``(bin set, threshold)``
 pair.  :class:`PlanCache` memoises queue construction under the stable keys of
 :mod:`repro.engine.fingerprint` so that work happens once per pair.
 
-The cache is thread-safe (the batch planner's thread executor shares one
-instance) and LRU-bounded when ``max_entries`` is set.  For process-based
-parallelism the cache cannot be shared directly; :meth:`export_entries` /
-:meth:`absorb` ship a pre-warmed snapshot to the workers instead.
+The cache owns the *policy* — hit/miss counters, build timing, thread safety —
+and delegates *storage* to a :class:`~repro.engine.backends.base.CacheBackend`:
+the in-process :class:`~repro.engine.backends.memory.MemoryBackend` (the
+default, LRU-bounded when ``max_entries`` is set) or the persistent
+:class:`~repro.engine.backends.sqlite.SQLiteBackend`, which survives restarts
+and is shared between processes.  The cache is thread-safe (the batch
+planner's thread executor shares one instance).  For process-based
+parallelism the in-memory backend cannot be shared directly;
+:meth:`export_entries` / :meth:`absorb` ship a pre-warmed snapshot to the
+workers instead.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from repro.algorithms.opq import OptimalPriorityQueue, build_optimal_priority_queue
 from repro.core.bins import TaskBinSet
+from repro.engine.backends import CacheBackend, MemoryBackend
 from repro.engine.fingerprint import OPQKey, opq_key
 from repro.utils.timing import Stopwatch
 
@@ -82,7 +88,14 @@ class PlanCache:
     max_entries:
         Optional LRU bound on the number of stored queues.  ``None`` (the
         default) keeps every queue, which is appropriate for sweeps whose
-        distinct ``(bins, threshold)`` pairs number in the dozens.
+        distinct ``(bins, threshold)`` pairs number in the dozens.  Only
+        valid with the default backend; bounded custom backends configure
+        their own limit.
+    backend:
+        The storage to delegate to; a fresh unbounded
+        :class:`~repro.engine.backends.memory.MemoryBackend` when omitted.
+        Pass a :class:`~repro.engine.backends.sqlite.SQLiteBackend` to share
+        queues across processes and restarts.
 
     The bound method :meth:`queue_for` matches the
     :data:`~repro.algorithms.opq.QueueFactory` signature, so a cache can be
@@ -91,11 +104,20 @@ class PlanCache:
     ``queue_factory`` parameter.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
-        if max_entries is not None and max_entries < 1:
-            raise ValueError(f"max_entries must be positive; got {max_entries}")
-        self.max_entries = max_entries
-        self._entries: "OrderedDict[OPQKey, OptimalPriorityQueue]" = OrderedDict()
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        backend: Optional[CacheBackend] = None,
+    ) -> None:
+        if backend is None:
+            backend = MemoryBackend(max_entries=max_entries)
+        elif max_entries is not None:
+            raise ValueError(
+                "max_entries and backend are mutually exclusive; bound the "
+                "backend itself instead"
+            )
+        self.backend = backend
+        self.max_entries = getattr(backend, "max_entries", max_entries)
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -111,10 +133,9 @@ class PlanCache:
         """
         key = opq_key(bins, threshold)
         with self._lock:
-            queue = self._entries.get(key)
+            queue = self.backend.get(key)
             if queue is not None:
                 self._hits += 1
-                self._entries.move_to_end(key)
                 return queue
             # Build under the lock: construction is pure Python (GIL-bound),
             # so releasing the lock would only let threads duplicate work.
@@ -123,10 +144,7 @@ class PlanCache:
             with watch:
                 queue = build_optimal_priority_queue(bins, threshold)
             self._build_seconds += watch.elapsed
-            self._entries[key] = queue
-            if self.max_entries is not None:
-                while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
+            self.backend.put(key, queue)
             return queue
 
     def warm(self, bins: TaskBinSet, thresholds: Iterable[float]) -> None:
@@ -141,10 +159,17 @@ class PlanCache:
     # -- bookkeeping -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self.backend)
 
     def __contains__(self, key: OPQKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self.backend
+
+    @property
+    def persistent(self) -> bool:
+        """Whether stored queues survive a process restart."""
+        return bool(getattr(self.backend, "persistent", False))
 
     @property
     def stats(self) -> CacheStats:
@@ -153,31 +178,35 @@ class PlanCache:
             return CacheStats(
                 hits=self._hits,
                 misses=self._misses,
-                entries=len(self._entries),
+                entries=len(self.backend),
                 build_seconds=self._build_seconds,
             )
 
     def clear(self) -> None:
         """Drop every stored queue (counters are kept)."""
         with self._lock:
-            self._entries.clear()
+            self.backend.clear()
+
+    def close(self) -> None:
+        """Release backend resources (e.g. the SQLite connection)."""
+        with self._lock:
+            self.backend.close()
 
     # -- process-parallel support ----------------------------------------------
 
     def export_entries(self) -> Dict[OPQKey, OptimalPriorityQueue]:
         """A picklable snapshot of the stored queues for worker processes."""
         with self._lock:
-            return dict(self._entries)
+            return self.backend.snapshot()
 
     def absorb(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
         """Adopt queues exported by another cache (counted as neither hit nor miss)."""
         with self._lock:
-            for key, queue in entries.items():
-                self._entries.setdefault(key, queue)
+            self.backend.merge(entries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         snapshot = self.stats
         return (
             f"PlanCache(entries={snapshot.entries}, hits={snapshot.hits}, "
-            f"misses={snapshot.misses})"
+            f"misses={snapshot.misses}, backend={type(self.backend).__name__})"
         )

@@ -149,6 +149,34 @@ class BatchResult:
         """Whether every produced plan satisfies its instance's thresholds."""
         return all(item.result.feasible for item in self.items)
 
+    def as_dict(self, include_plans: bool = False) -> Dict[str, Any]:
+        """A JSON-compatible summary of the batch: per-item rows plus stats.
+
+        ``include_plans=True`` inlines each item's full decomposition plan
+        (via :func:`repro.io.serialization.plan_to_dict`); the default keeps
+        only the headline numbers, which is what reports and dashboards want.
+        """
+        # Imported here: repro.io.serialization sits above the engine in the
+        # layering (it also serialises service types), so the engine must not
+        # import it at module load time.
+        from repro.io.serialization import plan_to_dict
+
+        items = []
+        for item in self.items:
+            entry: Dict[str, Any] = {
+                "index": item.index,
+                "problem": item.problem.name,
+                "n": item.problem.n,
+                "solver": item.solver,
+                "total_cost": item.total_cost,
+                "elapsed_seconds": item.elapsed_seconds,
+                "feasible": item.result.feasible,
+            }
+            if include_plans:
+                entry["plan"] = plan_to_dict(item.result.plan)
+            items.append(entry)
+        return {"stats": self.stats.as_dict(), "items": items}
+
 
 def _merge_options(
     base: Optional[Dict[str, Any]],

@@ -10,7 +10,7 @@ suite iterates over, so ``benchmarks/`` and this module can never drift apart.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.experiments.config import ExperimentConfig, SweepResult
 from repro.experiments.motivation import MotivationSeries, difficulty_series, motivation_series

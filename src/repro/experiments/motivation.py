@@ -14,7 +14,7 @@ the simulated Jelly/SMIC platforms, regenerating the three panels of Figure 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.crowd.calibration import ProbeCalibrator
 from repro.crowd.platform import CrowdPlatform

@@ -8,7 +8,7 @@ in tests without a plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, List, Mapping
 
 from repro.experiments.config import SweepResult
 

@@ -20,6 +20,10 @@ from repro.io.serialization import (
     save_problem,
     bin_set_from_dict,
     bin_set_to_dict,
+    solve_request_from_dict,
+    solve_request_to_dict,
+    solve_response_from_dict,
+    solve_response_to_dict,
 )
 
 __all__ = [
@@ -35,4 +39,8 @@ __all__ = [
     "plan_from_dict",
     "save_plan",
     "load_plan",
+    "solve_request_to_dict",
+    "solve_request_from_dict",
+    "solve_response_to_dict",
+    "solve_response_from_dict",
 ]

@@ -12,13 +12,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Optional, Union
 
 from repro.core.bins import TaskBin, TaskBinSet
 from repro.core.errors import SladeError
 from repro.core.plan import DecompositionPlan
 from repro.core.problem import SladeProblem
 from repro.core.task import AtomicTask, CrowdsourcingTask
+from repro.service.api import ErrorEnvelope, SolveRequest, SolveResponse
 
 #: Format version written into every file; bumped on incompatible changes.
 FORMAT_VERSION = 1
@@ -183,3 +184,126 @@ def save_plan(plan: DecompositionPlan, path: PathLike) -> None:
 def load_plan(path: PathLike) -> DecompositionPlan:
     """Read a decomposition plan from a JSON file."""
     return plan_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- service requests and responses -------------------------------------------------
+
+
+def solve_request_to_dict(request: SolveRequest) -> Dict:
+    """Serialise a service solve request to a JSON-compatible dictionary."""
+    return {
+        "kind": "solve_request",
+        "version": FORMAT_VERSION,
+        "request_id": request.request_id,
+        "solver": request.solver,
+        "verify": request.verify,
+        "options": dict(request.options),
+        "problem": problem_to_dict(request.problem),
+    }
+
+
+def _request_problem(payload: Dict) -> SladeProblem:
+    """Extract the problem from a request payload.
+
+    Two forms are accepted: the full nested ``"problem"`` dictionary
+    (:func:`problem_to_dict` output), or a compact inline form for
+    hand-written JSON-lines traffic — ``"bins"`` (a bin-set dictionary or a
+    list of ``[cardinality, confidence, cost]`` triples) together with either
+    ``"n"`` + ``"threshold"`` (homogeneous) or ``"thresholds"`` (a per-task
+    list).
+    """
+    if "problem" in payload:
+        return problem_from_dict(payload["problem"])
+    raw_bins = payload.get("bins")
+    if raw_bins is None:
+        raise SerializationError(
+            "solve request needs either a 'problem' dictionary or inline "
+            "'bins' with 'n'/'threshold' or 'thresholds'"
+        )
+    if isinstance(raw_bins, dict):
+        bins = bin_set_from_dict(raw_bins)
+    else:
+        bins = TaskBinSet.from_triples(
+            [tuple(entry) for entry in raw_bins], name=payload.get("name", "bins")
+        )
+    name = payload.get("name", "request")
+    if "thresholds" in payload:
+        return SladeProblem.heterogeneous(payload["thresholds"], bins, name=name)
+    if "n" not in payload or "threshold" not in payload:
+        raise SerializationError(
+            "inline solve request needs 'thresholds' or both 'n' and 'threshold'"
+        )
+    return SladeProblem.homogeneous(
+        int(payload["n"]), float(payload["threshold"]), bins, name=name
+    )
+
+
+def solve_request_from_dict(
+    payload: Dict, default_request_id: Optional[str] = None
+) -> SolveRequest:
+    """Reconstruct a solve request from :func:`solve_request_to_dict` output.
+
+    ``default_request_id`` fills in a correlation id when the payload does
+    not carry one (the ``repro serve`` loop passes the input line number).
+    """
+    _check_kind(payload, "solve_request")
+    return SolveRequest(
+        problem=_request_problem(payload),
+        solver=payload.get("solver"),
+        options=dict(payload.get("options") or {}),
+        verify=payload.get("verify"),
+        request_id=payload.get("request_id") or default_request_id,
+    )
+
+
+def solve_response_to_dict(response: SolveResponse, include_plan: bool = True) -> Dict:
+    """Serialise a service solve response to a JSON-compatible dictionary.
+
+    ``include_plan=False`` drops the (potentially large) plan body, keeping
+    only the headline numbers — useful for logs and dashboards.
+    """
+    return {
+        "kind": "solve_response",
+        "version": FORMAT_VERSION,
+        "request_id": response.request_id,
+        "ok": response.ok,
+        "solver": response.solver,
+        "total_cost": response.total_cost,
+        "feasible": response.feasible,
+        "cache": response.cache,
+        "elapsed_seconds": response.elapsed_seconds,
+        "solve_seconds": response.solve_seconds,
+        "batch_size": response.batch_size,
+        "problem_fingerprint": response.problem_fingerprint,
+        "error": (
+            {"type": response.error.type, "message": response.error.message}
+            if response.error is not None
+            else None
+        ),
+        "plan": (
+            plan_to_dict(response.plan)
+            if include_plan and response.plan is not None
+            else None
+        ),
+    }
+
+
+def solve_response_from_dict(payload: Dict) -> SolveResponse:
+    """Reconstruct a solve response from :func:`solve_response_to_dict` output."""
+    _check_kind(payload, "solve_response")
+    error = payload.get("error")
+    plan = payload.get("plan")
+    return SolveResponse(
+        request_id=payload["request_id"],
+        ok=bool(payload["ok"]),
+        solver=payload.get("solver"),
+        plan=plan_from_dict(plan) if plan is not None else None,
+        total_cost=payload.get("total_cost"),
+        feasible=payload.get("feasible"),
+        cache=payload.get("cache", "none"),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        solve_seconds=float(payload.get("solve_seconds", 0.0)),
+        batch_size=int(payload.get("batch_size", 1)),
+        problem_fingerprint=payload.get("problem_fingerprint"),
+        error=ErrorEnvelope(error["type"], error["message"]) if error else None,
+    )

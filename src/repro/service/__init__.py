@@ -1,0 +1,58 @@
+"""The SLADE service layer: typed requests, a facade, and an async frontend.
+
+This package is the top of the stack (core → algorithms → engine → service,
+see ``DESIGN.md``): it turns the solver library into an online decomposition
+service.
+
+* :mod:`repro.service.api` — the typed request/response surface
+  (:class:`SolveRequest`, :class:`SolveResponse`, :class:`ServiceConfig`,
+  error envelopes).
+* :mod:`repro.service.facade` — :class:`SladeService`, the synchronous
+  entry point that validates, normalises, dispatches through a shared
+  :class:`~repro.engine.planner.BatchPlanner`, and never raises for
+  request-level failures.
+* :mod:`repro.service.async_service` — :class:`AsyncSladeService`, the
+  asyncio micro-batching frontend that coalesces streaming ``submit()``
+  traffic into the shared-menu batches the plan cache exploits.
+
+Typical use::
+
+    from repro.service import ServiceConfig, SladeService, SolveRequest
+
+    service = SladeService(ServiceConfig(cache_backend="sqlite:plans.db"))
+    response = service.solve(SolveRequest(problem=problem))
+    if response.ok:
+        print(response.total_cost, response.cache)   # e.g. 0.68 'miss'
+"""
+
+from repro.service.api import (
+    CACHE_BYPASS,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_NONE,
+    ErrorEnvelope,
+    RequestValidationError,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceError,
+    SolveRequest,
+    SolveResponse,
+)
+from repro.service.async_service import AsyncSladeService
+from repro.service.facade import SladeService
+
+__all__ = [
+    "AsyncSladeService",
+    "CACHE_BYPASS",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CACHE_NONE",
+    "ErrorEnvelope",
+    "RequestValidationError",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "SladeService",
+    "SolveRequest",
+    "SolveResponse",
+]

@@ -1,0 +1,227 @@
+"""Typed request/response surface of the SLADE service layer.
+
+The service layer turns the library-shaped solver stack into an *online
+decomposition service*: callers describe what they want solved in a
+:class:`SolveRequest`, the service normalises and dispatches it, and every
+outcome — success or failure — comes back as a structured
+:class:`SolveResponse` instead of a raised exception.  The shapes are plain
+dataclasses so they serialise cleanly (see
+:mod:`repro.io.serialization`) and survive transport boundaries
+(JSON lines on the ``repro serve`` CLI, futures in the async frontend).
+
+:class:`ServiceConfig` collects the tunables shared by the synchronous
+facade and the async micro-batching frontend: the default solver, per-solver
+options, threshold clamping bounds, micro-batch limits, and the plan-cache
+backend spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.errors import SladeError
+from repro.core.plan import DecompositionPlan
+from repro.core.problem import SladeProblem
+
+#: Cache provenance values carried by :attr:`SolveResponse.cache`.
+CACHE_HIT = "hit"          #: the OPQ was served from the plan cache
+CACHE_MISS = "miss"        #: the OPQ was built (and stored) for this request
+CACHE_BYPASS = "bypass"    #: the solver does not consult the plan cache
+CACHE_NONE = "none"        #: the request failed before/without touching the cache
+
+
+class ServiceError(SladeError):
+    """Base class for service-layer failures (validation, lifecycle)."""
+
+
+class RequestValidationError(ServiceError):
+    """A solve request failed normalisation (unknown solver, bad options)."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that has been shut down."""
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope:
+    """A transport-safe description of a request failure.
+
+    Attributes
+    ----------
+    type:
+        The exception class name (``"InfeasiblePlanError"``, ...), so clients
+        can branch on failure kinds without importing the library.
+    message:
+        The human-readable error message.
+    """
+
+    type: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorEnvelope":
+        """Wrap a caught exception into an envelope."""
+        return cls(type=type(exc).__name__, message=str(exc))
+
+    def __str__(self) -> str:
+        return f"{self.type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One decomposition request submitted to the service.
+
+    Attributes
+    ----------
+    problem:
+        The SLADE instance to decompose.
+    solver:
+        Registry name of the solver to use; ``None`` defers to the service's
+        configured default.
+    options:
+        Extra solver keyword arguments, merged over the service's per-solver
+        defaults.
+    verify:
+        Per-request override of plan feasibility verification; ``None``
+        defers to the service configuration.
+    request_id:
+        Caller-chosen correlation id echoed on the response; the service
+        assigns a sequential one when omitted.
+    """
+
+    problem: SladeProblem
+    solver: Optional[str] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+    verify: Optional[bool] = None
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.problem, SladeProblem):
+            raise RequestValidationError(
+                f"problem must be a SladeProblem, got {type(self.problem).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """The structured outcome of one solve request.
+
+    Successful responses (``ok=True``) carry the plan and its headline
+    numbers; failed ones (``ok=False``) carry an :class:`ErrorEnvelope` and
+    ``None`` for the plan fields.  Either way the response records service
+    timing, cache provenance, and the size of the micro-batch the request
+    rode in (1 on the synchronous path).
+    """
+
+    request_id: str
+    ok: bool
+    solver: Optional[str]
+    plan: Optional[DecompositionPlan]
+    total_cost: Optional[float]
+    feasible: Optional[bool]
+    cache: str
+    elapsed_seconds: float
+    solve_seconds: float
+    batch_size: int = 1
+    problem_fingerprint: Optional[str] = None
+    error: Optional[ErrorEnvelope] = None
+
+    def raise_for_error(self) -> "SolveResponse":
+        """Raise :class:`ServiceError` if the request failed; else return self.
+
+        Bridges back to exception-style control flow for callers that prefer
+        it over inspecting the envelope.
+        """
+        if not self.ok:
+            detail = str(self.error) if self.error is not None else "unknown error"
+            raise ServiceError(f"request {self.request_id} failed: {detail}")
+        return self
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables shared by :class:`~repro.service.facade.SladeService` and
+    :class:`~repro.service.async_service.AsyncSladeService`.
+
+    Attributes
+    ----------
+    solver:
+        Default registry solver for requests that do not name one.
+    solver_options:
+        Default per-solver keyword arguments, keyed by registry name (the
+        same shape :class:`~repro.engine.planner.BatchPlanner` takes).
+    verify:
+        Whether plans are feasibility-checked unless a request overrides it.
+    threshold_floor / threshold_cap:
+        Optional clamping bounds applied to every task threshold during
+        normalisation.  A cap protects the service from pathological
+        near-one thresholds whose OPQ construction is astronomically
+        expensive; a floor enforces a minimum quality of service.  ``None``
+        disables the respective bound.
+    max_batch_size:
+        Largest micro-batch the async frontend coalesces before flushing.
+    max_wait_seconds:
+        Longest the async frontend holds an incomplete micro-batch open.
+    cache_backend:
+        Plan-cache backend spec for :func:`repro.engine.backends.open_backend`
+        (``"memory"``, ``"memory:<N>"``, ``"sqlite:<path>"``); ``None`` means
+        a fresh in-memory backend.
+    max_cache_entries:
+        Optional LRU bound forwarded to the backend.
+    """
+
+    solver: str = "opq"
+    solver_options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    verify: bool = True
+    threshold_floor: Optional[float] = None
+    threshold_cap: Optional[float] = None
+    max_batch_size: int = 16
+    max_wait_seconds: float = 0.01
+    cache_backend: Optional[str] = None
+    max_cache_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ServiceError(
+                f"max_batch_size must be >= 1; got {self.max_batch_size}"
+            )
+        if self.max_wait_seconds < 0:
+            raise ServiceError(
+                f"max_wait_seconds must be >= 0; got {self.max_wait_seconds}"
+            )
+        for label, bound in (
+            ("threshold_floor", self.threshold_floor),
+            ("threshold_cap", self.threshold_cap),
+        ):
+            if bound is not None and not (0.0 <= bound < 1.0):
+                raise ServiceError(f"{label} must lie in [0, 1); got {bound}")
+        if (
+            self.threshold_floor is not None
+            and self.threshold_cap is not None
+            and self.threshold_floor > self.threshold_cap
+        ):
+            raise ServiceError(
+                f"threshold_floor {self.threshold_floor} exceeds "
+                f"threshold_cap {self.threshold_cap}"
+            )
+
+    def clamp_threshold(self, threshold: float) -> float:
+        """Apply the configured floor/cap to one threshold value."""
+        if self.threshold_floor is not None and threshold < self.threshold_floor:
+            threshold = self.threshold_floor
+        if self.threshold_cap is not None and threshold > self.threshold_cap:
+            threshold = self.threshold_cap
+        return threshold
+
+    @property
+    def clamps_thresholds(self) -> bool:
+        """Whether any clamping bound is active."""
+        return self.threshold_floor is not None or self.threshold_cap is not None
+
+
+def solver_options_dict(
+    options: Mapping[str, Mapping[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Deep-copy a per-solver options mapping into plain dicts."""
+    return {name: dict(opts) for name, opts in options.items()}

@@ -1,0 +1,216 @@
+"""The asyncio frontend: coalesce streaming requests into micro-batches.
+
+Production traffic arrives one request at a time, but the solver stack is at
+its best when requests sharing a ``(bin set, threshold)`` pair are solved
+back-to-back against one plan cache.  :class:`AsyncSladeService` bridges the
+two shapes: concurrent ``submit()`` calls enqueue requests, a single dispatch
+loop coalesces them — up to ``max_batch_size`` per flush, holding an
+incomplete batch open at most ``max_wait_seconds`` — and each coalesced batch
+executes through the synchronous :class:`~repro.service.facade.SladeService`
+on a worker thread, off the event loop.  Per-request futures resolve with the
+same structured :class:`~repro.service.api.SolveResponse` the sync facade
+returns (including the size of the batch the request rode in).
+
+Because a batch executes while the loop is already accepting the next one,
+arrival bursts naturally pile into the following flush: streaming
+single-request traffic turns into exactly the shared-menu batches the plan
+cache was built to exploit.
+
+Shutdown is clean: :meth:`close` rejects new submissions, then drains — every
+request accepted before the close is solved and its future resolved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+from repro.service.api import (
+    ServiceClosedError,
+    ServiceConfig,
+    SolveRequest,
+    SolveResponse,
+)
+from repro.service.facade import SladeService
+
+#: Queue sentinel marking the position after which no submissions exist.
+_SHUTDOWN = object()
+
+_QueueItem = Tuple[SolveRequest, "asyncio.Future[SolveResponse]"]
+
+
+class AsyncSladeService:
+    """Micro-batching asyncio frontend over a :class:`SladeService`.
+
+    Parameters
+    ----------
+    service:
+        The synchronous facade to execute batches through; a fresh one is
+        built from ``config`` when omitted.
+    config:
+        Service tunables used when building the facade.  Mutually exclusive
+        with ``service`` (passing both raises :class:`ValueError`); batching
+        limits come from the facade's config unless overridden below.
+    max_batch_size / max_wait_seconds:
+        Optional overrides of the facade config's micro-batching limits.
+
+    Usage::
+
+        async with AsyncSladeService(config=ServiceConfig()) as svc:
+            responses = await asyncio.gather(*(svc.submit(r) for r in stream))
+    """
+
+    def __init__(
+        self,
+        service: Optional[SladeService] = None,
+        config: Optional[ServiceConfig] = None,
+        max_batch_size: Optional[int] = None,
+        max_wait_seconds: Optional[float] = None,
+    ) -> None:
+        if service is None:
+            service = SladeService(config=config)
+        elif config is not None:
+            raise ValueError("pass either service or config, not both")
+        self.service = service
+        self.max_batch_size = (
+            max_batch_size
+            if max_batch_size is not None
+            else service.config.max_batch_size
+        )
+        self.max_wait_seconds = (
+            max_wait_seconds
+            if max_wait_seconds is not None
+            else service.config.max_wait_seconds
+        )
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1; got {self.max_batch_size}")
+        if self.max_wait_seconds < 0:
+            raise ValueError(
+                f"max_wait_seconds must be >= 0; got {self.max_wait_seconds}"
+            )
+        self._queue: Optional["asyncio.Queue[object]"] = None
+        self._loop_task: Optional["asyncio.Task[None]"] = None
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the dispatch loop (idempotent; ``submit`` starts it lazily)."""
+        if self._closed:
+            raise ServiceClosedError("service has been closed")
+        if self._loop_task is None:
+            self._queue = asyncio.Queue()
+            self._loop_task = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+
+    async def close(self) -> None:
+        """Stop accepting submissions, drain pending requests, stop the loop.
+
+        Every request accepted before the call is still solved and its
+        future resolved; only *new* submissions fail with
+        :class:`~repro.service.api.ServiceClosedError`.  The underlying
+        facade (and its cache backend) is closed as well.
+        """
+        if self._closed:
+            if self._loop_task is not None:
+                await self._loop_task
+            return
+        self._closed = True
+        if self._loop_task is not None:
+            assert self._queue is not None
+            self._queue.put_nowait(_SHUTDOWN)
+            await self._loop_task
+        self.service.close()
+
+    async def __aenter__(self) -> "AsyncSladeService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc_info: object) -> None:
+        await self.close()
+
+    # -- submission ------------------------------------------------------------
+
+    async def submit(self, request: SolveRequest) -> SolveResponse:
+        """Enqueue one request and await its structured response.
+
+        Concurrent submitters are coalesced into shared micro-batches; each
+        caller gets back only its own response.  Solver- and validation-level
+        failures resolve the future normally with an ``ok=False`` response —
+        they never raise here.
+        """
+        if self._closed:
+            raise ServiceClosedError("service has been closed")
+        await self.start()
+        assert self._queue is not None
+        future: "asyncio.Future[SolveResponse]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._queue.put_nowait((request, future))
+        return await future
+
+    async def submit_many(self, requests: List[SolveRequest]) -> List[SolveResponse]:
+        """Submit concurrently and gather responses in submission order."""
+        return list(await asyncio.gather(*(self.submit(r) for r in requests)))
+
+    # -- the micro-batching loop -----------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        shutting_down = False
+        while not shutting_down:
+            head = await queue.get()
+            if head is _SHUTDOWN:
+                break
+            batch: List[_QueueItem] = [head]  # type: ignore[list-item]
+            deadline = loop.time() + self.max_wait_seconds
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - loop.time()
+                try:
+                    if remaining <= 0:
+                        item = queue.get_nowait()
+                    else:
+                        item = await asyncio.wait_for(queue.get(), remaining)
+                except (asyncio.QueueEmpty, asyncio.TimeoutError):
+                    break
+                if item is _SHUTDOWN:
+                    shutting_down = True
+                    break
+                batch.append(item)  # type: ignore[arg-type]
+            await self._execute(batch)
+        # A submit racing close() can enqueue behind the sentinel; drain so
+        # every accepted request is answered before the loop exits.
+        await self._drain_after_shutdown(queue)
+
+    async def _drain_after_shutdown(self, queue: "asyncio.Queue[object]") -> None:
+        pending: List[_QueueItem] = []
+        while True:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            pending.append(item)  # type: ignore[arg-type]
+        for start in range(0, len(pending), self.max_batch_size):
+            await self._execute(pending[start:start + self.max_batch_size])
+
+    async def _execute(self, batch: List[_QueueItem]) -> None:
+        """Run one coalesced batch off the event loop and resolve its futures."""
+        requests = [request for request, _future in batch]
+        loop = asyncio.get_running_loop()
+        try:
+            responses = await loop.run_in_executor(
+                None, self.service.solve_batch, requests
+            )
+        except Exception as exc:  # pragma: no cover - facade never raises per-request
+            for _request, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_request, future), response in zip(batch, responses):
+            if not future.done():
+                future.set_result(response)

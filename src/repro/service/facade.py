@@ -1,0 +1,277 @@
+"""The synchronous service facade over the solver stack.
+
+:class:`SladeService` is the single entry point a deployment talks to: it
+validates and normalises :class:`~repro.service.api.SolveRequest` objects
+(named solver, per-solver options, threshold clamping), dispatches them
+through a shared :class:`~repro.engine.planner.BatchPlanner` so OPQ
+construction is cached across requests, and returns structured
+:class:`~repro.service.api.SolveResponse` objects with per-request timing,
+cache provenance (hit/miss), and error envelopes instead of raised
+exceptions.
+
+Equivalence guarantee: for any request, the plan a :class:`SladeService`
+returns is byte-identical to ``create_solver(name, **options).solve(problem)``
+— normalisation only resolves defaults, and the cache only removes repeated
+work.  ``tests/service/test_service_equivalence.py`` pins this across the
+sync, async, and persistent-backend paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.algorithms.registry import available_solvers, solver_accepts_queue_factory
+from repro.core.errors import SladeError
+from repro.core.problem import SladeProblem
+from repro.core.task import AtomicTask, CrowdsourcingTask
+from repro.engine.backends import CacheBackend, open_backend
+from repro.engine.cache import CacheStats, PlanCache
+from repro.engine.fingerprint import opq_key
+from repro.engine.planner import BatchPlanner
+from repro.service.api import (
+    CACHE_BYPASS,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_NONE,
+    ErrorEnvelope,
+    RequestValidationError,
+    ServiceConfig,
+    SolveRequest,
+    SolveResponse,
+    solver_options_dict,
+)
+from repro.utils.timing import Stopwatch
+
+#: Exceptions converted into response error envelopes.  Anything outside this
+#: tuple is a programming error and propagates to the caller.
+_ENVELOPED_ERRORS = (SladeError, KeyError, ValueError, TypeError)
+
+
+class _ProvenanceRecorder:
+    """A queue factory wrapper that classifies one request's cache traffic.
+
+    Injected per request, so the hit/miss attribution is immune to other
+    threads (or other planners sharing the cache) mutating the global
+    counters concurrently.  Membership is checked immediately before
+    delegating; a concurrent eviction or insert of the *same key* between
+    the two steps can mislabel that one request, which is benign — the
+    returned queue is always correct either way.
+    """
+
+    def __init__(self, cache: PlanCache) -> None:
+        self._cache = cache
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, bins, threshold):
+        if opq_key(bins, threshold) in self._cache:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return self._cache.queue_for(bins, threshold)
+
+    @property
+    def label(self) -> str:
+        if self.misses > 0:
+            return CACHE_MISS
+        if self.hits > 0:
+            return CACHE_HIT
+        return CACHE_BYPASS
+
+
+class SladeService:
+    """Validate, normalise, and dispatch solve requests through a shared planner.
+
+    Parameters
+    ----------
+    config:
+        Service tunables; defaults to :class:`~repro.service.api.ServiceConfig`.
+    planner:
+        An existing :class:`~repro.engine.planner.BatchPlanner` to dispatch
+        through (e.g. to share a cache with batch jobs).  Mutually exclusive
+        with ``backend``.
+    backend:
+        A pre-built cache backend instance; overrides
+        ``config.cache_backend``.  When both are omitted the backend is
+        resolved from the config spec (an in-memory store by default).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        planner: Optional[BatchPlanner] = None,
+        backend: Optional[CacheBackend] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        if planner is not None:
+            if backend is not None:
+                raise ValueError("pass either planner or backend, not both")
+            self.planner = planner
+        else:
+            if backend is None:
+                backend = open_backend(
+                    self.config.cache_backend,
+                    max_entries=self.config.max_cache_entries,
+                )
+            self.planner = BatchPlanner(
+                cache=PlanCache(backend=backend),
+                solver_options=solver_options_dict(self.config.solver_options),
+                verify=self.config.verify,
+            )
+        self._request_ids = itertools.count(1)
+
+    # -- public surface --------------------------------------------------------
+
+    @property
+    def cache(self) -> PlanCache:
+        """The plan cache shared by every request this service handles."""
+        return self.planner.cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Point-in-time counters of the shared plan cache."""
+        return self.cache.stats
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        """Handle one request, returning a structured response.
+
+        Never raises for solver- or validation-level failures; those come
+        back as ``ok=False`` responses carrying an error envelope.
+        """
+        return self._solve_one(request, batch_size=1)
+
+    def solve_batch(self, requests: Iterable[SolveRequest]) -> List[SolveResponse]:
+        """Handle a coalesced batch, one response per request in order.
+
+        Failures are isolated: a request that cannot be solved yields its own
+        ``ok=False`` response without affecting its batch-mates.  Every
+        response records the batch size it rode in.
+        """
+        batch = list(requests)
+        return [self._solve_one(request, batch_size=len(batch)) for request in batch]
+
+    def close(self) -> None:
+        """Release the plan cache's backend resources."""
+        self.cache.close()
+
+    def __enter__(self) -> "SladeService":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    # -- request handling ------------------------------------------------------
+
+    def _solve_one(self, request: SolveRequest, batch_size: int) -> SolveResponse:
+        watch = Stopwatch()
+        watch.start()
+        request_id = request.request_id or f"req-{next(self._request_ids)}"
+
+        try:
+            solver_name, options, verify, problem = self._normalize(request)
+        except _ENVELOPED_ERRORS as exc:
+            return self._failure(
+                request_id, None, None, exc, watch, batch_size
+            )
+
+        # Per-request provenance: inject a recording queue factory instead of
+        # diffing the cache's global counters, which other threads (or other
+        # planners sharing the cache) may advance concurrently.
+        recorder = None
+        if solver_accepts_queue_factory(solver_name):
+            recorder = _ProvenanceRecorder(self.cache)
+            options["queue_factory"] = recorder
+        try:
+            result = self.planner.solve(
+                problem, solver=solver_name, options=options, verify=verify
+            )
+        except _ENVELOPED_ERRORS as exc:
+            return self._failure(
+                request_id, solver_name, problem, exc, watch, batch_size
+            )
+
+        watch.stop()
+        return SolveResponse(
+            request_id=request_id,
+            ok=True,
+            solver=solver_name,
+            plan=result.plan,
+            total_cost=result.total_cost,
+            feasible=result.feasible,
+            cache=recorder.label if recorder is not None else CACHE_BYPASS,
+            elapsed_seconds=watch.elapsed,
+            solve_seconds=result.elapsed_seconds,
+            batch_size=batch_size,
+            problem_fingerprint=problem.fingerprint,
+        )
+
+    def _failure(
+        self,
+        request_id: str,
+        solver_name: Optional[str],
+        problem: Optional[SladeProblem],
+        exc: BaseException,
+        watch: Stopwatch,
+        batch_size: int,
+    ) -> SolveResponse:
+        watch.stop()
+        return SolveResponse(
+            request_id=request_id,
+            ok=False,
+            solver=solver_name,
+            plan=None,
+            total_cost=None,
+            feasible=None,
+            cache=CACHE_NONE,
+            elapsed_seconds=watch.elapsed,
+            solve_seconds=0.0,
+            batch_size=batch_size,
+            problem_fingerprint=problem.fingerprint if problem is not None else None,
+            error=ErrorEnvelope.from_exception(exc),
+        )
+
+    # -- normalisation ---------------------------------------------------------
+
+    def _normalize(
+        self, request: SolveRequest
+    ) -> Tuple[str, Dict[str, Any], bool, SladeProblem]:
+        """Resolve defaults and clamps into concrete dispatch arguments."""
+        solver_name = request.solver or self.config.solver
+        if solver_name not in available_solvers():
+            known = ", ".join(available_solvers())
+            raise RequestValidationError(
+                f"unknown solver {solver_name!r}; known solvers: {known}"
+            )
+        options = dict(request.options or {})
+        for key in options:
+            if not isinstance(key, str):
+                raise RequestValidationError(
+                    f"solver option names must be strings, got {key!r}"
+                )
+        if "queue_factory" in options or "prebuilt_queue" in options:
+            raise RequestValidationError(
+                "queue injection is managed by the service; remove "
+                "'queue_factory'/'prebuilt_queue' from request options"
+            )
+        verify = self.config.verify if request.verify is None else request.verify
+        return solver_name, options, verify, self._clamp_problem(request.problem)
+
+    def _clamp_problem(self, problem: SladeProblem) -> SladeProblem:
+        """Apply the configured threshold floor/cap, rebuilding if needed."""
+        if not self.config.clamps_thresholds:
+            return problem
+        clamped = [
+            self.config.clamp_threshold(atomic.threshold) for atomic in problem.task
+        ]
+        if clamped == [atomic.threshold for atomic in problem.task]:
+            return problem
+        tasks = [
+            AtomicTask(atomic.task_id, threshold, atomic.payload)
+            for atomic, threshold in zip(problem.task, clamped)
+        ]
+        return SladeProblem(
+            CrowdsourcingTask(tasks, name=problem.task.name),
+            problem.bins,
+            name=problem.name,
+        )

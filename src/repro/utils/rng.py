@@ -8,7 +8,7 @@ reproducible end to end from a single integer seed.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

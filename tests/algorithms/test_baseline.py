@@ -4,7 +4,6 @@ import pytest
 
 from repro.algorithms.baseline import CIPBaselineSolver
 from repro.algorithms.opq import OPQSolver
-from repro.core.bins import TaskBin, TaskBinSet
 from repro.core.problem import SladeProblem
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.algorithms.dp_relaxed import RelaxedDPSolver
 from repro.algorithms.exhaustive import ExactSolver
-from repro.core.bins import TaskBin, TaskBinSet
+from repro.core.bins import TaskBinSet
 from repro.core.errors import InvalidProblemError
 from repro.core.problem import SladeProblem
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algorithms.exhaustive import ExactSolver
-from repro.core.bins import TaskBin, TaskBinSet
 from repro.core.errors import InvalidProblemError
 from repro.core.problem import SladeProblem
 

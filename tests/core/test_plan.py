@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.bins import TaskBin
 from repro.core.errors import InfeasiblePlanError, InvalidBinError
 from repro.core.plan import BinAssignment, DecompositionPlan
 from repro.core.task import CrowdsourcingTask

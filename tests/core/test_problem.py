@@ -5,7 +5,6 @@ import pytest
 from repro.core.bins import TaskBin, TaskBinSet
 from repro.core.errors import InvalidProblemError
 from repro.core.problem import SladeProblem
-from repro.core.task import CrowdsourcingTask
 
 
 class TestConstruction:

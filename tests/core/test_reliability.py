@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.bins import TaskBin
 from repro.core.reliability import (
     aggregate_reliability,
     assignments_needed,

@@ -1,7 +1,5 @@
 """Tests for experiment configuration containers and text reporting."""
 
-import pytest
-
 from repro.experiments.config import ExperimentConfig, SweepResult, SweepRow
 from repro.experiments.report import format_series, format_sweep_table, summarize_winners
 

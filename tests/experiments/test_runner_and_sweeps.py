@@ -5,7 +5,6 @@ import pytest
 from repro.core.problem import SladeProblem
 from repro.datasets.jelly import jelly_bin_set
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.report import summarize_winners
 from repro.experiments.runner import run_solvers
 from repro.experiments.sweeps import (
     sweep_hetero_mu,

@@ -15,7 +15,6 @@ statements must hold:
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.report import summarize_winners
 from repro.experiments.sweeps import (
     sweep_hetero_mu,
     sweep_max_cardinality,

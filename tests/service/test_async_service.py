@@ -1,0 +1,198 @@
+"""Tests for the async micro-batching frontend.
+
+Covers the coalescing loop's edge cases from the PR checklist: a single
+request flushed by timeout, a burst larger than the batch bound split across
+flushes, failures isolated to their own response, and clean shutdown with
+pending requests.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.problem import SladeProblem
+from repro.service import (
+    AsyncSladeService,
+    ServiceClosedError,
+    ServiceConfig,
+    SladeService,
+    SolveRequest,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def request_for(example4_problem):
+    def make(**kwargs):
+        return SolveRequest(problem=example4_problem, **kwargs)
+
+    return make
+
+
+class TestMicroBatching:
+    def test_single_request_flushed_by_timeout(self, request_for):
+        async def scenario():
+            async with AsyncSladeService(
+                config=ServiceConfig(max_batch_size=8, max_wait_seconds=0.02)
+            ) as svc:
+                return await svc.submit(request_for(request_id="lonely"))
+
+        response = run(scenario())
+        # The batch never filled; the timeout must flush it as a singleton.
+        assert response.ok
+        assert response.request_id == "lonely"
+        assert response.batch_size == 1
+
+    def test_concurrent_submissions_coalesce(self, request_for):
+        async def scenario():
+            async with AsyncSladeService(
+                config=ServiceConfig(max_batch_size=8, max_wait_seconds=0.05)
+            ) as svc:
+                return await svc.submit_many([request_for() for _ in range(6)])
+
+        responses = run(scenario())
+        assert all(r.ok for r in responses)
+        # All six were submitted before the first flush deadline, so at
+        # least one flush must have carried multiple requests.
+        assert max(r.batch_size for r in responses) > 1
+
+    def test_burst_larger_than_max_batch_splits_across_flushes(self, request_for):
+        async def scenario():
+            async with AsyncSladeService(
+                config=ServiceConfig(max_batch_size=2, max_wait_seconds=0.05)
+            ) as svc:
+                return await svc.submit_many(
+                    [request_for(request_id=f"r{i}") for i in range(5)]
+                )
+
+        responses = run(scenario())
+        assert [r.request_id for r in responses] == [f"r{i}" for i in range(5)]
+        assert all(r.ok for r in responses)
+        assert all(r.batch_size <= 2 for r in responses)
+        # Five requests under a bound of two partition into at least three
+        # flushes, one of which is necessarily a singleton.
+        assert any(r.batch_size == 1 for r in responses)
+
+    def test_failure_isolated_to_its_own_response(self, request_for):
+        async def scenario():
+            async with AsyncSladeService(
+                config=ServiceConfig(max_batch_size=8, max_wait_seconds=0.05)
+            ) as svc:
+                return await svc.submit_many(
+                    [
+                        request_for(request_id="good-1"),
+                        request_for(request_id="bad", solver="magic"),
+                        request_for(request_id="good-2"),
+                    ]
+                )
+
+        responses = run(scenario())
+        by_id = {r.request_id: r for r in responses}
+        assert by_id["good-1"].ok
+        assert by_id["good-2"].ok
+        assert not by_id["bad"].ok
+        assert by_id["bad"].error.type == "RequestValidationError"
+
+
+class TestLifecycle:
+    def test_clean_shutdown_resolves_pending_requests(self, request_for):
+        async def scenario():
+            svc = AsyncSladeService(
+                config=ServiceConfig(max_batch_size=4, max_wait_seconds=0.05)
+            )
+            await svc.start()
+            pending = [
+                asyncio.ensure_future(svc.submit(request_for(request_id=f"p{i}")))
+                for i in range(5)
+            ]
+            # Let the submissions enqueue, then close while they are pending.
+            await asyncio.sleep(0)
+            await svc.close()
+            return await asyncio.gather(*pending)
+
+        responses = run(scenario())
+        assert len(responses) == 5
+        assert all(r.ok for r in responses)
+
+    def test_submit_after_close_rejected(self, request_for):
+        async def scenario():
+            svc = AsyncSladeService(config=ServiceConfig())
+            await svc.start()
+            await svc.close()
+            with pytest.raises(ServiceClosedError):
+                await svc.submit(request_for())
+
+        run(scenario())
+
+    def test_close_without_start_is_clean(self):
+        async def scenario():
+            svc = AsyncSladeService(config=ServiceConfig())
+            await svc.close()
+
+        run(scenario())
+
+    def test_close_is_idempotent(self, request_for):
+        async def scenario():
+            svc = AsyncSladeService(config=ServiceConfig())
+            assert (await svc.submit(request_for())).ok
+            await svc.close()
+            await svc.close()
+
+        run(scenario())
+
+    def test_service_and_config_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            AsyncSladeService(service=SladeService(), config=ServiceConfig())
+
+    def test_batching_overrides(self):
+        svc = AsyncSladeService(
+            config=ServiceConfig(max_batch_size=16),
+            max_batch_size=4,
+            max_wait_seconds=0.0,
+        )
+        assert svc.max_batch_size == 4
+        assert svc.max_wait_seconds == 0.0
+
+    def test_zero_wait_still_serves(self, request_for):
+        async def scenario():
+            async with AsyncSladeService(
+                config=ServiceConfig(max_batch_size=4, max_wait_seconds=0.0)
+            ) as svc:
+                return await svc.submit_many([request_for() for _ in range(3)])
+
+        responses = run(scenario())
+        assert all(r.ok for r in responses)
+
+
+class TestSharedCacheAcrossFrontends:
+    def test_async_requests_hit_cache_warmed_by_sync_facade(
+        self, request_for, example4_problem
+    ):
+        facade = SladeService()
+        facade.solve(SolveRequest(problem=example4_problem))
+
+        async def scenario():
+            async with AsyncSladeService(service=facade) as svc:
+                return await svc.submit(request_for())
+
+        response = run(scenario())
+        assert response.ok
+        assert response.cache == "hit"
+
+    def test_heterogeneous_requests_through_async_path(self, table1_bins):
+        problem = SladeProblem.heterogeneous(
+            [0.5, 0.6, 0.7, 0.86], table1_bins, name="hetero"
+        )
+
+        async def scenario():
+            async with AsyncSladeService(config=ServiceConfig()) as svc:
+                return await svc.submit(
+                    SolveRequest(problem=problem, solver="opq-extended")
+                )
+
+        response = run(scenario())
+        assert response.ok
+        assert response.solver == "opq-extended"

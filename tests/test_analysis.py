@@ -36,7 +36,6 @@ class TestBounds:
 
     def test_heterogeneous_lower_bound(self, heterogeneous_example_problem):
         bound = lower_bound(heterogeneous_example_problem)
-        exact_like = OPQSolver  # no exact heterogeneous oracle; compare to plans
         from repro.algorithms.opq_extended import OPQExtendedSolver
 
         plan_cost = OPQExtendedSolver().solve(heterogeneous_example_problem).total_cost

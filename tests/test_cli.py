@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.io.serialization import solve_request_to_dict
+from repro.service import SolveRequest
 
 
 class TestSolveCommand:
@@ -87,6 +91,121 @@ class TestBatchCommand:
             main(["batch", "--thresholds", ""])
         with pytest.raises(SystemExit):
             main(["batch", "--n-values", "10", "--repeat", "0"])
+
+
+class TestServeCommand:
+    @staticmethod
+    def _write_requests(path, lines):
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_serves_requests_from_file(self, tmp_path, capsys, example4_problem):
+        request_line = json.dumps(
+            solve_request_to_dict(SolveRequest(problem=example4_problem))
+        )
+        input_path = self._write_requests(
+            tmp_path / "requests.jsonl", [request_line, request_line]
+        )
+        exit_code = main(["serve", "--input", input_path])
+        assert exit_code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        responses = [json.loads(line) for line in lines]
+        assert len(responses) == 2
+        assert all(r["kind"] == "solve_response" for r in responses)
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["cache"] == "miss"
+        assert responses[1]["cache"] == "hit"
+        assert responses[0]["plan"] is not None
+
+    def test_inline_request_form_and_no_plans(self, tmp_path, capsys):
+        line = json.dumps({
+            "kind": "solve_request", "version": 1,
+            "n": 20, "threshold": 0.9,
+            "bins": [[1, 0.9, 0.10], [2, 0.85, 0.18], [3, 0.8, 0.24]],
+        })
+        input_path = self._write_requests(tmp_path / "requests.jsonl", [line])
+        exit_code = main(["serve", "--input", input_path, "--no-plans"])
+        assert exit_code == 0
+        (response,) = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert response["ok"]
+        assert response["plan"] is None
+        assert response["total_cost"] > 0
+
+    def test_bad_lines_answered_with_error_envelopes(self, tmp_path, capsys,
+                                                     example4_problem):
+        good = json.dumps(
+            solve_request_to_dict(SolveRequest(problem=example4_problem))
+        )
+        input_path = self._write_requests(
+            tmp_path / "requests.jsonl",
+            ["not json", '{"kind": "wrong", "version": 1}', good],
+        )
+        exit_code = main(["serve", "--input", input_path])
+        assert exit_code == 0
+        responses = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert [r["ok"] for r in responses] == [False, False, True]
+        assert responses[0]["error"]["type"] == "JSONDecodeError"
+        assert responses[1]["error"]["type"] == "SerializationError"
+        assert responses[0]["request_id"] == "line-1"
+
+    def test_sqlite_cache_warm_across_invocations(self, tmp_path, capsys,
+                                                  example4_problem):
+        request_line = json.dumps(
+            solve_request_to_dict(SolveRequest(problem=example4_problem))
+        )
+        input_path = self._write_requests(tmp_path / "requests.jsonl", [request_line])
+        cache_spec = f"sqlite:{tmp_path / 'plans.db'}"
+
+        assert main(["serve", "--input", input_path, "--cache", cache_spec]) == 0
+        first = json.loads(capsys.readouterr().out.strip())
+        assert first["cache"] == "miss"
+
+        assert main(["serve", "--input", input_path, "--cache", cache_spec]) == 0
+        second = json.loads(capsys.readouterr().out.strip())
+        assert second["cache"] == "hit"
+
+    def test_stats_flag_reports_to_stderr(self, tmp_path, capsys, example4_problem):
+        request_line = json.dumps(
+            solve_request_to_dict(SolveRequest(problem=example4_problem))
+        )
+        input_path = self._write_requests(tmp_path / "requests.jsonl", [request_line])
+        exit_code = main(["serve", "--input", input_path, "--stats"])
+        assert exit_code == 0
+        assert "cache hits/misses" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    """Library-level failures exit with code 2 and a one-line message."""
+
+    def test_slade_error_exits_2_without_traceback(self, capsys):
+        exit_code = main(["solve", "--max-cardinality", "0"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_bad_cache_spec_exits_2(self, capsys):
+        exit_code = main(["serve", "--cache", "bogus", "--input", "/dev/null"])
+        assert exit_code == 2
+        assert "cache backend spec" in capsys.readouterr().err
+
+    def test_non_positive_cache_bound_exits_2(self, capsys):
+        exit_code = main(["serve", "--cache", "memory:0", "--input", "/dev/null"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_missing_input_file_exits_2(self, tmp_path, capsys):
+        exit_code = main(["serve", "--input", str(tmp_path / "missing.jsonl")])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "cannot open --input file" in captured.err
+        assert "Traceback" not in captured.err
 
 
 class TestCalibrateCommand:

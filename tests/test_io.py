@@ -1,4 +1,5 @@
-"""Tests for JSON serialisation of bin sets, problems and plans."""
+"""Tests for JSON serialisation of bin sets, problems, plans, and the
+service-layer request/response shapes."""
 
 import json
 
@@ -9,6 +10,7 @@ from repro.core.errors import InvalidBinError
 from repro.core.problem import SladeProblem
 from repro.datasets.jelly import jelly_bin_set
 from repro.datasets.workloads import make_workload
+from repro.engine import BatchPlanner, BatchSpec
 from repro.io.serialization import (
     SerializationError,
     bin_set_from_dict,
@@ -23,7 +25,12 @@ from repro.io.serialization import (
     save_bin_set,
     save_plan,
     save_problem,
+    solve_request_from_dict,
+    solve_request_to_dict,
+    solve_response_from_dict,
+    solve_response_to_dict,
 )
+from repro.service import SladeService, SolveRequest
 
 
 class TestBinSetSerialization:
@@ -109,3 +116,117 @@ class TestPlanSerialization:
     def test_non_mapping_rejected(self):
         with pytest.raises(SerializationError):
             plan_from_dict(["not", "a", "mapping"])
+
+
+class TestSolveRequestSerialization:
+    def test_round_trip_preserves_everything(self, example4_problem):
+        request = SolveRequest(
+            problem=example4_problem,
+            solver="opq",
+            options={"verify": True},
+            verify=False,
+            request_id="abc",
+        )
+        payload = json.loads(json.dumps(solve_request_to_dict(request)))
+        restored = solve_request_from_dict(payload)
+        assert restored.request_id == "abc"
+        assert restored.solver == "opq"
+        assert restored.verify is False
+        assert dict(restored.options) == {"verify": True}
+        assert restored.problem.fingerprint == example4_problem.fingerprint
+
+    def test_default_request_id_applied_when_missing(self, example4_problem):
+        payload = solve_request_to_dict(SolveRequest(problem=example4_problem))
+        restored = solve_request_from_dict(payload, default_request_id="line-7")
+        assert restored.request_id == "line-7"
+
+    def test_inline_homogeneous_form(self):
+        payload = {
+            "kind": "solve_request",
+            "version": 1,
+            "n": 10,
+            "threshold": 0.9,
+            "bins": [[1, 0.9, 0.10], [2, 0.85, 0.18]],
+        }
+        request = solve_request_from_dict(payload)
+        assert request.problem.n == 10
+        assert request.problem.homogeneous_threshold == 0.9
+
+    def test_inline_heterogeneous_form(self, table1_bins):
+        payload = {
+            "kind": "solve_request",
+            "version": 1,
+            "thresholds": [0.5, 0.9],
+            "bins": bin_set_to_dict(table1_bins),
+        }
+        request = solve_request_from_dict(payload)
+        assert request.problem.task.thresholds == [0.5, 0.9]
+
+    def test_missing_problem_rejected(self):
+        with pytest.raises(SerializationError):
+            solve_request_from_dict({"kind": "solve_request", "version": 1})
+
+    def test_inline_without_threshold_rejected(self):
+        with pytest.raises(SerializationError):
+            solve_request_from_dict(
+                {
+                    "kind": "solve_request",
+                    "version": 1,
+                    "bins": [[1, 0.9, 0.10]],
+                    "n": 5,
+                }
+            )
+
+
+class TestSolveResponseSerialization:
+    def test_success_round_trip(self, example4_problem):
+        response = SladeService().solve(
+            SolveRequest(problem=example4_problem, request_id="ok-1")
+        )
+        payload = json.loads(json.dumps(solve_response_to_dict(response)))
+        restored = solve_response_from_dict(payload)
+        assert restored.ok
+        assert restored.request_id == "ok-1"
+        assert restored.solver == response.solver
+        assert restored.cache == response.cache
+        assert restored.total_cost == pytest.approx(response.total_cost)
+        assert restored.plan.total_cost == pytest.approx(response.plan.total_cost)
+        assert restored.problem_fingerprint == response.problem_fingerprint
+
+    def test_failure_round_trip_carries_envelope(self, example4_problem):
+        response = SladeService().solve(
+            SolveRequest(problem=example4_problem, solver="magic", request_id="bad-1")
+        )
+        restored = solve_response_from_dict(
+            json.loads(json.dumps(solve_response_to_dict(response)))
+        )
+        assert not restored.ok
+        assert restored.plan is None
+        assert restored.error.type == "RequestValidationError"
+        assert "magic" in restored.error.message
+
+    def test_plan_can_be_omitted(self, example4_problem):
+        response = SladeService().solve(SolveRequest(problem=example4_problem))
+        payload = solve_response_to_dict(response, include_plan=False)
+        assert payload["plan"] is None
+        restored = solve_response_from_dict(payload)
+        assert restored.plan is None
+        assert restored.total_cost == pytest.approx(response.total_cost)
+
+
+class TestBatchResultAsDict:
+    def test_summary_is_json_compatible(self, table1_bins):
+        spec = BatchSpec(bins=table1_bins, n_values=(4, 8), thresholds=(0.95,))
+        batch = BatchPlanner().solve_many(spec, solver="opq")
+        payload = batch.as_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["stats"]["instances"] == 2
+        assert [item["n"] for item in payload["items"]] == [4, 8]
+        assert all("plan" not in item for item in payload["items"])
+
+    def test_plans_inlined_on_request(self, table1_bins):
+        spec = BatchSpec(bins=table1_bins, n_values=(4,), thresholds=(0.95,))
+        batch = BatchPlanner().solve_many(spec, solver="opq")
+        payload = batch.as_dict(include_plans=True)
+        plan = plan_from_dict(payload["items"][0]["plan"])
+        assert plan.total_cost == pytest.approx(batch.results[0].total_cost)
