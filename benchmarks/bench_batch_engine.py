@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 
-from benchmarks.conftest import report
+from benchmarks.conftest import record_result, report
 from repro.algorithms.registry import create_solver
 from repro.core.problem import SladeProblem
 from repro.datasets.jelly import jelly_bin_set
@@ -76,6 +76,15 @@ def test_batch_engine_speedup_on_shared_bin_sweep():
                 f"{batch.stats.build_seconds * 1000:.2f} ms",
             ]
         ),
+    )
+
+    record_result(
+        "batch_engine_shared_menu_sweep",
+        instances=len(problems),
+        cold_seconds=cold_watch.elapsed,
+        batched_seconds=warm_seconds,
+        speedup=speedup,
+        cache_hit_rate=batch.stats.cache_hit_rate,
     )
 
     # The plans must be identical, only faster.

@@ -25,7 +25,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-from benchmarks.conftest import report
+from benchmarks.conftest import record_result, report
 from repro.algorithms.registry import create_solver
 from repro.core.problem import SladeProblem
 from repro.datasets.jelly import jelly_bin_set
@@ -98,6 +98,15 @@ def test_async_micro_batching_beats_per_request_cold_solves():
                 f"{sum(1 for r in responses if r.cache == 'miss')} misses",
             ]
         ),
+    )
+
+    record_result(
+        "service_async_micro_batching",
+        requests=REQUESTS,
+        cold_seconds=cold_watch.elapsed,
+        batched_seconds=warm_watch.elapsed,
+        speedup=speedup,
+        coalesced_requests=batched,
     )
 
     # The plans must be identical, only faster.
@@ -194,6 +203,14 @@ def test_sqlite_backend_warm_start_across_processes(tmp_path):
                 f"  first request provenance   : {second['first_cache']}",
             ]
         ),
+    )
+
+    record_result(
+        "service_sqlite_warm_start",
+        requests=REQUESTS,
+        first_process_seconds=cold_watch.elapsed,
+        second_process_seconds=second["wall_seconds"],
+        second_process_hit_rate=second["hit_rate"],
     )
 
     assert second["ok"]

@@ -15,12 +15,18 @@ benchmark run doubles as a figure reproduction run.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 from typing import Dict, Sequence
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+
+#: When set, benchmarks append their headline numbers to this JSON file so
+#: CI can upload the perf trajectory as a per-commit artifact.
+RESULTS_ENV = "SLADE_BENCH_RESULTS"
 
 #: Full-scale mode reproduces the paper's axis ranges.
 FULL_SCALE = os.environ.get("SLADE_BENCH_FULL", "0") == "1"
@@ -82,3 +88,20 @@ def report(title: str, text: str) -> None:
     print(f"# {title}")
     print("#" * 72)
     print(text)
+
+
+def record_result(benchmark: str, **metrics) -> None:
+    """Append one benchmark's headline numbers to ``$SLADE_BENCH_RESULTS``.
+
+    A no-op when the environment variable is unset, so local runs stay
+    side-effect free.  The file is a JSON list of flat records
+    (``{"benchmark": ..., metric: value, ...}``); benchmarks within one
+    pytest process run sequentially, so read-modify-write is safe.
+    """
+    path_text = os.environ.get(RESULTS_ENV)
+    if not path_text:
+        return
+    path = Path(path_text)
+    records = json.loads(path.read_text()) if path.exists() else []
+    records.append({"benchmark": benchmark, **metrics})
+    path.write_text(json.dumps(records, indent=2) + "\n")

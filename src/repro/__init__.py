@@ -55,15 +55,23 @@ from repro.engine import (
     MemoryBackend,
     PlanCache,
     SQLiteBackend,
+    SeriesStats,
+    Telemetry,
     open_backend,
 )
 from repro.service import (
+    AdmissionController,
+    AdmissionError,
     AsyncSladeService,
     ErrorEnvelope,
+    HttpSladeServer,
+    OverloadedError,
+    RateLimitedError,
     RequestValidationError,
     ServiceClosedError,
     ServiceConfig,
     ServiceError,
+    SladeHttpClient,
     SladeService,
     SolveRequest,
     SolveResponse,
@@ -124,14 +132,22 @@ __all__ = [
     "MemoryBackend",
     "PlanCache",
     "SQLiteBackend",
+    "SeriesStats",
+    "Telemetry",
     "open_backend",
     # service layer
+    "AdmissionController",
+    "AdmissionError",
     "AsyncSladeService",
     "ErrorEnvelope",
+    "HttpSladeServer",
+    "OverloadedError",
+    "RateLimitedError",
     "RequestValidationError",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
+    "SladeHttpClient",
     "SladeService",
     "SolveRequest",
     "SolveResponse",

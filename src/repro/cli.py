@@ -23,7 +23,12 @@ Three sub-commands cover the common workflows:
     Run the service facade as a JSON-lines request loop: read one solve
     request per line from stdin (or a file), write one structured response
     per line to stdout.  ``--cache sqlite:<path>`` keeps the plan cache warm
-    across restarts.
+    across restarts.  With ``--http HOST:PORT`` the same facade is served
+    over the stdlib HTTP transport instead (``POST /v1/solve``,
+    ``POST /v1/solve/batch``, ``GET /healthz``, ``GET /metrics``), with
+    optional per-tenant admission control (``--rate``, ``--burst``,
+    ``--max-inflight``, ``--max-total-inflight``); SIGINT/SIGTERM shut it
+    down cleanly, draining in-flight requests.
 
 Every sub-command reports library-level failures (:class:`SladeError`
 subclasses) as a one-line ``error:`` message on stderr with exit code 2
@@ -33,7 +38,9 @@ instead of a traceback.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
+import signal
 import sys
 from typing import List, Optional, Sequence, TextIO
 
@@ -55,12 +62,13 @@ from repro.io.serialization import (
     solve_response_to_dict,
 )
 from repro.service import (
-    CACHE_NONE,
-    ErrorEnvelope,
+    AdmissionController,
     ServiceConfig,
     SladeService,
-    SolveResponse,
+    failure_response,
+    run_http_server,
 )
+from repro.service.transport.http11 import split_host_port
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -127,6 +135,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip plan feasibility verification")
     serve.add_argument("--stats", action="store_true",
                        help="print cache statistics to stderr on exit")
+    serve.add_argument("--http", metavar="HOST:PORT", default=None,
+                       help="serve over HTTP instead of the JSON-lines loop "
+                            "(e.g. 127.0.0.1:8080; port 0 picks a free port)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-tenant sustained request rate (requests/second)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="per-tenant token-bucket capacity (defaults to rate)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="per-tenant cap on concurrently admitted requests")
+    serve.add_argument("--max-total-inflight", type=int, default=None,
+                       help="global cap on concurrently admitted requests")
+    serve.add_argument("--max-batch-size", type=int, default=16,
+                       help="largest micro-batch the HTTP frontend coalesces")
+    serve.add_argument("--max-wait-seconds", type=float, default=0.01,
+                       help="longest an incomplete micro-batch is held open")
 
     calibrate = sub.add_parser("calibrate", help="probe the simulated platform")
     calibrate.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
@@ -234,24 +257,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _line_failure(request_id: str, exc: Exception) -> SolveResponse:
-    """A response envelope for a line that never became a valid request."""
-    return SolveResponse(
-        request_id=request_id,
-        ok=False,
-        solver=None,
-        plan=None,
-        total_cost=None,
-        feasible=None,
-        cache=CACHE_NONE,
-        elapsed_seconds=0.0,
-        solve_seconds=0.0,
-        error=ErrorEnvelope.from_exception(exc),
-    )
-
-
 def _serve_loop(service: SladeService, stream: TextIO, include_plans: bool) -> int:
-    """Answer each JSON-line request on ``stream`` with a JSON-line response."""
+    """Answer each JSON-line request on ``stream`` with a JSON-line response.
+
+    Lines that never become valid requests answer with the same
+    :func:`repro.service.failure_response` envelope the HTTP transport
+    produces, so clients see one failure shape regardless of transport.
+    """
     handled = 0
     for line_no, line in enumerate(stream, start=1):
         line = line.strip()
@@ -261,14 +273,14 @@ def _serve_loop(service: SladeService, stream: TextIO, include_plans: bool) -> i
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as exc:
-            response = _line_failure(request_id, exc)
+            response = failure_response(request_id, exc)
         else:
             try:
                 request = solve_request_from_dict(
                     payload, default_request_id=request_id
                 )
             except (SladeError, KeyError, TypeError, ValueError) as exc:
-                response = _line_failure(request_id, exc)
+                response = failure_response(request_id, exc)
             else:
                 response = service.solve(request)
         print(
@@ -279,7 +291,76 @@ def _serve_loop(service: SladeService, stream: TextIO, include_plans: bool) -> i
     return handled
 
 
+def _serve_http(args: argparse.Namespace) -> int:
+    """Run the HTTP transport until SIGINT/SIGTERM, then drain and exit 0."""
+    try:
+        host, port = split_host_port(args.http)
+    except ValueError as exc:
+        raise SladeError(f"invalid --http value: {exc}") from exc
+    config = ServiceConfig(
+        solver=args.solver,
+        verify=not args.no_verify,
+        cache_backend=args.cache,
+        max_batch_size=args.max_batch_size,
+        max_wait_seconds=args.max_wait_seconds,
+    )
+    admission = AdmissionController(
+        rate=args.rate,
+        burst=args.burst,
+        max_inflight=args.max_inflight,
+        max_total_inflight=args.max_total_inflight,
+    )
+
+    async def main() -> SladeService:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+
+        def on_ready(server) -> None:
+            print(f"listening on http://{server.host}:{server.port}",
+                  file=sys.stderr, flush=True)
+
+        server = await run_http_server(
+            host, port,
+            config=config,
+            admission=admission,
+            include_plans=not args.no_plans,
+            stop=stop,
+            on_ready=on_ready,
+        )
+        return server.service.service
+
+    try:
+        facade = asyncio.run(main())
+    except OSError as exc:
+        # Bind failures (port in use, privileged port) are configuration
+        # errors, not crashes.
+        raise SladeError(f"cannot serve on {args.http!r}: {exc}") from exc
+    if args.stats:
+        # Telemetry outlives the drained service (the cache backend is
+        # already closed by the time the event loop returns).
+        telemetry = facade.telemetry
+        hits = int(telemetry.counter("cache.hits"))
+        misses = int(telemetry.counter("cache.misses"))
+        requests = hits + misses
+        hit_rate = hits / requests if requests else 0.0
+        print(
+            f"served {int(telemetry.counter('service.requests'))} "
+            f"request(s); cache hits/misses {hits}/{misses} "
+            f"(hit rate {hit_rate:.1%}), "
+            f"opq build time {telemetry.counter('cache.build_seconds'):.3f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.http is not None:
+        return _serve_http(args)
     if args.input == "-":
         stream = sys.stdin
     else:

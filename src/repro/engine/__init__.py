@@ -34,6 +34,7 @@ from repro.engine.planner import (
     EXECUTORS,
 )
 from repro.engine.specs import BatchSpec
+from repro.engine.telemetry import SeriesStats, Telemetry, render_prometheus
 
 __all__ = [
     "BatchItem",
@@ -47,7 +48,10 @@ __all__ = [
     "MemoryBackend",
     "PlanCache",
     "SQLiteBackend",
+    "SeriesStats",
+    "Telemetry",
     "open_backend",
     "opq_key",
     "problem_key",
+    "render_prometheus",
 ]

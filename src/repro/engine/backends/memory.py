@@ -34,6 +34,8 @@ class MemoryBackend:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be positive; got {max_entries}")
         self.max_entries = max_entries
+        #: Entries dropped by the LRU bound since construction (telemetry).
+        self.evictions = 0
         self._entries: "OrderedDict[OPQKey, OptimalPriorityQueue]" = OrderedDict()
 
     def get(self, key: OPQKey) -> Optional[OptimalPriorityQueue]:
@@ -48,6 +50,7 @@ class MemoryBackend:
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def merge(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
         for key, queue in entries.items():

@@ -56,6 +56,8 @@ class SQLiteBackend:
             raise ValueError(f"max_entries must be positive; got {max_entries}")
         self.path = Path(path)
         self.max_entries = max_entries
+        #: Entries dropped by the LRU bound by *this* process (telemetry).
+        self.evictions = 0
         # autocommit (isolation_level=None) keeps each statement in its own
         # implicit transaction; check_same_thread=False because PlanCache
         # serialises calls under its lock and may be driven from a thread pool.
@@ -165,6 +167,7 @@ class SQLiteBackend:
         excess = len(self) - self.max_entries
         if excess <= 0:
             return
+        self.evictions += excess
         self._conn.execute(
             "DELETE FROM opq_entries WHERE rowid IN ("
             "  SELECT rowid FROM opq_entries ORDER BY touch_seq ASC LIMIT ?"

@@ -30,6 +30,7 @@ from repro.algorithms.opq import OptimalPriorityQueue, build_optimal_priority_qu
 from repro.core.bins import TaskBinSet
 from repro.engine.backends import CacheBackend, MemoryBackend
 from repro.engine.fingerprint import OPQKey, opq_key
+from repro.engine.telemetry import Telemetry
 from repro.utils.timing import Stopwatch
 
 
@@ -47,12 +48,15 @@ class CacheStats:
         Queues currently stored.
     build_seconds:
         Total wall-clock time spent constructing queues on misses.
+    evictions:
+        Entries dropped by the backend's LRU bound (0 for unbounded stores).
     """
 
     hits: int
     misses: int
     entries: int
     build_seconds: float
+    evictions: int = 0
 
     @property
     def requests(self) -> int:
@@ -77,6 +81,7 @@ class CacheStats:
             misses=self.misses - earlier.misses,
             entries=self.entries,
             build_seconds=self.build_seconds - earlier.build_seconds,
+            evictions=self.evictions - earlier.evictions,
         )
 
 
@@ -96,6 +101,12 @@ class PlanCache:
         :class:`~repro.engine.backends.memory.MemoryBackend` when omitted.
         Pass a :class:`~repro.engine.backends.sqlite.SQLiteBackend` to share
         queues across processes and restarts.
+    telemetry:
+        Optional :class:`~repro.engine.telemetry.Telemetry` registry; when
+        set, the cache reports ``cache.hits`` / ``cache.misses`` /
+        ``cache.evictions`` counters and ``cache.build_seconds`` alongside
+        its own :attr:`stats` (the service layer shares one registry across
+        the cache, planner, and transport so ``/metrics`` is one snapshot).
 
     The bound method :meth:`queue_for` matches the
     :data:`~repro.algorithms.opq.QueueFactory` signature, so a cache can be
@@ -108,6 +119,7 @@ class PlanCache:
         self,
         max_entries: Optional[int] = None,
         backend: Optional[CacheBackend] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if backend is None:
             backend = MemoryBackend(max_entries=max_entries)
@@ -118,6 +130,7 @@ class PlanCache:
             )
         self.backend = backend
         self.max_entries = getattr(backend, "max_entries", max_entries)
+        self.telemetry = telemetry
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -136,6 +149,8 @@ class PlanCache:
             queue = self.backend.get(key)
             if queue is not None:
                 self._hits += 1
+                if self.telemetry is not None:
+                    self.telemetry.increment("cache.hits")
                 return queue
             # Build under the lock: construction is pure Python (GIL-bound),
             # so releasing the lock would only let threads duplicate work.
@@ -144,7 +159,14 @@ class PlanCache:
             with watch:
                 queue = build_optimal_priority_queue(bins, threshold)
             self._build_seconds += watch.elapsed
+            evictions_before = getattr(self.backend, "evictions", 0)
             self.backend.put(key, queue)
+            if self.telemetry is not None:
+                self.telemetry.increment("cache.misses")
+                self.telemetry.increment("cache.build_seconds", watch.elapsed)
+                evicted = getattr(self.backend, "evictions", 0) - evictions_before
+                if evicted:
+                    self.telemetry.increment("cache.evictions", evicted)
             return queue
 
     def warm(self, bins: TaskBinSet, thresholds: Iterable[float]) -> None:
@@ -180,6 +202,7 @@ class PlanCache:
                 misses=self._misses,
                 entries=len(self.backend),
                 build_seconds=self._build_seconds,
+                evictions=getattr(self.backend, "evictions", 0),
             )
 
     def clear(self) -> None:

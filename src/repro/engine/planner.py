@@ -35,6 +35,7 @@ from repro.algorithms.registry import create_solver, solver_accepts_queue_factor
 from repro.core.problem import SladeProblem
 from repro.engine.cache import CacheStats, PlanCache
 from repro.engine.specs import BatchSpec
+from repro.engine.telemetry import Telemetry
 from repro.utils.timing import Stopwatch
 
 #: Execution strategies understood by :class:`BatchPlanner`.
@@ -241,6 +242,11 @@ class BatchPlanner:
     max_workers:
         Worker count for the parallel strategies; ``None`` lets the pool
         choose.
+    telemetry:
+        Optional :class:`~repro.engine.telemetry.Telemetry` registry; when
+        set, every batch reports ``planner.batches`` / ``planner.instances``
+        counters and a ``planner.batch_size`` series (and is also forwarded
+        to the planner's cache when the planner constructs it).
     """
 
     def __init__(
@@ -250,16 +256,18 @@ class BatchPlanner:
         verify: bool = True,
         executor: str = "serial",
         max_workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
             )
-        self.cache = cache if cache is not None else PlanCache()
+        self.cache = cache if cache is not None else PlanCache(telemetry=telemetry)
         self.solver_options = dict(solver_options or {})
         self.verify = verify
         self.executor = executor
         self.max_workers = max_workers
+        self.telemetry = telemetry
 
     # -- single-instance path ----------------------------------------------------
 
@@ -345,6 +353,10 @@ class BatchPlanner:
             cache_hits=hits,
             cache_misses=misses,
         )
+        if self.telemetry is not None:
+            self.telemetry.increment("planner.batches")
+            self.telemetry.increment("planner.instances", len(items))
+            self.telemetry.observe("planner.batch_size", len(items))
         return BatchResult(items=items, stats=stats)
 
     # -- execution strategies -------------------------------------------------------

@@ -1,0 +1,170 @@
+"""Serving-stack telemetry: thread-safe counters and value series.
+
+The engine and service layers each know one slice of what a deployment wants
+to watch — the plan cache sees hits, misses, evictions and build time; the
+batch planner sees batch sizes; the async frontend sees queue waits and flush
+sizes; the HTTP transport sees statuses and admission rejections.  A single
+:class:`Telemetry` registry collects all of it so ``GET /metrics`` can
+publish one coherent snapshot without any layer importing another.
+
+Two primitives cover every hook point:
+
+* :meth:`Telemetry.increment` — monotone counters (``cache.hits``,
+  ``admission.rate_limited``, ``http.responses.429`` ...).
+* :meth:`Telemetry.observe` — value series summarised as
+  count/total/min/max/last (``service.batch_size``,
+  ``service.queue_wait_seconds`` ...).
+
+:meth:`Telemetry.snapshot` flattens both into one ``{name: number}`` dict
+(series expand to ``name.count``, ``name.total``, ``name.min``, ``name.max``,
+``name.last`` and, for convenience, ``name.mean``);
+:func:`render_prometheus` turns a snapshot into Prometheus text exposition
+lines for scrapers.  Everything is stdlib-only and safe to call from solver
+worker threads, the asyncio event loop, and HTTP handler tasks concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+
+@dataclass
+class SeriesStats:
+    """Running summary of one observed value series."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+    last: float = 0.0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.minimum = value
+            self.maximum = value
+        else:
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+        self.count += 1
+        self.total += value
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (0.0 before the first observation)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+class Telemetry:
+    """A thread-safe registry of named counters and value series.
+
+    Metric names are dotted paths (``"cache.hits"``,
+    ``"service.batch_size"``); a name is either a counter or a series, never
+    both — :meth:`increment` and :meth:`observe` on the same name raise.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._series: Dict[str, SeriesStats] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to the counter ``name`` (creating it at zero)."""
+        with self._lock:
+            if name in self._series:
+                raise ValueError(f"{name!r} is a series, not a counter")
+            self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one value into the series ``name`` (creating it empty)."""
+        with self._lock:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is a counter, not a series")
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = SeriesStats()
+            series.observe(value)
+
+    # -- reading ---------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of the counter ``name`` (0.0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def series(self, name: str) -> SeriesStats:
+        """A copy of the series ``name`` (empty if never observed)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                return SeriesStats()
+            return SeriesStats(
+                count=series.count,
+                total=series.total,
+                minimum=series.minimum,
+                maximum=series.maximum,
+                last=series.last,
+            )
+
+    def snapshot(self) -> Dict[str, float]:
+        """One flat, consistent ``{metric: number}`` view of everything."""
+        with self._lock:
+            out: Dict[str, float] = dict(self._counters)
+            for name, series in self._series.items():
+                out[f"{name}.count"] = float(series.count)
+                out[f"{name}.total"] = series.total
+                out[f"{name}.min"] = series.minimum
+                out[f"{name}.max"] = series.maximum
+                out[f"{name}.last"] = series.last
+                out[f"{name}.mean"] = series.mean
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        """Drop every counter and series (tests and bench harnesses)."""
+        with self._lock:
+            self._counters.clear()
+            self._series.clear()
+
+
+def prometheus_name(name: str, prefix: str = "slade") -> str:
+    """Convert a dotted metric name into a Prometheus-safe identifier."""
+    safe = "".join(ch if ch.isalnum() else "_" for ch in name)
+    return f"{prefix}_{safe}"
+
+
+def render_prometheus(
+    snapshot: Dict[str, float],
+    prefix: str = "slade",
+    extra: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render a snapshot as Prometheus text exposition (one gauge per metric).
+
+    ``extra`` merges additional point-in-time gauges (e.g. current cache
+    entries, in-flight requests) into the scrape without mutating the
+    registry.
+    """
+    merged = dict(snapshot)
+    if extra:
+        merged.update(extra)
+    lines: Iterable[str] = (
+        f"{prometheus_name(name, prefix)} {_render_value(value)}"
+        for name, value in sorted(merged.items())
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _render_value(value: float) -> str:
+    """Exact rendering: integral counters must not lose digits.
+
+    ``:g`` truncates to 6 significant digits, so a counter past ~1e6 would
+    stall in visible steps and break rate() math on the scraper side.
+    """
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

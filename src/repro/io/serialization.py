@@ -197,6 +197,7 @@ def solve_request_to_dict(request: SolveRequest) -> Dict:
         "request_id": request.request_id,
         "solver": request.solver,
         "verify": request.verify,
+        "tenant": request.tenant,
         "options": dict(request.options),
         "problem": problem_to_dict(request.problem),
     }
@@ -253,6 +254,7 @@ def solve_request_from_dict(
         options=dict(payload.get("options") or {}),
         verify=payload.get("verify"),
         request_id=payload.get("request_id") or default_request_id,
+        tenant=payload.get("tenant"),
     )
 
 

@@ -1,4 +1,4 @@
-"""The SLADE service layer: typed requests, a facade, and an async frontend.
+"""The SLADE service layer: typed requests, a facade, async + HTTP frontends.
 
 This package is the top of the stack (core → algorithms → engine → service,
 see ``DESIGN.md``): it turns the solver library into an online decomposition
@@ -6,7 +6,8 @@ service.
 
 * :mod:`repro.service.api` — the typed request/response surface
   (:class:`SolveRequest`, :class:`SolveResponse`, :class:`ServiceConfig`,
-  error envelopes).
+  error envelopes and the ``envelope_from_error`` / ``failure_response`` /
+  ``http_status_for`` helpers every transport shares).
 * :mod:`repro.service.facade` — :class:`SladeService`, the synchronous
   entry point that validates, normalises, dispatches through a shared
   :class:`~repro.engine.planner.BatchPlanner`, and never raises for
@@ -14,6 +15,11 @@ service.
 * :mod:`repro.service.async_service` — :class:`AsyncSladeService`, the
   asyncio micro-batching frontend that coalesces streaming ``submit()``
   traffic into the shared-menu batches the plan cache exploits.
+* :mod:`repro.service.transport` — the HTTP/1.1 server
+  (:class:`HttpSladeServer`) plus per-tenant admission control
+  (:class:`AdmissionController`), all stdlib.
+* :mod:`repro.service.client` — :class:`SladeHttpClient`, a ``urllib``
+  client for the HTTP transport (tests, benchmarks, the CI smoke job).
 
 Typical use::
 
@@ -30,29 +36,54 @@ from repro.service.api import (
     CACHE_HIT,
     CACHE_MISS,
     CACHE_NONE,
+    AdmissionError,
     ErrorEnvelope,
+    OverloadedError,
+    RateLimitedError,
     RequestValidationError,
     ServiceClosedError,
     ServiceConfig,
     ServiceError,
     SolveRequest,
     SolveResponse,
+    envelope_from_error,
+    failure_response,
+    http_status_for,
 )
 from repro.service.async_service import AsyncSladeService
+from repro.service.client import HttpReply, SladeHttpClient
 from repro.service.facade import SladeService
+from repro.service.transport import (
+    AdmissionController,
+    HttpSladeServer,
+    TokenBucket,
+    run_http_server,
+)
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
     "AsyncSladeService",
     "CACHE_BYPASS",
     "CACHE_HIT",
     "CACHE_MISS",
     "CACHE_NONE",
     "ErrorEnvelope",
+    "HttpReply",
+    "HttpSladeServer",
+    "OverloadedError",
+    "RateLimitedError",
     "RequestValidationError",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
+    "SladeHttpClient",
     "SladeService",
     "SolveRequest",
     "SolveResponse",
+    "TokenBucket",
+    "envelope_from_error",
+    "failure_response",
+    "http_status_for",
+    "run_http_server",
 ]

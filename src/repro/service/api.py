@@ -43,6 +43,26 @@ class ServiceClosedError(ServiceError):
     """A request was submitted to a service that has been shut down."""
 
 
+class AdmissionError(ServiceError):
+    """Base class for admission-control rejections (quota, overload)."""
+
+
+class RateLimitedError(AdmissionError):
+    """A tenant exceeded its token-bucket rate or max-inflight quota.
+
+    ``retry_after`` (seconds) estimates when the tenant's bucket will hold
+    enough tokens again; transports surface it as a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class OverloadedError(AdmissionError):
+    """The service as a whole is at its global in-flight capacity."""
+
+
 @dataclass(frozen=True)
 class ErrorEnvelope:
     """A transport-safe description of a request failure.
@@ -68,6 +88,16 @@ class ErrorEnvelope:
         return f"{self.type}: {self.message}"
 
 
+def envelope_from_error(exc: BaseException) -> ErrorEnvelope:
+    """The one conversion from a caught exception to a transport envelope.
+
+    Every transport — the HTTP server, the JSON-lines ``repro serve`` loop,
+    the facade's internal failure path — builds envelopes through this
+    helper, so a malformed request fails with the same shape everywhere.
+    """
+    return ErrorEnvelope.from_exception(exc)
+
+
 @dataclass(frozen=True)
 class SolveRequest:
     """One decomposition request submitted to the service.
@@ -88,6 +118,15 @@ class SolveRequest:
     request_id:
         Caller-chosen correlation id echoed on the response; the service
         assigns a sequential one when omitted.
+    tenant:
+        Admission-control identity the request is accounted under.  The HTTP
+        transport fills it from the ``X-Tenant`` header (the request field
+        wins when both are present); ``None`` falls into the transport's
+        default tenant.  Note the transport charges the header/default
+        identity provisionally *before* parsing the body (refunded if the
+        field names someone else), so an exhausted header tenant is
+        rejected without the body ever being read.  The facade itself
+        ignores this field.
     """
 
     problem: SladeProblem
@@ -95,6 +134,7 @@ class SolveRequest:
     options: Mapping[str, Any] = field(default_factory=dict)
     verify: Optional[bool] = None
     request_id: Optional[str] = None
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.problem, SladeProblem):
@@ -137,6 +177,49 @@ class SolveResponse:
             detail = str(self.error) if self.error is not None else "unknown error"
             raise ServiceError(f"request {self.request_id} failed: {detail}")
         return self
+
+
+def failure_response(
+    request_id: str,
+    exc: BaseException,
+    batch_size: int = 1,
+    elapsed_seconds: float = 0.0,
+) -> SolveResponse:
+    """A uniform ``ok=False`` response for a request that never solved.
+
+    Used for failures *outside* the facade (unparseable JSON, admission
+    rejections, transport errors), so clients see the exact envelope shape a
+    solver-level failure produces.
+    """
+    return SolveResponse(
+        request_id=request_id,
+        ok=False,
+        solver=None,
+        plan=None,
+        total_cost=None,
+        feasible=None,
+        cache=CACHE_NONE,
+        elapsed_seconds=elapsed_seconds,
+        solve_seconds=0.0,
+        batch_size=batch_size,
+        error=envelope_from_error(exc),
+    )
+
+
+def http_status_for(exc: BaseException) -> int:
+    """Map an exception to the HTTP status the transport should return.
+
+    Admission rejections map to 429 (per-tenant quota) and 503 (global
+    overload / shutting down); every other library-level error is the
+    caller's fault (400); anything unrecognised is a server error (500).
+    """
+    if isinstance(exc, RateLimitedError):
+        return 429
+    if isinstance(exc, (OverloadedError, ServiceClosedError)):
+        return 503
+    if isinstance(exc, (SladeError, KeyError, ValueError, TypeError)):
+        return 400
+    return 500
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,8 @@ from repro.service.facade import SladeService
 #: Queue sentinel marking the position after which no submissions exist.
 _SHUTDOWN = object()
 
-_QueueItem = Tuple[SolveRequest, "asyncio.Future[SolveResponse]"]
+#: (request, its future, loop-clock enqueue time for queue-wait telemetry).
+_QueueItem = Tuple[SolveRequest, "asyncio.Future[SolveResponse]", float]
 
 
 class AsyncSladeService:
@@ -92,6 +93,11 @@ class AsyncSladeService:
         self._loop_task: Optional["asyncio.Task[None]"] = None
         self._closed = False
 
+    @property
+    def telemetry(self):
+        """The facade's shared telemetry registry (flush/queue-wait series)."""
+        return self.service.telemetry
+
     # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:
@@ -144,10 +150,9 @@ class AsyncSladeService:
             raise ServiceClosedError("service has been closed")
         await self.start()
         assert self._queue is not None
-        future: "asyncio.Future[SolveResponse]" = (
-            asyncio.get_running_loop().create_future()
-        )
-        self._queue.put_nowait((request, future))
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[SolveResponse]" = loop.create_future()
+        self._queue.put_nowait((request, future, loop.time()))
         return await future
 
     async def submit_many(self, requests: List[SolveRequest]) -> List[SolveResponse]:
@@ -200,17 +205,25 @@ class AsyncSladeService:
 
     async def _execute(self, batch: List[_QueueItem]) -> None:
         """Run one coalesced batch off the event loop and resolve its futures."""
-        requests = [request for request, _future in batch]
+        requests = [request for request, _future, _enqueued in batch]
         loop = asyncio.get_running_loop()
+        telemetry = self.service.telemetry
+        flush_time = loop.time()
+        telemetry.increment("service.flushes")
+        telemetry.observe("service.batch_size", len(batch))
+        for _request, _future, enqueued in batch:
+            telemetry.observe(
+                "service.queue_wait_seconds", max(0.0, flush_time - enqueued)
+            )
         try:
             responses = await loop.run_in_executor(
                 None, self.service.solve_batch, requests
             )
         except Exception as exc:  # pragma: no cover - facade never raises per-request
-            for _request, future in batch:
+            for _request, future, _enqueued in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (_request, future), response in zip(batch, responses):
+        for (_request, future, _enqueued), response in zip(batch, responses):
             if not future.done():
                 future.set_result(response)

@@ -29,16 +29,17 @@ from repro.engine.backends import CacheBackend, open_backend
 from repro.engine.cache import CacheStats, PlanCache
 from repro.engine.fingerprint import opq_key
 from repro.engine.planner import BatchPlanner
+from repro.engine.telemetry import Telemetry
 from repro.service.api import (
     CACHE_BYPASS,
     CACHE_HIT,
     CACHE_MISS,
     CACHE_NONE,
-    ErrorEnvelope,
     RequestValidationError,
     ServiceConfig,
     SolveRequest,
     SolveResponse,
+    envelope_from_error,
     solver_options_dict,
 )
 from repro.utils.timing import Stopwatch
@@ -95,6 +96,12 @@ class SladeService:
         A pre-built cache backend instance; overrides
         ``config.cache_backend``.  When both are omitted the backend is
         resolved from the config spec (an in-memory store by default).
+    telemetry:
+        The :class:`~repro.engine.telemetry.Telemetry` registry shared with
+        the planner and cache (request counters, cache hits/misses/evictions,
+        batch sizes); a fresh registry is created when omitted.  When an
+        existing ``planner`` is supplied its registry wins, so cache-level
+        counters stay attached to the planner that owns the cache.
     """
 
     def __init__(
@@ -102,22 +109,29 @@ class SladeService:
         config: Optional[ServiceConfig] = None,
         planner: Optional[BatchPlanner] = None,
         backend: Optional[CacheBackend] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         if planner is not None:
             if backend is not None:
                 raise ValueError("pass either planner or backend, not both")
             self.planner = planner
+            self.telemetry = (
+                planner.telemetry if planner.telemetry is not None
+                else (telemetry if telemetry is not None else Telemetry())
+            )
         else:
+            self.telemetry = telemetry if telemetry is not None else Telemetry()
             if backend is None:
                 backend = open_backend(
                     self.config.cache_backend,
                     max_entries=self.config.max_cache_entries,
                 )
             self.planner = BatchPlanner(
-                cache=PlanCache(backend=backend),
+                cache=PlanCache(backend=backend, telemetry=self.telemetry),
                 solver_options=solver_options_dict(self.config.solver_options),
                 verify=self.config.verify,
+                telemetry=self.telemetry,
             )
         self._request_ids = itertools.count(1)
 
@@ -166,6 +180,7 @@ class SladeService:
     def _solve_one(self, request: SolveRequest, batch_size: int) -> SolveResponse:
         watch = Stopwatch()
         watch.start()
+        self.telemetry.increment("service.requests")
         request_id = request.request_id or f"req-{next(self._request_ids)}"
 
         try:
@@ -216,6 +231,7 @@ class SladeService:
         batch_size: int,
     ) -> SolveResponse:
         watch.stop()
+        self.telemetry.increment("service.failures")
         return SolveResponse(
             request_id=request_id,
             ok=False,
@@ -228,7 +244,7 @@ class SladeService:
             solve_seconds=0.0,
             batch_size=batch_size,
             problem_fingerprint=problem.fingerprint if problem is not None else None,
-            error=ErrorEnvelope.from_exception(exc),
+            error=envelope_from_error(exc),
         )
 
     # -- normalisation ---------------------------------------------------------

@@ -1,0 +1,305 @@
+"""Admission control: per-tenant token buckets and in-flight quotas.
+
+A shared planner serves every tenant from one process, so a single greedy
+caller can starve everyone else without a gatekeeper.  The
+:class:`AdmissionController` sits in front of the service facade and answers
+one question per request: *may this tenant submit now?*  Three independent
+limits apply, each optional:
+
+* a **global in-flight cap** protecting the process as a whole — exceeding
+  it raises :class:`~repro.service.api.OverloadedError` (HTTP 503);
+* a **per-tenant in-flight cap** bounding one tenant's concurrency —
+  exceeding it raises :class:`~repro.service.api.RateLimitedError` (429);
+* a **per-tenant token bucket** bounding sustained request rate: each tenant
+  holds up to ``burst`` tokens, refilled at ``rate`` tokens/second, and a
+  request costs one token (a batch of *k* costs *k*).  An empty bucket
+  raises :class:`~repro.service.api.RateLimitedError` carrying the
+  ``retry_after`` estimate transports surface as a ``Retry-After`` header.
+
+Buckets are isolated by construction: tenant A draining its bucket never
+touches tenant B's tokens or in-flight count (pinned by
+``tests/service/test_admission.py`` and the transport-level tests).
+
+Admission is a context manager so the in-flight count cannot leak::
+
+    with controller.admit("tenant-a", cost=3):
+        responses = await service.submit_many(requests)
+
+The controller is thread-safe and takes an injectable ``clock`` so tests can
+drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.engine.telemetry import Telemetry
+from repro.service.api import (
+    OverloadedError,
+    RateLimitedError,
+    RequestValidationError,
+    ServiceError,
+)
+
+#: Accounting identity for requests that do not name a tenant.
+DEFAULT_TENANT = "anonymous"
+
+
+class TokenBucket:
+    """A classic token bucket: ``burst`` capacity, ``rate`` tokens/second.
+
+    Not thread-safe on its own; :class:`AdmissionController` serialises
+    access under its lock.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ServiceError(f"token bucket rate must be positive; got {rate}")
+        if burst < 1:
+            raise ServiceError(f"token bucket burst must be >= 1; got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, cost: float = 1.0) -> Optional[float]:
+        """Spend ``cost`` tokens; return ``None`` on success.
+
+        On failure returns the estimated seconds until ``cost`` tokens will
+        have accumulated (the transport's ``Retry-After``).
+        """
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return None
+        return (cost - self._tokens) / self.rate
+
+    def credit(self, cost: float) -> None:
+        """Return ``cost`` tokens (capped at burst).
+
+        Used when an admitted request is re-assigned to another tenant
+        before doing any work, so the provisional tenant is not charged.
+        """
+        self._refill()
+        self._tokens = min(self.burst, self._tokens + cost)
+
+
+class _TenantState:
+    """Per-tenant admission bookkeeping (bucket + in-flight count)."""
+
+    __slots__ = ("bucket", "inflight")
+
+    def __init__(self, bucket: Optional[TokenBucket]) -> None:
+        self.bucket = bucket
+        self.inflight = 0
+
+
+class AdmissionTicket:
+    """Proof of admission; releases the in-flight slots on exit."""
+
+    def __init__(self, controller: "AdmissionController", tenant: str, cost: int) -> None:
+        self._controller = controller
+        self.tenant = tenant
+        self.cost = cost
+        self._released = False
+
+    def release(self) -> None:
+        """Return the in-flight slots (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._controller._release(self.tenant, self.cost)
+
+    def refund(self) -> None:
+        """Return the in-flight slots *and* the bucket tokens (idempotent).
+
+        For admissions that never did any work — e.g. the transport charged
+        a provisional tenant before parsing, then the request named a
+        different one.
+        """
+        if not self._released:
+            self._released = True
+            self._controller._release(self.tenant, self.cost, refund=True)
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Gatekeeper in front of the service facade.
+
+    Parameters
+    ----------
+    rate:
+        Per-tenant sustained request rate in requests/second; ``None``
+        disables rate limiting.
+    burst:
+        Per-tenant bucket capacity (peak back-to-back requests); defaults to
+        ``max(1, rate)`` when rate limiting is on.
+    max_inflight:
+        Per-tenant cap on concurrently admitted requests; ``None`` disables.
+    max_total_inflight:
+        Global cap on concurrently admitted requests across every tenant;
+        ``None`` disables.
+    clock:
+        Monotonic time source for bucket refill (injectable for tests).
+    telemetry:
+        Optional shared registry; admission reports ``admission.admitted`` /
+        ``admission.rate_limited`` / ``admission.overloaded`` counters.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        max_total_inflight: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if rate is None and burst is not None:
+            raise ServiceError("burst requires rate to be set")
+        if max_inflight is not None and max_inflight < 1:
+            raise ServiceError(f"max_inflight must be >= 1; got {max_inflight}")
+        if max_total_inflight is not None and max_total_inflight < 1:
+            raise ServiceError(
+                f"max_total_inflight must be >= 1; got {max_total_inflight}"
+            )
+        self.rate = rate
+        self.burst = burst if burst is not None else (
+            max(1.0, rate) if rate is not None else None
+        )
+        self.max_inflight = max_inflight
+        self.max_total_inflight = max_total_inflight
+        self.telemetry = telemetry
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantState] = {}
+        self._total_inflight = 0
+
+    @property
+    def limits_anything(self) -> bool:
+        """Whether any limit is configured (an unlimited controller admits all)."""
+        return (
+            self.rate is not None
+            or self.max_inflight is not None
+            or self.max_total_inflight is not None
+        )
+
+    @property
+    def total_inflight(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._lock:
+            return self._total_inflight
+
+    def tenant_inflight(self, tenant: str) -> int:
+        """Requests currently admitted for one tenant."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            return state.inflight if state is not None else 0
+
+    def _state_for(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            bucket = (
+                TokenBucket(self.rate, self.burst, clock=self._clock)
+                if self.rate is not None
+                else None
+            )
+            state = self._tenants[tenant] = _TenantState(bucket)
+        return state
+
+    def admit(self, tenant: Optional[str], cost: int = 1) -> AdmissionTicket:
+        """Admit ``cost`` requests for ``tenant`` or raise an admission error.
+
+        The returned ticket must be released (it is a context manager) once
+        the requests complete, returning their in-flight slots.
+
+        A ``cost`` larger than any configured capacity can *never* be
+        admitted, so it raises
+        :class:`~repro.service.api.RequestValidationError` (a non-retryable
+        400) instead of a 429/503 whose ``Retry-After`` would send the
+        caller into an endless retry loop.
+        """
+        if cost < 1:
+            raise ServiceError(f"admission cost must be >= 1; got {cost}")
+        name = tenant if tenant else DEFAULT_TENANT
+        for label, capacity in (
+            ("per-tenant burst capacity", self.burst),
+            ("per-tenant max_inflight", self.max_inflight),
+            ("global max_total_inflight", self.max_total_inflight),
+        ):
+            if capacity is not None and cost > capacity:
+                raise RequestValidationError(
+                    f"a batch of {cost} request(s) can never be admitted: "
+                    f"{label} is {capacity:g}; split the batch"
+                )
+        with self._lock:
+            if (
+                self.max_total_inflight is not None
+                and self._total_inflight + cost > self.max_total_inflight
+            ):
+                self._note("admission.overloaded")
+                raise OverloadedError(
+                    f"service at capacity: {self._total_inflight} request(s) in "
+                    f"flight (limit {self.max_total_inflight})"
+                )
+            state = self._state_for(name)
+            if (
+                self.max_inflight is not None
+                and state.inflight + cost > self.max_inflight
+            ):
+                self._note("admission.rate_limited")
+                raise RateLimitedError(
+                    f"tenant {name!r} has {state.inflight} request(s) in flight "
+                    f"(limit {self.max_inflight})"
+                )
+            if state.bucket is not None:
+                retry_after = state.bucket.try_acquire(float(cost))
+                if retry_after is not None:
+                    self._note("admission.rate_limited")
+                    raise RateLimitedError(
+                        f"tenant {name!r} exceeded its request rate "
+                        f"({self.rate:g}/s, burst {self.burst:g}); "
+                        f"retry in {retry_after:.2f}s",
+                        retry_after=retry_after,
+                    )
+            state.inflight += cost
+            self._total_inflight += cost
+            self._note("admission.admitted", cost)
+        return AdmissionTicket(self, name, cost)
+
+    def _release(self, tenant: str, cost: int, refund: bool = False) -> None:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is not None:
+                state.inflight = max(0, state.inflight - cost)
+                if refund and state.bucket is not None:
+                    state.bucket.credit(float(cost))
+            self._total_inflight = max(0, self._total_inflight - cost)
+
+    def _note(self, name: str, amount: float = 1.0) -> None:
+        if self.telemetry is not None:
+            self.telemetry.increment(name, amount)

@@ -1,0 +1,166 @@
+"""Telemetry: the shared registry and its cache/planner hook points."""
+
+import threading
+
+import pytest
+
+from repro.core.problem import SladeProblem
+from repro.datasets.jelly import jelly_bin_set
+from repro.engine import BatchPlanner, PlanCache
+from repro.engine.telemetry import (
+    SeriesStats,
+    Telemetry,
+    prometheus_name,
+    render_prometheus,
+)
+
+
+class TestTelemetryRegistry:
+    def test_counters_accumulate(self):
+        telemetry = Telemetry()
+        telemetry.increment("a.b")
+        telemetry.increment("a.b", 2.5)
+        assert telemetry.counter("a.b") == pytest.approx(3.5)
+        assert telemetry.counter("never.touched") == 0.0
+
+    def test_series_summary(self):
+        telemetry = Telemetry()
+        for value in (4.0, 1.0, 7.0):
+            telemetry.observe("s", value)
+        series = telemetry.series("s")
+        assert series.count == 3
+        assert series.total == pytest.approx(12.0)
+        assert series.minimum == 1.0
+        assert series.maximum == 7.0
+        assert series.last == 7.0
+        assert series.mean == pytest.approx(4.0)
+        assert telemetry.series("empty").count == 0
+        assert telemetry.series("empty").mean == 0.0
+
+    def test_name_kind_conflicts_raise(self):
+        telemetry = Telemetry()
+        telemetry.increment("x")
+        with pytest.raises(ValueError):
+            telemetry.observe("x", 1.0)
+        telemetry.observe("y", 1.0)
+        with pytest.raises(ValueError):
+            telemetry.increment("y")
+
+    def test_snapshot_flattens_everything(self):
+        telemetry = Telemetry()
+        telemetry.increment("hits", 2)
+        telemetry.observe("batch", 3.0)
+        snapshot = telemetry.snapshot()
+        assert snapshot["hits"] == 2
+        assert snapshot["batch.count"] == 1.0
+        assert snapshot["batch.total"] == 3.0
+        assert snapshot["batch.mean"] == 3.0
+        # Sorted, JSON-friendly, detached from the registry.
+        assert list(snapshot) == sorted(snapshot)
+        telemetry.increment("hits")
+        assert snapshot["hits"] == 2
+
+    def test_reset(self):
+        telemetry = Telemetry()
+        telemetry.increment("a")
+        telemetry.observe("b", 1.0)
+        telemetry.reset()
+        assert telemetry.snapshot() == {}
+
+    def test_thread_safety_under_contention(self):
+        telemetry = Telemetry()
+
+        def hammer():
+            for _ in range(1000):
+                telemetry.increment("n")
+                telemetry.observe("v", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert telemetry.counter("n") == 4000
+        assert telemetry.series("v").count == 4000
+
+    def test_series_stats_standalone(self):
+        series = SeriesStats()
+        series.observe(2.0)
+        series.observe(-1.0)
+        assert (series.minimum, series.maximum) == (-1.0, 2.0)
+
+
+class TestPrometheusRendering:
+    def test_name_sanitisation(self):
+        assert prometheus_name("cache.hits") == "slade_cache_hits"
+        assert prometheus_name("http.responses.429") == "slade_http_responses_429"
+
+    def test_render_includes_extras_and_sorts(self):
+        text = render_prometheus({"b": 2.0}, extra={"a": 1.0})
+        assert text == "slade_a 1\nslade_b 2\n"
+
+
+class TestCacheTelemetryHooks:
+    def test_hits_misses_and_build_time(self):
+        telemetry = Telemetry()
+        cache = PlanCache(telemetry=telemetry)
+        bins = jelly_bin_set(6)
+        cache.queue_for(bins, 0.9)
+        cache.queue_for(bins, 0.9)
+        cache.queue_for(bins, 0.92)
+        assert telemetry.counter("cache.misses") == 2
+        assert telemetry.counter("cache.hits") == 1
+        assert telemetry.counter("cache.build_seconds") > 0.0
+        # The registry mirrors the cache's own counters.
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (1, 2)
+
+    def test_eviction_counter_on_bounded_backend(self):
+        telemetry = Telemetry()
+        cache = PlanCache(max_entries=2, telemetry=telemetry)
+        bins = jelly_bin_set(5)
+        for threshold in (0.88, 0.9, 0.92, 0.94):
+            cache.queue_for(bins, threshold)
+        assert telemetry.counter("cache.evictions") == 2
+        assert cache.stats.evictions == 2
+        assert cache.stats.entries == 2
+
+    def test_untelemetered_cache_still_counts_evictions_in_stats(self):
+        cache = PlanCache(max_entries=1)
+        bins = jelly_bin_set(4)
+        cache.queue_for(bins, 0.9)
+        cache.queue_for(bins, 0.92)
+        assert cache.stats.evictions == 1
+
+    def test_cache_stats_since_subtracts_evictions(self):
+        cache = PlanCache(max_entries=1)
+        bins = jelly_bin_set(4)
+        cache.queue_for(bins, 0.9)
+        cache.queue_for(bins, 0.92)
+        before = cache.stats
+        cache.queue_for(bins, 0.94)
+        delta = cache.stats.since(before)
+        assert delta.evictions == 1
+        assert delta.misses == 1
+
+
+class TestPlannerTelemetryHooks:
+    def test_batch_size_series_and_shared_registry(self):
+        telemetry = Telemetry()
+        planner = BatchPlanner(telemetry=telemetry)
+        bins = jelly_bin_set(6)
+        problems = [
+            SladeProblem.homogeneous(20 + i, 0.9, bins, name=f"p{i}")
+            for i in range(3)
+        ]
+        planner.solve_many(problems, solver="opq")
+        planner.solve_many(problems[:2], solver="opq")
+        assert telemetry.counter("planner.batches") == 2
+        assert telemetry.counter("planner.instances") == 5
+        series = telemetry.series("planner.batch_size")
+        assert series.count == 2
+        assert series.maximum == 3
+        # The planner-built cache shares the registry: one distinct
+        # (menu, threshold) pair -> one miss, the rest hits.
+        assert telemetry.counter("cache.misses") == 1
+        assert telemetry.counter("cache.hits") == 4

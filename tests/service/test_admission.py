@@ -1,0 +1,201 @@
+"""Admission control: token buckets, in-flight quotas, tenant isolation."""
+
+import pytest
+
+from repro.engine.telemetry import Telemetry
+from repro.service.api import (
+    OverloadedError,
+    RateLimitedError,
+    RequestValidationError,
+    ServiceError,
+)
+from repro.service.transport.admission import (
+    DEFAULT_TENANT,
+    AdmissionController,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for deterministic refill."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_acquire(2.0)
+        assert bucket.try_acquire() is not None
+        clock.advance(0.5)  # 1 token back
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_retry_after_scales_with_cost(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+        bucket.try_acquire(4.0)
+        assert bucket.try_acquire(3.0) == pytest.approx(1.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_unlimited_controller_admits_everything(self):
+        controller = AdmissionController()
+        assert not controller.limits_anything
+        for _ in range(100):
+            controller.admit("anyone").release()
+
+    def test_rate_limit_rejects_with_retry_after(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=2, clock=clock)
+        controller.admit("a").release()
+        controller.admit("a").release()
+        with pytest.raises(RateLimitedError) as excinfo:
+            controller.admit("a")
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+
+    def test_tenant_buckets_are_isolated(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=1, clock=clock)
+        controller.admit("a").release()
+        with pytest.raises(RateLimitedError):
+            controller.admit("a")
+        # Tenant b has an untouched bucket despite a's exhaustion.
+        controller.admit("b").release()
+
+    def test_bucket_refill_readmits(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=2.0, burst=1, clock=clock)
+        controller.admit("a").release()
+        with pytest.raises(RateLimitedError):
+            controller.admit("a")
+        clock.advance(0.5)
+        controller.admit("a").release()
+
+    def test_per_tenant_inflight_quota(self):
+        controller = AdmissionController(max_inflight=2)
+        first = controller.admit("a")
+        second = controller.admit("a")
+        with pytest.raises(RateLimitedError):
+            controller.admit("a")
+        # Other tenants are unaffected by a's saturation.
+        controller.admit("b").release()
+        first.release()
+        third = controller.admit("a")
+        second.release()
+        third.release()
+        assert controller.tenant_inflight("a") == 0
+
+    def test_global_inflight_quota_is_overload(self):
+        controller = AdmissionController(max_total_inflight=1)
+        ticket = controller.admit("a")
+        with pytest.raises(OverloadedError):
+            controller.admit("b")
+        ticket.release()
+        controller.admit("b").release()
+
+    def test_ticket_is_context_manager_and_idempotent(self):
+        controller = AdmissionController(max_inflight=1)
+        with controller.admit("a") as ticket:
+            assert controller.tenant_inflight("a") == 1
+        assert controller.tenant_inflight("a") == 0
+        ticket.release()  # double release must not underflow
+        assert controller.total_inflight == 0
+
+    def test_batch_cost_charges_bucket_and_inflight(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=1.0, burst=5, clock=clock)
+        with controller.admit("a", cost=3):
+            assert controller.total_inflight == 3
+        with pytest.raises(RateLimitedError):
+            controller.admit("a", cost=3)
+
+    def test_refund_returns_tokens_release_does_not(self):
+        clock = FakeClock()
+        controller = AdmissionController(rate=0.001, burst=2, clock=clock)
+        controller.admit("a").refund()
+        controller.admit("a").release()
+        controller.admit("a").refund()
+        # Spent 3, refunded 2: exactly one token remains despite ~no refill.
+        controller.admit("a").release()
+        with pytest.raises(RateLimitedError):
+            controller.admit("a")
+
+    def test_refund_is_idempotent_after_release(self):
+        controller = AdmissionController(max_inflight=1)
+        ticket = controller.admit("a")
+        ticket.release()
+        ticket.refund()  # no double release of the in-flight slot
+        assert controller.total_inflight == 0
+
+    def test_cost_beyond_any_capacity_is_non_retryable(self):
+        """A cost no amount of waiting can serve must not 429 forever."""
+        clock = FakeClock()
+        for controller in (
+            AdmissionController(rate=1.0, burst=4, clock=clock),
+            AdmissionController(max_inflight=4),
+            AdmissionController(max_total_inflight=4),
+        ):
+            with pytest.raises(RequestValidationError):
+                controller.admit("a", cost=5)
+            # Nothing was charged by the rejected oversize request.
+            controller.admit("a", cost=4).release()
+
+    def test_default_tenant_for_anonymous_requests(self):
+        controller = AdmissionController(max_inflight=1)
+        ticket = controller.admit(None)
+        assert ticket.tenant == DEFAULT_TENANT
+        with pytest.raises(RateLimitedError):
+            controller.admit("")
+        ticket.release()
+
+    def test_telemetry_counters(self):
+        clock = FakeClock()
+        telemetry = Telemetry()
+        controller = AdmissionController(
+            rate=1.0, burst=1, clock=clock, telemetry=telemetry
+        )
+        controller.admit("a").release()
+        with pytest.raises(RateLimitedError):
+            controller.admit("a")
+        assert telemetry.counter("admission.admitted") == 1
+        assert telemetry.counter("admission.rate_limited") == 1
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(burst=2)  # burst without rate
+        with pytest.raises(ServiceError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ServiceError):
+            AdmissionController(max_total_inflight=0)
+        with pytest.raises(ServiceError):
+            AdmissionController().admit("a", cost=0)
