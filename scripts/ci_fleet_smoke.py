@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""CI smoke test: a two-host fleet warming itself through `repro cached`.
+
+Boots one cache server, then runs two sequential `repro serve --http`
+processes pointed at it:
+
+1. the **first host** pays the cold OPQ builds and writes them through to the
+   shared cache;
+2. the **second host** must serve every request from the shared cache — its
+   `/metrics` must show **zero cold builds** (`cache.misses == 0`) and plans
+   byte-identical to the first host's.
+
+The cache server's STATS document is written to ``cache-server-stats.json``
+so CI can upload it as an artifact alongside ``bench-results.json``.  Every
+process must drain to exit 0 on SIGTERM, and no listener may survive.
+
+Exits non-zero on the first failed check.  Run from the repository root::
+
+    python scripts/ci_fleet_smoke.py
+
+Uses the installed package when available and falls back to the in-repo
+sources otherwise, so it works both in CI (after ``pip install .``) and in a
+plain checkout.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+USING_SRC_TREE = importlib.util.find_spec("repro") is None
+if USING_SRC_TREE:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import SladeHttpClient, TransportError  # noqa: E402
+
+BINS = [[1, 0.9, 0.10], [2, 0.85, 0.18], [3, 0.8, 0.24]]
+STARTUP_TIMEOUT = 60
+SHUTDOWN_TIMEOUT = 30
+STATS_PATH = Path(os.environ.get("SLADE_CACHE_STATS", "cache-server-stats.json"))
+
+_checks = 0
+
+
+def check(condition: bool, label: str) -> None:
+    global _checks
+    _checks += 1
+    if condition:
+        print(f"  ok: {label}")
+    else:
+        print(f"  FAIL: {label}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def solve_payload(n: int, threshold: float = 0.95) -> dict:
+    return {
+        "kind": "solve_request",
+        "version": 1,
+        "n": n,
+        "threshold": threshold,
+        "bins": BINS,
+    }
+
+
+class Subprocess:
+    """One banner-printing repro subprocess with clean-shutdown checks."""
+
+    def __init__(self, label: str, args: list, banner_prefix: str) -> None:
+        self.label = label
+        env = dict(os.environ)
+        if USING_SRC_TREE:
+            env["PYTHONPATH"] = (
+                f"{REPO_ROOT / 'src'}{os.pathsep}{env.get('PYTHONPATH', '')}"
+            )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        lines: "queue.Queue[str]" = queue.Queue()
+        reader = threading.Thread(
+            target=lambda: lines.put(self.proc.stderr.readline()), daemon=True
+        )
+        reader.start()
+        try:
+            line = lines.get(timeout=STARTUP_TIMEOUT).strip()
+        except queue.Empty:
+            self.proc.kill()
+            self.proc.communicate()
+            raise SystemExit(f"{label} printed nothing within {STARTUP_TIMEOUT}s")
+        if not line.startswith(banner_prefix):
+            out, err = self.proc.communicate(timeout=10)
+            raise SystemExit(
+                f"{label} failed to start: {line!r}\nstdout: {out}\nstderr: {err}"
+            )
+        self.address = line.rsplit(" ", 1)[1]
+        print(f"{label} up at {self.address} (pid {self.proc.pid})")
+
+    def stop(self) -> None:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            _out, err = self.proc.communicate(timeout=SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.communicate()
+            check(False, f"{self.label} drained within the shutdown timeout")
+            return
+        check(
+            self.proc.returncode == 0,
+            f"{self.label} exited 0 on SIGTERM "
+            f"(got {self.proc.returncode}): {err.strip()!r}",
+        )
+
+    def kill_if_alive(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.communicate()
+
+
+def run_serve_host(label: str, cache_address: str) -> "tuple[list, dict]":
+    """Boot one fleet member, drive solves, return (plans, metrics)."""
+    host = Subprocess(
+        label,
+        ["serve", "--http", "127.0.0.1:0",
+         "--cache", f"tiered:memory+remote://{cache_address}"],
+        "listening on ",
+    )
+    try:
+        client = SladeHttpClient(host.address, timeout=60)
+        plans = []
+        for i in range(4):
+            reply = client.solve(solve_payload(100 + 25 * i))
+            check(reply.status == 200 and reply.payload["ok"] is True,
+                  f"{label}: solve {i} ok")
+            plans.append(json.dumps(reply.payload["plan"], sort_keys=True))
+        metrics = client.metrics().payload
+        host.stop()
+        return plans, metrics
+    finally:
+        host.kill_if_alive()
+
+
+def main() -> None:
+    print("[1/3] boot the shared cache server")
+    cached = Subprocess(
+        "cache server", ["cached", "127.0.0.1:0", "--stats"],
+        "cache listening on ",
+    )
+    try:
+        print("\n[2/3] first fleet member pays the cold builds")
+        first_plans, first_metrics = run_serve_host("host-1", cached.address)
+        check(first_metrics.get("cache.misses", 0) == 1,
+              "host-1 built the shared menu exactly once")
+        check(first_metrics.get("remote_cache.server_keys", 0) == 1,
+              "host-1 wrote the build through to the cache server")
+
+        print("\n[3/3] second fleet member starts fully warm")
+        second_plans, second_metrics = run_serve_host("host-2", cached.address)
+        check(second_metrics.get("cache.misses", 0) == 0,
+              "host-2 /metrics shows zero cold builds")
+        check(second_metrics.get("tiered.remote_hits", 0) >= 1,
+              "host-2 promoted the shared entry from the cache server")
+        check(second_plans == first_plans,
+              "fleet plans are byte-identical across hosts")
+
+        # Preserve the server's view of the exchange for the CI artifact.
+        from repro.engine.backends import RemoteBackend
+
+        host, port = cached.address.rsplit(":", 1)
+        probe = RemoteBackend(host, int(port))
+        stats = probe.server_stats()
+        probe.close()
+        check(stats is not None, "cache server STATS answered")
+        check(stats["keys"] == 1 and stats["hits"] >= 1,
+              "cache server stored one key and served at least one hit")
+        STATS_PATH.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"cache server stats written to {STATS_PATH}")
+
+        cached.stop()
+        try:
+            SladeHttpClient(f"http://{cached.address}", timeout=2).healthz()
+            check(False, "cache port released after shutdown")
+        except TransportError:
+            check(True, "cache port released after shutdown")
+    finally:
+        cached.kill_if_alive()
+
+    print(f"\nfleet smoke: all {_checks} checks passed")
+
+
+if __name__ == "__main__":
+    main()

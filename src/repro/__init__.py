@@ -51,12 +51,16 @@ from repro.engine import (
     BatchSpec,
     BatchStats,
     CacheBackend,
+    CacheServer,
     CacheStats,
+    HistogramSnapshot,
     MemoryBackend,
     PlanCache,
+    RemoteBackend,
     SQLiteBackend,
     SeriesStats,
     Telemetry,
+    TieredBackend,
     open_backend,
 )
 from repro.service import (
@@ -128,12 +132,16 @@ __all__ = [
     "BatchSpec",
     "BatchStats",
     "CacheBackend",
+    "CacheServer",
     "CacheStats",
+    "HistogramSnapshot",
     "MemoryBackend",
     "PlanCache",
+    "RemoteBackend",
     "SQLiteBackend",
     "SeriesStats",
     "Telemetry",
+    "TieredBackend",
     "open_backend",
     # service layer
     "AdmissionController",

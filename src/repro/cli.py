@@ -23,12 +23,20 @@ Three sub-commands cover the common workflows:
     Run the service facade as a JSON-lines request loop: read one solve
     request per line from stdin (or a file), write one structured response
     per line to stdout.  ``--cache sqlite:<path>`` keeps the plan cache warm
-    across restarts.  With ``--http HOST:PORT`` the same facade is served
-    over the stdlib HTTP transport instead (``POST /v1/solve``,
-    ``POST /v1/solve/batch``, ``GET /healthz``, ``GET /metrics``), with
-    optional per-tenant admission control (``--rate``, ``--burst``,
-    ``--max-inflight``, ``--max-total-inflight``); SIGINT/SIGTERM shut it
-    down cleanly, draining in-flight requests.
+    across restarts; ``--cache remote://host:port`` (or
+    ``tiered:memory:<N>+remote://host:port``) shares it with a whole fleet
+    through a ``repro cached`` server.  With ``--http HOST:PORT`` the same
+    facade is served over the stdlib HTTP transport instead
+    (``POST /v1/solve``, ``POST /v1/solve/batch``, ``GET /healthz``,
+    ``GET /metrics``), with optional per-tenant admission control
+    (``--rate``, ``--burst``, ``--max-inflight``, ``--max-total-inflight``);
+    SIGINT/SIGTERM shut it down cleanly, draining in-flight requests.
+
+``cached``
+    Run the shared plan-cache server: an asyncio TCP key-value store other
+    hosts' ``repro serve --cache remote://...`` processes warm and reuse.
+    Clients fail open (a dead server means local rebuilds, never request
+    errors), so the server needs no high-availability story to be useful.
 
 Every sub-command reports library-level failures (:class:`SladeError`
 subclasses) as a one-line ``error:`` message on stderr with exit code 2
@@ -126,7 +134,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="default solver for requests that do not name one")
     serve.add_argument("--cache", default=None,
                        help="plan-cache backend spec: 'memory', 'memory:<N>', "
-                            "or 'sqlite:<path>' (default: in-memory)")
+                            "'sqlite:<path>', 'remote://host:port', or "
+                            "'tiered:memory:<N>+remote://host:port' "
+                            "(default: in-memory)")
     serve.add_argument("--input", default="-",
                        help="file of JSON-line requests ('-' reads stdin)")
     serve.add_argument("--no-plans", action="store_true",
@@ -150,6 +160,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="largest micro-batch the HTTP frontend coalesces")
     serve.add_argument("--max-wait-seconds", type=float, default=0.01,
                        help="longest an incomplete micro-batch is held open")
+
+    cached = sub.add_parser(
+        "cached",
+        help="run the shared plan-cache server (TCP key-value store)",
+    )
+    cached.add_argument("address", metavar="HOST:PORT",
+                        help="bind address (e.g. 0.0.0.0:9009; port 0 picks "
+                             "a free port)")
+    cached.add_argument("--max-entries", type=int, default=None,
+                        help="LRU bound on stored queues (default: unbounded)")
+    cached.add_argument("--stats", action="store_true",
+                        help="print server statistics to stderr on exit")
 
     calibrate = sub.add_parser("calibrate", help="probe the simulated platform")
     calibrate.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
@@ -396,6 +418,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cached(args: argparse.Namespace) -> int:
+    """Run the shared plan-cache server until SIGINT/SIGTERM, then exit 0."""
+    from repro.engine.backends.server import run_cache_server
+
+    try:
+        host, port = split_host_port(args.address)
+    except ValueError as exc:
+        raise SladeError(f"invalid HOST:PORT value: {exc}") from exc
+    if args.max_entries is not None and args.max_entries < 1:
+        raise SladeError(f"--max-entries must be positive; got {args.max_entries}")
+
+    async def main():
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+
+        def on_ready(server) -> None:
+            print(f"cache listening on {server.host}:{server.port}",
+                  file=sys.stderr, flush=True)
+
+        return await run_cache_server(
+            host, port,
+            max_entries=args.max_entries,
+            stop=stop,
+            on_ready=on_ready,
+        )
+
+    try:
+        server = asyncio.run(main())
+    except OSError as exc:
+        raise SladeError(f"cannot serve on {args.address!r}: {exc}") from exc
+    if args.stats:
+        stats = server.stats()
+        print(
+            f"served {int(stats['connections'])} connection(s); "
+            f"{int(stats['keys'])} key(s), {int(stats['bytes'])} byte(s) stored; "
+            f"gets {int(stats['hits'])}/{int(stats['hits'] + stats['misses'])} hit, "
+            f"puts {int(stats['puts'])}, evictions {int(stats['evictions'])}, "
+            f"frame errors {int(stats['frame_errors'])}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     if args.dataset == "jelly":
         platform = jelly_platform(difficulty=args.difficulty, seed=args.seed)
@@ -418,6 +488,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "cached": _cmd_cached,
     "calibrate": _cmd_calibrate,
 }
 

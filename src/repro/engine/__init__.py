@@ -21,9 +21,12 @@ Typical use::
 from repro.engine.backends import (
     CacheBackend,
     MemoryBackend,
+    RemoteBackend,
     SQLiteBackend,
+    TieredBackend,
     open_backend,
 )
+from repro.engine.backends.server import CacheServer, run_cache_server
 from repro.engine.cache import CacheStats, PlanCache
 from repro.engine.fingerprint import opq_key, problem_key
 from repro.engine.planner import (
@@ -34,7 +37,12 @@ from repro.engine.planner import (
     EXECUTORS,
 )
 from repro.engine.specs import BatchSpec
-from repro.engine.telemetry import SeriesStats, Telemetry, render_prometheus
+from repro.engine.telemetry import (
+    HistogramSnapshot,
+    SeriesStats,
+    Telemetry,
+    render_prometheus,
+)
 
 __all__ = [
     "BatchItem",
@@ -43,15 +51,20 @@ __all__ = [
     "BatchSpec",
     "BatchStats",
     "CacheBackend",
+    "CacheServer",
     "CacheStats",
     "EXECUTORS",
+    "HistogramSnapshot",
     "MemoryBackend",
     "PlanCache",
+    "RemoteBackend",
     "SQLiteBackend",
     "SeriesStats",
     "Telemetry",
+    "TieredBackend",
     "open_backend",
     "opq_key",
     "problem_key",
     "render_prometheus",
+    "run_cache_server",
 ]

@@ -9,21 +9,32 @@ the ``QueueFactory`` signature) and delegates storage to a
 * :class:`~repro.engine.backends.sqlite.SQLiteBackend` — a persistent SQLite
   store shared across processes and restarts, so long-lived worker fleets
   begin warm.
+* :class:`~repro.engine.backends.remote.RemoteBackend` — a networked store on
+  a shared ``repro cached`` server, so multi-*host* fleets warm one another;
+  unreachable or corrupt servers fail open into local rebuilds.
+* :class:`~repro.engine.backends.tiered.TieredBackend` — an in-process LRU in
+  front of a remote or SQLite far tier: hot fingerprints stay in-process,
+  cold builds write through to the fleet.
 
 :func:`open_backend` turns a compact spec string (``"memory"``,
-``"memory:128"``, ``"sqlite:plans.db"``) into a backend instance; the service
-layer and the ``repro serve`` CLI use it so deployments pick a store with a
-flag instead of code.
+``"memory:128"``, ``"sqlite:plans.db"``, ``"remote://host:port"``,
+``"tiered:memory:128+remote://host:port"``) into a backend instance; the
+service layer and the ``repro serve`` CLI use it so deployments pick a store
+with a flag instead of code.
 """
 
 from __future__ import annotations
 
 from typing import Optional
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.errors import SladeError
 from repro.engine.backends.base import CacheBackend
 from repro.engine.backends.memory import MemoryBackend
+from repro.engine.backends.remote import RemoteBackend
 from repro.engine.backends.sqlite import SQLiteBackend
+from repro.engine.backends.tiered import TieredBackend
+from repro.engine.telemetry import Telemetry
 
 #: File suffixes treated as SQLite databases by :func:`open_backend`.
 _SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
@@ -38,8 +49,86 @@ class BackendSpecError(SladeError, ValueError):
     """
 
 
+def _parse_remote_spec(
+    spec: str, telemetry: Optional[Telemetry]
+) -> RemoteBackend:
+    """Build a :class:`RemoteBackend` from ``remote://host:port[?...]``.
+
+    Query parameters: ``timeout`` (seconds, float) and ``pool`` (idle
+    connections kept, int).
+    """
+    split = urlsplit(spec)
+    if split.scheme != "remote":
+        raise BackendSpecError(f"not a remote backend spec: {spec!r}")
+    if not split.hostname or split.port is None:
+        raise BackendSpecError(
+            f"remote backend spec needs host and port: 'remote://host:port', "
+            f"got {spec!r}"
+        )
+    params = {
+        key: values[-1] for key, values in parse_qs(split.query).items()
+    }
+    kwargs = {}
+    try:
+        if "timeout" in params:
+            kwargs["timeout"] = float(params.pop("timeout"))
+        if "pool" in params:
+            kwargs["pool_size"] = int(params.pop("pool"))
+    except ValueError as exc:
+        raise BackendSpecError(f"invalid remote backend option: {exc}") from None
+    if params:
+        unknown = ", ".join(sorted(params))
+        raise BackendSpecError(
+            f"unknown remote backend option(s) {unknown} in {spec!r}"
+        )
+    return RemoteBackend(
+        split.hostname, split.port, telemetry=telemetry, **kwargs
+    )
+
+
+def _parse_tiered_spec(
+    spec: str, max_entries: Optional[int], telemetry: Optional[Telemetry]
+) -> TieredBackend:
+    """Build a :class:`TieredBackend` from ``tiered:<near>+<far>``.
+
+    The near tier must be a memory spec (``memory`` / ``memory:<N>``); the
+    far tier is any non-tiered spec (``remote://...``, ``sqlite:<path>``).
+    ``max_entries`` bounds the near tier.
+    """
+    body = spec[len("tiered:"):]
+    near_spec, sep, far_spec = body.partition("+")
+    if not sep or not near_spec or not far_spec:
+        raise BackendSpecError(
+            f"tiered backend spec needs two tiers: 'tiered:<memory>+<far>', "
+            f"got {spec!r}"
+        )
+    # Validate the near spec BEFORE constructing anything: a sqlite near
+    # spec would otherwise create the database file (and leak its
+    # connection) just to be rejected.
+    if near_spec != "memory" and not near_spec.startswith("memory:"):
+        raise BackendSpecError(
+            f"the near tier of a tiered backend must be a memory spec; "
+            f"got {near_spec!r}"
+        )
+    near = open_backend(near_spec, max_entries=max_entries)
+    try:
+        far = open_backend(far_spec, telemetry=telemetry)
+        if isinstance(far, (MemoryBackend, TieredBackend)):
+            far.close()
+            raise BackendSpecError(
+                f"the far tier of a tiered backend must be remote or sqlite; "
+                f"got {far_spec!r}"
+            )
+    except BaseException:
+        near.close()
+        raise
+    return TieredBackend(near, far, telemetry=telemetry)
+
+
 def open_backend(
-    spec: Optional[str] = None, max_entries: Optional[int] = None
+    spec: Optional[str] = None,
+    max_entries: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> CacheBackend:
     """Build a cache backend from a spec string.
 
@@ -53,6 +142,15 @@ def open_backend(
         A :class:`SQLiteBackend` at ``path``.
     ``"<path>.db"`` / ``"<path>.sqlite"`` / ``"<path>.sqlite3"``
         Shorthand for the SQLite form.
+    ``"remote://<host>:<port>[?timeout=<s>&pool=<n>]"``
+        A :class:`RemoteBackend` against a ``repro cached`` server.
+    ``"tiered:<memory-spec>+<far-spec>"``
+        A :class:`TieredBackend`: an in-process memory tier (bounded by its
+        own ``memory:<N>`` form or by ``max_entries``) in front of a remote
+        or SQLite far tier, e.g. ``tiered:memory:128+remote://10.0.0.7:9009``.
+
+    ``telemetry`` is forwarded to backends that report per-tier counters
+    (remote and tiered); memory and SQLite stores ignore it.
 
     Raises
     ------
@@ -80,6 +178,12 @@ def open_backend(
                     "sqlite backend spec needs a path: 'sqlite:<path>'"
                 )
             return SQLiteBackend(path, max_entries=max_entries)
+        if spec.startswith("remote://"):
+            return _parse_remote_spec(spec, telemetry)
+        if spec.startswith("tiered:"):
+            return _parse_tiered_spec(spec, max_entries, telemetry)
+        # Last: the suffix shorthand, so explicit prefixes always win (a
+        # tiered spec may itself end in ".db").
         if spec.endswith(_SQLITE_SUFFIXES):
             return SQLiteBackend(spec, max_entries=max_entries)
     except BackendSpecError:
@@ -88,7 +192,8 @@ def open_backend(
         raise BackendSpecError(f"invalid cache backend spec {spec!r}: {exc}") from exc
     raise BackendSpecError(
         f"unknown cache backend spec {spec!r}; expected 'memory', 'memory:<N>', "
-        f"'sqlite:<path>', or a path ending in {', '.join(_SQLITE_SUFFIXES)}"
+        f"'sqlite:<path>', a path ending in {', '.join(_SQLITE_SUFFIXES)}, "
+        f"'remote://host:port', or 'tiered:<memory>+<far>'"
     )
 
 
@@ -96,6 +201,8 @@ __all__ = [
     "BackendSpecError",
     "CacheBackend",
     "MemoryBackend",
+    "RemoteBackend",
     "SQLiteBackend",
+    "TieredBackend",
     "open_backend",
 ]

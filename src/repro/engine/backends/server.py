@@ -1,0 +1,296 @@
+"""The shared plan-cache server behind ``repro cached``.
+
+A fleet of ``repro serve`` hosts each kept a private plan cache; every host
+paid its own cold Algorithm 2 builds even when a sibling had already planned
+the identical ``(bin set, threshold)`` fingerprint.  :class:`CacheServer` is
+the fleet's shared warmth: a dependency-free asyncio TCP key-value store
+speaking the length-prefixed protocol of
+:mod:`repro.engine.backends.wire` (GET/PUT/DELETE/CONTAINS/CLEAR/STATS/PING).
+
+The server is deliberately dumb — it stores opaque byte payloads under opaque
+byte keys and never unpickles anything, so a hostile or corrupt payload can
+harm only the client that stored it (clients validate on read and fail open).
+Values are immutable by construction (a queue is a deterministic function of
+its key), so concurrent PUTs can only race to store equivalent bytes and
+last-writer-wins is harmless.
+
+Protocol errors never crash the serving loop: a malformed frame answers one
+``ERROR`` reply and closes that connection (its framing is unrecoverable);
+every other connection, and the server itself, keeps going.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.engine.backends.wire import (
+    OP_CLEAR,
+    OP_CONTAINS,
+    OP_DELETE,
+    OP_GET,
+    OP_PING,
+    OP_PUT,
+    OP_STATS,
+    REPLY_ERROR,
+    REPLY_MISS,
+    REPLY_OK,
+    REPLY_PONG,
+    REPLY_STATS,
+    REPLY_VALUE,
+    Frame,
+    WireProtocolError,
+    encode_frame,
+    read_frame,
+)
+
+
+class CacheServer:
+    """An asyncio TCP key-value store for pickled plan queues.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional LRU bound on stored keys; a GET refreshes recency, a PUT past
+        the bound evicts the least recently used entry.  ``None`` (the
+        default) stores everything.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive; got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self._bytes_stored = 0
+        self._started = time.monotonic()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.deletes = 0
+        self.evictions = 0
+        self.frame_errors = 0
+        self.connections = 0
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self.host, self.port
+
+    async def close(self) -> None:
+        """Stop accepting and release the listening socket.
+
+        In-flight request frames finish answering; idle connections see EOF
+        on their next read.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except WireProtocolError as exc:
+                    # The stream is desynchronised; answer once and hang up.
+                    self.frame_errors += 1
+                    writer.write(
+                        encode_frame(REPLY_ERROR, payload=str(exc).encode("utf-8"))
+                    )
+                    await writer.drain()
+                    return
+                if frame is None:
+                    return
+                writer.write(self._dispatch(frame))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    # -- request dispatch ------------------------------------------------------
+
+    def _dispatch(self, frame: Frame) -> bytes:
+        if frame.op == OP_GET:
+            value = self._entries.get(frame.key)
+            if value is None:
+                self.misses += 1
+                return encode_frame(REPLY_MISS)
+            self._entries.move_to_end(frame.key)
+            self.hits += 1
+            return encode_frame(REPLY_VALUE, payload=value)
+        if frame.op == OP_PUT:
+            old = self._entries.get(frame.key)
+            if old is not None:
+                self._bytes_stored -= len(old)
+            self._entries[frame.key] = frame.payload
+            self._entries.move_to_end(frame.key)
+            self._bytes_stored += len(frame.payload)
+            self.puts += 1
+            self._evict()
+            return encode_frame(REPLY_OK)
+        if frame.op == OP_DELETE:
+            value = self._entries.pop(frame.key, None)
+            if value is None:
+                return encode_frame(REPLY_MISS)
+            self._bytes_stored -= len(value)
+            self.deletes += 1
+            return encode_frame(REPLY_OK)
+        if frame.op == OP_CONTAINS:
+            return encode_frame(
+                REPLY_OK if frame.key in self._entries else REPLY_MISS
+            )
+        if frame.op == OP_CLEAR:
+            self._entries.clear()
+            self._bytes_stored = 0
+            return encode_frame(REPLY_OK)
+        if frame.op == OP_STATS:
+            return encode_frame(
+                REPLY_STATS, payload=json.dumps(self.stats()).encode("utf-8")
+            )
+        if frame.op == OP_PING:
+            return encode_frame(REPLY_PONG)
+        # decode_header already rejects unknown opcodes; a reply opcode sent
+        # as a request lands here.
+        self.frame_errors += 1
+        return encode_frame(
+            REPLY_ERROR, payload=f"opcode 0x{frame.op:02x} is not a request".encode()
+        )
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            _key, value = self._entries.popitem(last=False)
+            self._bytes_stored -= len(value)
+            self.evictions += 1
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """The STATS document: keys, bytes, traffic counters, uptime."""
+        return {
+            "keys": len(self._entries),
+            "bytes": self._bytes_stored,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "deletes": self.deletes,
+            "evictions": self.evictions,
+            "frame_errors": self.frame_errors,
+            "connections": self.connections,
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+async def run_cache_server(
+    host: str,
+    port: int,
+    max_entries: Optional[int] = None,
+    stop: Optional["asyncio.Event"] = None,
+    on_ready: Optional[Callable[[CacheServer], None]] = None,
+) -> CacheServer:
+    """Start a server, run until ``stop`` is set, close cleanly.
+
+    The ``repro cached`` CLI entry point; ``on_ready(server)`` fires once the
+    socket is bound (used to print the listening address).  Returns the
+    closed server so callers can read final statistics.
+    """
+    server = CacheServer(max_entries=max_entries)
+    await server.start(host, port)
+    if on_ready is not None:
+        on_ready(server)
+    try:
+        if stop is not None:
+            await stop.wait()
+        else:  # pragma: no cover - interactive use only
+            while True:
+                await asyncio.sleep(3600)
+    finally:
+        await server.close()
+    return server
+
+
+class CacheServerThread:
+    """A cache server on a private event loop in a daemon thread.
+
+    Test and benchmark harness: boots synchronously, exposes the bound
+    address, and tears down on :meth:`stop`.  The underlying
+    :class:`CacheServer` is reachable as :attr:`server` for counter
+    assertions after the loop has stopped.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self.server = CacheServer(max_entries=max_entries)
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):  # pragma: no cover - defensive
+            raise RuntimeError("cache server thread failed to start")
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start("127.0.0.1", 0)
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.server.close()
+
+    @property
+    def host(self) -> str:
+        assert self.server.host is not None
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread (idempotent)."""
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "CacheServerThread":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.stop()

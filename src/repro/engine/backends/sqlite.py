@@ -13,16 +13,20 @@ own file locking make the race harmless.  Within a process, unpickled queues
 are memoised so repeated hits return the same object without re-reading the
 blob (matching :class:`~repro.engine.backends.memory.MemoryBackend`'s
 by-reference semantics on the hot path).
+
+Blobs use the same pinned cross-host pickle codec as the networked backend
+(:func:`repro.engine.backends.wire.encode_queue`), so a SQLite file on shared
+storage is readable by every interpreter in a mixed-version fleet.
 """
 
 from __future__ import annotations
 
-import pickle
 import sqlite3
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.algorithms.opq import OptimalPriorityQueue
+from repro.engine.backends.wire import decode_queue, encode_queue
 from repro.engine.fingerprint import OPQKey
 
 _SCHEMA = """
@@ -81,13 +85,13 @@ class SQLiteBackend:
         ).fetchone()
         if row is None:
             return None
-        queue = pickle.loads(row[0])
+        queue = decode_queue(row[0])
         self._memo[key] = queue
         self._touch(key)
         return queue
 
     def put(self, key: OPQKey, queue: OptimalPriorityQueue) -> None:
-        payload = pickle.dumps(queue, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = encode_queue(queue)
         self._conn.execute(
             "INSERT OR REPLACE INTO opq_entries "
             "(bins_fingerprint, threshold_token, payload, touch_seq) "
@@ -106,7 +110,7 @@ class SQLiteBackend:
                 (
                     key[0],
                     key[1],
-                    pickle.dumps(queue, protocol=pickle.HIGHEST_PROTOCOL),
+                    encode_queue(queue),
                     self._next_seq(),
                 ),
             )
@@ -121,7 +125,7 @@ class SQLiteBackend:
         for bins_fp, token, payload in rows:
             key = (bins_fp, token)
             queue = self._memo.get(key)
-            out[key] = queue if queue is not None else pickle.loads(payload)
+            out[key] = queue if queue is not None else decode_queue(payload)
         return out
 
     def clear(self) -> None:

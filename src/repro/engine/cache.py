@@ -33,6 +33,9 @@ from repro.engine.fingerprint import OPQKey, opq_key
 from repro.engine.telemetry import Telemetry
 from repro.utils.timing import Stopwatch
 
+#: Distinguishes "backend has no telemetry attribute" from "attribute is None".
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -131,6 +134,11 @@ class PlanCache:
         self.backend = backend
         self.max_entries = getattr(backend, "max_entries", max_entries)
         self.telemetry = telemetry
+        # Backends that report per-tier counters (remote, tiered) expose a
+        # ``telemetry`` attribute; adopt this cache's registry when the
+        # backend was built without one, so /metrics is one snapshot.
+        if telemetry is not None and getattr(backend, "telemetry", _UNSET) is None:
+            backend.telemetry = telemetry
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -154,6 +162,11 @@ class PlanCache:
                 return queue
             # Build under the lock: construction is pure Python (GIL-bound),
             # so releasing the lock would only let threads duplicate work.
+            # For networked backends this also serialises threads behind the
+            # (timeout-bounded) get/put round trips — acceptable because the
+            # async serving path executes batches on one worker thread; a
+            # per-key locking scheme is the ROADMAP follow-on if thread
+            # executors over remote caches become a hot configuration.
             self._misses += 1
             watch = Stopwatch()
             with watch:
@@ -197,13 +210,38 @@ class PlanCache:
     def stats(self) -> CacheStats:
         """A consistent snapshot of the cache counters."""
         with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                entries=len(self.backend),
-                build_seconds=self._build_seconds,
-                evictions=getattr(self.backend, "evictions", 0),
-            )
+            hits = self._hits
+            misses = self._misses
+            build_seconds = self._build_seconds
+            evictions = getattr(self.backend, "evictions", 0)
+        # The entry count is read OUTSIDE the hot-path lock: remote/tiered
+        # backends answer len() with a network STATS round trip, and a
+        # /metrics scrape hitting a slow cache server must never stall
+        # concurrent solves.  All backends answer len() safely without the
+        # cache's serialisation (dict len is atomic, SQLite connections are
+        # serialized, the remote client pools under its own lock).
+        return CacheStats(
+            hits=hits,
+            misses=misses,
+            entries=len(self.backend),
+            build_seconds=build_seconds,
+            evictions=evictions,
+        )
+
+    def backend_metrics(self) -> Dict[str, float]:
+        """Point-in-time gauges the backend exposes for ``/metrics`` scrapes.
+
+        Remote and tiered backends report tier sizes and server-side
+        key/byte counts; plain stores report nothing.  Called *without* the
+        cache lock — a slow cache-server STATS round trip (bounded by the
+        client timeout, fail-open) must not stall concurrent solves — which
+        is safe because the backends that implement ``extra_metrics`` are
+        internally thread-safe for read-only probes.
+        """
+        probe = getattr(self.backend, "extra_metrics", None)
+        if probe is None:
+            return {}
+        return dict(probe())
 
     def clear(self) -> None:
         """Drop every stored queue (counters are kept)."""

@@ -13,32 +13,65 @@ Two primitives cover every hook point:
   ``admission.rate_limited``, ``http.responses.429`` ...).
 * :meth:`Telemetry.observe` — value series summarised as
   count/total/min/max/last (``service.batch_size``,
-  ``service.queue_wait_seconds`` ...).
+  ``service.queue_wait_seconds`` ...), optionally bucketed into a histogram
+  when the first observation declares boundaries (``buckets=...``) — a mean
+  hides tail latency; a p99 scraped from buckets does not.
 
 :meth:`Telemetry.snapshot` flattens both into one ``{name: number}`` dict
 (series expand to ``name.count``, ``name.total``, ``name.min``, ``name.max``,
-``name.last`` and, for convenience, ``name.mean``);
+``name.last`` and, for convenience, ``name.mean``; bucketed series add
+cumulative ``name.bucket.le_<bound>`` counts);
 :func:`render_prometheus` turns a snapshot into Prometheus text exposition
-lines for scrapers.  Everything is stdlib-only and safe to call from solver
-worker threads, the asyncio event loop, and HTTP handler tasks concurrently.
+lines for scrapers, emitting proper ``_bucket{le="..."}`` / ``_sum`` lines
+for the histograms passed alongside.  Everything is stdlib-only and safe to
+call from solver worker threads, the asyncio event loop, and HTTP handler
+tasks concurrently.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Queue-wait histogram boundaries (seconds).  Sized around the async
+#: frontend's default ``max_wait_seconds`` of 10 ms: sub-millisecond buckets
+#: show a healthy loop, the top buckets show a saturated executor.
+QUEUE_WAIT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Remote-cache round-trip boundaries (seconds).  Loopback round trips sit in
+#: the sub-millisecond buckets; anything beyond 100 ms is a WAN hop or a
+#: struggling server, and past the client timeout the call fails open.
+REMOTE_RTT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0,
+)
 
 
 @dataclass
 class SeriesStats:
-    """Running summary of one observed value series."""
+    """Running summary of one observed value series.
+
+    When ``bucket_bounds`` is set the series is also a histogram:
+    ``bucket_counts[i]`` counts observations with
+    ``bounds[i-1] < value <= bounds[i]`` (Prometheus ``le`` semantics), with
+    one extra overflow slot for values above the last bound.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = 0.0
     maximum: float = 0.0
     last: float = 0.0
+    bucket_bounds: Optional[Tuple[float, ...]] = None
+    bucket_counts: Optional[List[int]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bucket_bounds is not None and self.bucket_counts is None:
+            self.bucket_counts = [0] * (len(self.bucket_bounds) + 1)
 
     def observe(self, value: float) -> None:
         if self.count == 0:
@@ -50,6 +83,11 @@ class SeriesStats:
         self.count += 1
         self.total += value
         self.last = value
+        if self.bucket_bounds is not None:
+            assert self.bucket_counts is not None
+            # bisect_left gives the first bound >= value: `le` semantics, so
+            # a value exactly on a boundary lands in that boundary's bucket.
+            self.bucket_counts[bisect_left(self.bucket_bounds, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -57,6 +95,28 @@ class SeriesStats:
         if self.count == 0:
             return 0.0
         return self.total / self.count
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(bound, observations <= bound)`` pairs (empty when unbucketed)."""
+        if self.bucket_bounds is None:
+            return []
+        assert self.bucket_counts is not None
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bucket_bounds, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        return out
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """A consistent copy of one bucketed series for rendering."""
+
+    bounds: Tuple[float, ...]
+    cumulative: Tuple[int, ...]  #: observations <= bounds[i]
+    count: int                   #: total observations (the +Inf bucket)
+    total: float                 #: sum of observed values
 
 
 class Telemetry:
@@ -81,14 +141,27 @@ class Telemetry:
                 raise ValueError(f"{name!r} is a series, not a counter")
             self._counters[name] = self._counters.get(name, 0.0) + amount
 
-    def observe(self, name: str, value: float) -> None:
-        """Record one value into the series ``name`` (creating it empty)."""
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Iterable[float]] = None,
+    ) -> None:
+        """Record one value into the series ``name`` (creating it empty).
+
+        ``buckets`` declares histogram boundaries when the series is first
+        created; later observations inherit them (the first declaration
+        wins), so hook points can pass their boundary constant on every call.
+        """
         with self._lock:
             if name in self._counters:
                 raise ValueError(f"{name!r} is a counter, not a series")
             series = self._series.get(name)
             if series is None:
-                series = self._series[name] = SeriesStats()
+                bounds = (
+                    tuple(sorted(set(buckets))) if buckets is not None else None
+                )
+                series = self._series[name] = SeriesStats(bucket_bounds=bounds)
             series.observe(value)
 
     # -- reading ---------------------------------------------------------------
@@ -110,7 +183,29 @@ class Telemetry:
                 minimum=series.minimum,
                 maximum=series.maximum,
                 last=series.last,
+                bucket_bounds=series.bucket_bounds,
+                bucket_counts=(
+                    list(series.bucket_counts)
+                    if series.bucket_counts is not None
+                    else None
+                ),
             )
+
+    def histograms(self) -> Dict[str, HistogramSnapshot]:
+        """A consistent copy of every bucketed series, keyed by name."""
+        with self._lock:
+            out: Dict[str, HistogramSnapshot] = {}
+            for name, series in self._series.items():
+                if series.bucket_bounds is None:
+                    continue
+                cumulative = series.cumulative_buckets()
+                out[name] = HistogramSnapshot(
+                    bounds=tuple(bound for bound, _cum in cumulative),
+                    cumulative=tuple(cum for _bound, cum in cumulative),
+                    count=series.count,
+                    total=series.total,
+                )
+        return out
 
     def snapshot(self) -> Dict[str, float]:
         """One flat, consistent ``{metric: number}`` view of everything."""
@@ -123,6 +218,10 @@ class Telemetry:
                 out[f"{name}.max"] = series.maximum
                 out[f"{name}.last"] = series.last
                 out[f"{name}.mean"] = series.mean
+                for bound, cum in series.cumulative_buckets():
+                    out[f"{name}.bucket.le_{format_bound(bound)}"] = float(cum)
+                if series.bucket_bounds is not None:
+                    out[f"{name}.bucket.le_inf"] = float(series.count)
         return dict(sorted(out.items()))
 
     def reset(self) -> None:
@@ -138,24 +237,46 @@ def prometheus_name(name: str, prefix: str = "slade") -> str:
     return f"{prefix}_{safe}"
 
 
+def format_bound(bound: float) -> str:
+    """A compact, stable rendering of one histogram boundary (``0.005``)."""
+    return f"{bound:g}"
+
+
 def render_prometheus(
     snapshot: Dict[str, float],
     prefix: str = "slade",
     extra: Optional[Dict[str, float]] = None,
+    histograms: Optional[Dict[str, HistogramSnapshot]] = None,
 ) -> str:
     """Render a snapshot as Prometheus text exposition (one gauge per metric).
 
     ``extra`` merges additional point-in-time gauges (e.g. current cache
     entries, in-flight requests) into the scrape without mutating the
-    registry.
+    registry.  ``histograms`` (from :meth:`Telemetry.histograms`) render as
+    native histogram exposition — ``<name>_bucket{le="..."}`` lines plus
+    ``<name>_sum`` — instead of the flattened ``.bucket.le_*`` gauge keys,
+    which are dropped from the text form (the JSON form keeps them).
     """
     merged = dict(snapshot)
     if extra:
         merged.update(extra)
-    lines: Iterable[str] = (
+    if histograms:
+        flattened_prefixes = tuple(f"{name}.bucket." for name in histograms)
+        merged = {
+            name: value
+            for name, value in merged.items()
+            if not name.startswith(flattened_prefixes)
+        }
+    lines: List[str] = [
         f"{prometheus_name(name, prefix)} {_render_value(value)}"
         for name, value in sorted(merged.items())
-    )
+    ]
+    for name, hist in sorted((histograms or {}).items()):
+        base = prometheus_name(name, prefix)
+        for bound, cum in zip(hist.bounds, hist.cumulative):
+            lines.append(f'{base}_bucket{{le="{format_bound(bound)}"}} {cum}')
+        lines.append(f'{base}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{base}_sum {_render_value(hist.total)}")
     return "\n".join(lines) + "\n"
 
 

@@ -248,8 +248,10 @@ class ServiceConfig:
         Longest the async frontend holds an incomplete micro-batch open.
     cache_backend:
         Plan-cache backend spec for :func:`repro.engine.backends.open_backend`
-        (``"memory"``, ``"memory:<N>"``, ``"sqlite:<path>"``); ``None`` means
-        a fresh in-memory backend.
+        (``"memory"``, ``"memory:<N>"``, ``"sqlite:<path>"``,
+        ``"remote://host:port"`` for a shared ``repro cached`` server, or
+        ``"tiered:memory:<N>+remote://host:port"`` for an in-process LRU in
+        front of the shared tier); ``None`` means a fresh in-memory backend.
     max_cache_entries:
         Optional LRU bound forwarded to the backend.
     """

@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 from typing import List, Optional, Tuple
 
+from repro.engine.telemetry import QUEUE_WAIT_BUCKETS
 from repro.service.api import (
     ServiceClosedError,
     ServiceConfig,
@@ -213,7 +214,9 @@ class AsyncSladeService:
         telemetry.observe("service.batch_size", len(batch))
         for _request, _future, enqueued in batch:
             telemetry.observe(
-                "service.queue_wait_seconds", max(0.0, flush_time - enqueued)
+                "service.queue_wait_seconds",
+                max(0.0, flush_time - enqueued),
+                buckets=QUEUE_WAIT_BUCKETS,
             )
         try:
             responses = await loop.run_in_executor(

@@ -126,6 +126,7 @@ class SladeService:
                 backend = open_backend(
                     self.config.cache_backend,
                     max_entries=self.config.max_cache_entries,
+                    telemetry=self.telemetry,
                 )
             self.planner = BatchPlanner(
                 cache=PlanCache(backend=backend, telemetry=self.telemetry),

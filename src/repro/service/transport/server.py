@@ -422,18 +422,24 @@ class HttpSladeServer:
         return self._json_bytes(200, body, keep_alive)
 
     def _respond_metrics(self, request: HttpRequest, keep_alive: bool) -> bytes:
-        stats = self.service.service.cache_stats
+        facade = self.service.service
+        stats = facade.cache_stats
         extra = {
             "cache.entries": float(stats.entries),
             "http.inflight_solves": float(self._inflight_solves),
             "admission.inflight": float(self.admission.total_inflight),
         }
+        # Tier and server-side gauges from remote/tiered backends (fail-open:
+        # an unreachable cache server contributes nothing to the scrape).
+        extra.update(facade.cache.backend_metrics())
         snapshot = self.telemetry.snapshot()
         if request.query.get("format") == "json":
             merged = dict(snapshot)
             merged.update(extra)
             return self._json_bytes(200, merged, keep_alive)
-        text = render_prometheus(snapshot, extra=extra)
+        text = render_prometheus(
+            snapshot, extra=extra, histograms=self.telemetry.histograms()
+        )
         self.telemetry.increment("http.responses.200")
         return render_response(
             200, text.encode("utf-8"),

@@ -8,8 +8,10 @@ from repro.core.problem import SladeProblem
 from repro.datasets.jelly import jelly_bin_set
 from repro.engine import BatchPlanner, PlanCache
 from repro.engine.telemetry import (
+    QUEUE_WAIT_BUCKETS,
     SeriesStats,
     Telemetry,
+    format_bound,
     prometheus_name,
     render_prometheus,
 )
@@ -90,6 +92,90 @@ class TestTelemetryRegistry:
         assert (series.minimum, series.maximum) == (-1.0, 2.0)
 
 
+class TestHistogramBuckets:
+    """Queue-wait (and round-trip) series record real distribution buckets."""
+
+    def test_boundary_values_land_in_their_le_bucket(self):
+        # Prometheus `le` semantics: a value exactly on a boundary counts in
+        # that boundary's bucket, not the next one up.
+        series = SeriesStats(bucket_bounds=(0.01, 0.1, 1.0))
+        for value in (0.01, 0.1, 1.0):
+            series.observe(value)
+        assert series.bucket_counts == [1, 1, 1, 0]
+
+    def test_overflow_bucket_catches_values_past_the_last_bound(self):
+        series = SeriesStats(bucket_bounds=(0.01, 0.1))
+        series.observe(0.5)
+        series.observe(99.0)
+        assert series.bucket_counts == [0, 0, 2]
+
+    def test_cumulative_buckets_are_monotone_and_end_at_count(self):
+        series = SeriesStats(bucket_bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            series.observe(value)
+        cumulative = series.cumulative_buckets()
+        assert cumulative == [(1.0, 1), (2.0, 2), (4.0, 3)]
+        # The implicit +Inf bucket is the total count.
+        assert series.count == 4
+
+    def test_observe_with_buckets_creates_histogram_series(self):
+        telemetry = Telemetry()
+        telemetry.observe("wait", 0.003, buckets=(0.001, 0.01, 0.1))
+        telemetry.observe("wait", 0.05, buckets=(0.001, 0.01, 0.1))
+        series = telemetry.series("wait")
+        assert series.bucket_bounds == (0.001, 0.01, 0.1)
+        assert series.bucket_counts == [0, 1, 1, 0]
+
+    def test_first_bucket_declaration_wins(self):
+        telemetry = Telemetry()
+        telemetry.observe("wait", 0.5, buckets=(1.0,))
+        telemetry.observe("wait", 0.5, buckets=(2.0, 3.0))  # ignored
+        assert telemetry.series("wait").bucket_bounds == (1.0,)
+        assert telemetry.series("wait").count == 2
+
+    def test_unbucketed_series_remain_unbucketed(self):
+        telemetry = Telemetry()
+        telemetry.observe("plain", 1.0)
+        assert telemetry.series("plain").bucket_bounds is None
+        assert telemetry.histograms() == {}
+
+    def test_snapshot_flattens_cumulative_buckets(self):
+        telemetry = Telemetry()
+        for value in (0.002, 0.02, 5.0):
+            telemetry.observe("wait", value, buckets=(0.01, 0.1, 1.0))
+        snapshot = telemetry.snapshot()
+        assert snapshot["wait.bucket.le_0.01"] == 1.0
+        assert snapshot["wait.bucket.le_0.1"] == 2.0
+        assert snapshot["wait.bucket.le_1"] == 2.0
+        assert snapshot["wait.bucket.le_inf"] == 3.0
+        assert snapshot["wait.count"] == 3.0
+
+    def test_histograms_returns_detached_copies(self):
+        telemetry = Telemetry()
+        telemetry.observe("wait", 0.5, buckets=(1.0, 2.0))
+        histograms = telemetry.histograms()
+        hist = histograms["wait"]
+        assert hist.bounds == (1.0, 2.0)
+        assert hist.cumulative == (1, 1)
+        assert hist.count == 1
+        assert hist.total == 0.5
+        telemetry.observe("wait", 0.5)
+        assert histograms["wait"].count == 1  # a copy, not a view
+
+    def test_series_copy_detaches_bucket_counts(self):
+        telemetry = Telemetry()
+        telemetry.observe("wait", 0.5, buckets=(1.0,))
+        copy = telemetry.series("wait")
+        telemetry.observe("wait", 0.5)
+        assert copy.bucket_counts == [1, 0]
+
+    def test_default_queue_wait_bounds_are_sorted_and_cover_the_flush_window(self):
+        assert list(QUEUE_WAIT_BUCKETS) == sorted(QUEUE_WAIT_BUCKETS)
+        # The async frontend's default max_wait_seconds (10 ms) must fall on
+        # a boundary so "held the full window" is directly readable.
+        assert 0.01 in QUEUE_WAIT_BUCKETS
+
+
 class TestPrometheusRendering:
     def test_name_sanitisation(self):
         assert prometheus_name("cache.hits") == "slade_cache_hits"
@@ -98,6 +184,34 @@ class TestPrometheusRendering:
     def test_render_includes_extras_and_sorts(self):
         text = render_prometheus({"b": 2.0}, extra={"a": 1.0})
         assert text == "slade_a 1\nslade_b 2\n"
+
+    def test_format_bound_is_compact(self):
+        assert format_bound(0.005) == "0.005"
+        assert format_bound(1.0) == "1"
+
+    def test_histograms_render_as_native_bucket_lines(self):
+        telemetry = Telemetry()
+        for value in (0.002, 0.02, 5.0):
+            telemetry.observe("q.wait", value, buckets=(0.01, 0.1, 1.0))
+        text = render_prometheus(
+            telemetry.snapshot(), histograms=telemetry.histograms()
+        )
+        assert 'slade_q_wait_bucket{le="0.01"} 1' in text
+        assert 'slade_q_wait_bucket{le="0.1"} 2' in text
+        assert 'slade_q_wait_bucket{le="1"} 2' in text
+        assert 'slade_q_wait_bucket{le="+Inf"} 3' in text
+        assert "slade_q_wait_sum 5.022" in text
+        assert "slade_q_wait_count 3" in text
+        # The flattened .bucket.* gauge keys are replaced by the native form.
+        assert "bucket_le_" not in text
+
+    def test_flat_bucket_keys_survive_without_histograms_argument(self):
+        # JSON consumers read the flattened snapshot directly; the text form
+        # only upgrades to native histograms when asked.
+        telemetry = Telemetry()
+        telemetry.observe("q.wait", 0.5, buckets=(1.0,))
+        text = render_prometheus(telemetry.snapshot())
+        assert "slade_q_wait_bucket_le_1 1" in text
 
 
 class TestCacheTelemetryHooks:

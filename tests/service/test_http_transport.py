@@ -435,6 +435,25 @@ class TestLivenessAndShutdown:
             assert "slade_cache_entries" in lines
             assert "slade_service_batch_size_max" in lines
 
+    def test_metrics_text_exposes_queue_wait_histogram(self):
+        with ServerHandle() as handle:
+            handle.client().solve(inline_request(), include_plan=False)
+            text = handle.client().metrics(fmt="text").text
+            # Native Prometheus histogram exposition for queue waits: one
+            # cumulative line per bucket boundary plus +Inf and _sum.
+            assert 'slade_service_queue_wait_seconds_bucket{le="0.01"}' in text
+            assert 'slade_service_queue_wait_seconds_bucket{le="+Inf"} 1' in text
+            assert "slade_service_queue_wait_seconds_sum" in text
+            assert "slade_service_queue_wait_seconds_count 1" in text
+            # The JSON form keeps the flattened cumulative-bucket keys.
+            metrics = handle.client().metrics().payload
+            bucket_keys = [
+                key for key in metrics
+                if key.startswith("service.queue_wait_seconds.bucket.le_")
+            ]
+            assert bucket_keys
+            assert metrics["service.queue_wait_seconds.bucket.le_inf"] == 1.0
+
 
 class TestServeHttpCli:
     def test_cli_serves_and_sigterm_drains_to_exit_zero(self, tmp_path):
