@@ -1,7 +1,8 @@
-"""Remote plan cache: warm network hits vs cold Algorithm 2 builds, and the
-latency split between the tiered backend's local and remote tiers.
+"""Remote plan cache: warm network hits vs cold Algorithm 2 builds, the
+latency split between the tiered backend's local and remote tiers, and the
+sharded ring's warm hits (including reads failing over past a dead shard).
 
-Two claims from the networked-cache PR are quantified here:
+Three claims from the networked-cache PRs are quantified here:
 
 (a) a *warm remote hit* — one round trip to a ``repro cached`` server plus an
     unpickle — is far cheaper than a cold OPQ build for a realistic menu, so
@@ -9,7 +10,12 @@ Two claims from the networked-cache PR are quantified here:
 
 (b) in the tiered backend, a promoted (local) hit is cheaper again than a
     remote hit, which is the whole point of keeping a near tier: hot
-    fingerprints never leave the process.
+    fingerprints never leave the process;
+
+(c) on a three-shard consistent-hash ring with replication factor 2, a warm
+    sharded hit keeps the same >= 3x margin over a cold build — even while
+    one shard is dead and every read of its keys pays the fail-over to the
+    surviving replica.
 
 Set ``SLADE_BENCH_SMOKE=1`` for a CI-sized run (fewer iterations, same
 assertions).
@@ -23,7 +29,12 @@ import time
 from benchmarks.conftest import record_result, report
 from repro.algorithms.opq import build_optimal_priority_queue
 from repro.datasets.jelly import jelly_bin_set
-from repro.engine.backends import MemoryBackend, RemoteBackend, TieredBackend
+from repro.engine.backends import (
+    MemoryBackend,
+    RemoteBackend,
+    ShardedBackend,
+    TieredBackend,
+)
 from repro.engine.backends.server import CacheServerThread
 from repro.engine.fingerprint import opq_key
 from repro.utils.timing import Stopwatch
@@ -139,3 +150,79 @@ def test_tiered_local_hits_beat_remote_hits():
     )
     # An in-process dict lookup must beat a TCP round trip + unpickle.
     assert local_hit_seconds < remote_hit_seconds
+
+
+def test_sharded_warm_hits_beat_cold_builds_even_during_failover():
+    """Claim (c): the replicated ring keeps the >= 3x warm margin with a
+    shard down, reads paying the fail-over to the surviving replica."""
+    bins = jelly_bin_set(MAX_CARDINALITY)
+    key = opq_key(bins, THRESHOLD)
+
+    build_watch = Stopwatch()
+    with build_watch:
+        queue = build_optimal_priority_queue(bins, THRESHOLD)
+
+    servers = [CacheServerThread() for _ in range(3)]
+    try:
+        backend = ShardedBackend(
+            [(s.host, s.port) for s in servers], replicas=2, timeout=0.5
+        )
+        backend.put(key, queue)
+
+        # Healthy ring: warm hits straight off the primary.
+        started = time.perf_counter()
+        for _ in range(HIT_ITERATIONS):
+            assert backend.get(key) is not None
+        healthy_hit_seconds = (time.perf_counter() - started) / HIT_ITERATIONS
+
+        # Kill the key's primary shard: every read now walks the ring to
+        # the replica (the worst warm case a single shard death creates).
+        primary = backend.owners(key)[0]
+        next(s for s in servers if s.address == primary).stop()
+        started = time.perf_counter()
+        for _ in range(HIT_ITERATIONS):
+            assert backend.get(key) is not None
+        failover_hit_seconds = (time.perf_counter() - started) / HIT_ITERATIONS
+        assert backend.failovers >= HIT_ITERATIONS
+        backend.close()
+    finally:
+        for server in servers:
+            server.stop()
+
+    healthy_speedup = (
+        build_watch.elapsed / healthy_hit_seconds
+        if healthy_hit_seconds > 0
+        else float("inf")
+    )
+    failover_speedup = (
+        build_watch.elapsed / failover_hit_seconds
+        if failover_hit_seconds > 0
+        else float("inf")
+    )
+    report(
+        f"Sharded ring (3 shards, R=2): warm hits vs cold OPQ build "
+        f"(jelly |B|={MAX_CARDINALITY}, t={THRESHOLD})",
+        "\n".join(
+            [
+                f"  cold Algorithm 2 build  : {build_watch.elapsed * 1000:.2f} ms",
+                f"  healthy warm hit        : {healthy_hit_seconds * 1000:.3f} ms "
+                f"(mean of {HIT_ITERATIONS})",
+                f"  one-shard-dead failover : {failover_hit_seconds * 1000:.3f} ms",
+                f"  healthy speedup         : {healthy_speedup:.0f}x",
+                f"  failover speedup        : {failover_speedup:.0f}x",
+            ]
+        ),
+    )
+    record_result(
+        "sharded_cache_warm_hit_vs_cold_build",
+        cold_build_seconds=build_watch.elapsed,
+        healthy_hit_seconds=healthy_hit_seconds,
+        failover_hit_seconds=failover_hit_seconds,
+        healthy_speedup=healthy_speedup,
+        failover_speedup=failover_speedup,
+        iterations=HIT_ITERATIONS,
+    )
+    assert healthy_speedup >= 3.0, f"expected >= 3x, measured {healthy_speedup:.1f}x"
+    assert failover_speedup >= 3.0, (
+        f"expected >= 3x during fail-over, measured {failover_speedup:.1f}x"
+    )

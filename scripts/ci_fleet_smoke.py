@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""CI smoke test: a two-host fleet warming itself through `repro cached`.
+"""CI smoke test: fleets warming themselves through `repro cached`.
 
-Boots one cache server, then runs two sequential `repro serve --http`
-processes pointed at it:
+Part one — the single-server fleet.  Boots one cache server, then runs two
+sequential `repro serve --http` processes pointed at it:
 
 1. the **first host** pays the cold OPQ builds and writes them through to the
    shared cache;
@@ -10,9 +10,21 @@ processes pointed at it:
    `/metrics` must show **zero cold builds** (`cache.misses == 0`) and plans
    byte-identical to the first host's.
 
-The cache server's STATS document is written to ``cache-server-stats.json``
-so CI can upload it as an artifact alongside ``bench-results.json``.  Every
-process must drain to exit 0 on SIGTERM, and no listener may survive.
+Part two — the sharded fleet.  Boots **three** cache servers and a serve
+host with `--cache sharded://a,b,c?replicas=2`:
+
+3. the host pays one cold build per fingerprint, each written to two ring
+   successors;
+4. one shard is then **killed with SIGKILL** mid-run, and the same traffic
+   replayed: every request must still succeed (zero request errors), the
+   cold-build count must not grow (reads fail over to the surviving
+   replica), and plans stay byte-identical;
+5. a second host joins the degraded ring and must start warm.
+
+STATS documents are written to ``cache-server-stats.json`` (part one) and
+``cache-shard-<i>-stats.json`` (one per surviving shard) so CI uploads them
+as artifacts alongside ``bench-results.json``.  Every process except the
+murdered shard must drain to exit 0 on SIGTERM, and no listener may survive.
 
 Exits non-zero on the first failed check.  Run from the repository root::
 
@@ -46,6 +58,11 @@ BINS = [[1, 0.9, 0.10], [2, 0.85, 0.18], [3, 0.8, 0.24]]
 STARTUP_TIMEOUT = 60
 SHUTDOWN_TIMEOUT = 30
 STATS_PATH = Path(os.environ.get("SLADE_CACHE_STATS", "cache-server-stats.json"))
+SHARD_STATS_TEMPLATE = os.environ.get(
+    "SLADE_SHARD_STATS", "cache-shard-{index}-stats.json"
+)
+#: Distinct fingerprints for the sharded phase, so every shard owns keys.
+SHARD_THRESHOLDS = [0.90, 0.92, 0.93, 0.95, 0.96, 0.97]
 
 _checks = 0
 
@@ -68,6 +85,17 @@ def solve_payload(n: int, threshold: float = 0.95) -> dict:
         "threshold": threshold,
         "bins": BINS,
     }
+
+
+def drive_shard_traffic(client, label: str) -> list:
+    """One solve per SHARD_THRESHOLDS fingerprint; returns canonical plans."""
+    plans = []
+    for i, threshold in enumerate(SHARD_THRESHOLDS):
+        reply = client.solve(solve_payload(60 + 10 * i, threshold))
+        check(reply.status == 200 and reply.payload["ok"] is True,
+              f"{label}: solve t={threshold} ok")
+        plans.append(json.dumps(reply.payload["plan"], sort_keys=True))
+    return plans
 
 
 class Subprocess:
@@ -150,21 +178,111 @@ def run_serve_host(label: str, cache_address: str) -> "tuple[list, dict]":
         host.kill_if_alive()
 
 
+def run_sharded_fleet_smoke() -> None:
+    """Part two: three shards, replication factor 2, one SIGKILLed mid-run."""
+    from repro.engine.backends import RemoteBackend
+
+    print("\n[4/6] boot a three-shard cache ring")
+    shards = [
+        Subprocess(f"shard-{index}", ["cached", "127.0.0.1:0", "--stats"],
+                   "cache listening on ")
+        for index in range(3)
+    ]
+    victim, survivors = shards[0], shards[1:]
+    spec = "sharded://" + ",".join(s.address for s in shards) + \
+        "?replicas=2&timeout=0.5"
+    try:
+        print("\n[5/6] one host pays the cold builds, then loses a shard")
+        host = Subprocess(
+            "sharded-host",
+            ["serve", "--http", "127.0.0.1:0", "--cache", spec],
+            "listening on ",
+        )
+        try:
+            client = SladeHttpClient(host.address, timeout=60)
+            cold_plans = drive_shard_traffic(client, "sharded-host (cold)")
+            metrics = client.metrics().payload
+            check(metrics.get("cache.misses", 0) == len(SHARD_THRESHOLDS),
+                  "sharded host built each fingerprint exactly once")
+
+            # Murder one shard outright: no drain, no goodbye.
+            victim.proc.kill()
+            victim.proc.communicate()
+            print(f"shard-0 ({victim.address}) SIGKILLed")
+
+            warm_plans = drive_shard_traffic(client, "sharded-host (degraded)")
+            check(warm_plans == cold_plans,
+                  "plans byte-identical across the shard death")
+            metrics = client.metrics().payload
+            check(metrics.get("cache.misses", 0) == len(SHARD_THRESHOLDS),
+                  "zero new cold builds after the shard death "
+                  "(reads failed over to replicas)")
+            check(metrics.get("sharded_cache.fail_open", 0) == 0,
+                  "no whole-ring fail-open while two shards survive")
+            host.stop()
+        finally:
+            host.kill_if_alive()
+
+        print("\n[6/6] a second host joins the degraded ring fully warm")
+        joiner = Subprocess(
+            "sharded-joiner",
+            ["serve", "--http", "127.0.0.1:0", "--cache", spec],
+            "listening on ",
+        )
+        try:
+            client = SladeHttpClient(joiner.address, timeout=60)
+            joiner_plans = drive_shard_traffic(client, "sharded-joiner")
+            check(joiner_plans == cold_plans,
+                  "joiner plans byte-identical to the first host's")
+            metrics = client.metrics().payload
+            check(metrics.get("cache.misses", 0) == 0,
+                  "joiner /metrics shows zero cold builds on a degraded ring")
+            joiner.stop()
+        finally:
+            joiner.kill_if_alive()
+
+        # Per-shard STATS artifacts from the survivors.  Placement depends
+        # on the ephemeral ports, so an individual survivor may own zero of
+        # the test keys — but with R=2 every key kept at least one surviving
+        # replica, so the survivors together hold >= one copy per key.
+        surviving_keys = 0
+        for index, shard in enumerate(shards):
+            if shard is victim:
+                continue
+            shard_host, shard_port = shard.address.rsplit(":", 1)
+            probe = RemoteBackend(shard_host, int(shard_port))
+            stats = probe.server_stats()
+            probe.close()
+            check(stats is not None, f"shard-{index} STATS answered")
+            surviving_keys += stats["keys"]
+            path = Path(SHARD_STATS_TEMPLATE.format(index=index))
+            path.write_text(json.dumps(stats, indent=2) + "\n")
+            print(f"shard-{index} stats written to {path}")
+        check(surviving_keys >= len(SHARD_THRESHOLDS),
+              "survivors hold at least one replica of every fingerprint")
+
+        for shard in survivors:
+            shard.stop()
+    finally:
+        for shard in shards:
+            shard.kill_if_alive()
+
+
 def main() -> None:
-    print("[1/3] boot the shared cache server")
+    print("[1/6] boot the shared cache server")
     cached = Subprocess(
         "cache server", ["cached", "127.0.0.1:0", "--stats"],
         "cache listening on ",
     )
     try:
-        print("\n[2/3] first fleet member pays the cold builds")
+        print("\n[2/6] first fleet member pays the cold builds")
         first_plans, first_metrics = run_serve_host("host-1", cached.address)
         check(first_metrics.get("cache.misses", 0) == 1,
               "host-1 built the shared menu exactly once")
         check(first_metrics.get("remote_cache.server_keys", 0) == 1,
               "host-1 wrote the build through to the cache server")
 
-        print("\n[3/3] second fleet member starts fully warm")
+        print("\n[3/6] second fleet member starts fully warm")
         second_plans, second_metrics = run_serve_host("host-2", cached.address)
         check(second_metrics.get("cache.misses", 0) == 0,
               "host-2 /metrics shows zero cold builds")
@@ -194,6 +312,8 @@ def main() -> None:
             check(True, "cache port released after shutdown")
     finally:
         cached.kill_if_alive()
+
+    run_sharded_fleet_smoke()
 
     print(f"\nfleet smoke: all {_checks} checks passed")
 

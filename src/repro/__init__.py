@@ -53,10 +53,12 @@ from repro.engine import (
     CacheBackend,
     CacheServer,
     CacheStats,
+    HashRing,
     HistogramSnapshot,
     MemoryBackend,
     PlanCache,
     RemoteBackend,
+    ShardedBackend,
     SQLiteBackend,
     SeriesStats,
     Telemetry,
@@ -134,10 +136,12 @@ __all__ = [
     "CacheBackend",
     "CacheServer",
     "CacheStats",
+    "HashRing",
     "HistogramSnapshot",
     "MemoryBackend",
     "PlanCache",
     "RemoteBackend",
+    "ShardedBackend",
     "SQLiteBackend",
     "SeriesStats",
     "Telemetry",

@@ -25,7 +25,9 @@ Three sub-commands cover the common workflows:
     per line to stdout.  ``--cache sqlite:<path>`` keeps the plan cache warm
     across restarts; ``--cache remote://host:port`` (or
     ``tiered:memory:<N>+remote://host:port``) shares it with a whole fleet
-    through a ``repro cached`` server.  With ``--http HOST:PORT`` the same
+    through a ``repro cached`` server, and ``--cache
+    sharded://h1:p1,h2:p2,h3:p3?replicas=2`` spreads it over several cache
+    servers with consistent hashing and replication.  With ``--http HOST:PORT`` the same
     facade is served over the stdlib HTTP transport instead
     (``POST /v1/solve``, ``POST /v1/solve/batch``, ``GET /healthz``,
     ``GET /metrics``), with optional per-tenant admission control
@@ -34,9 +36,11 @@ Three sub-commands cover the common workflows:
 
 ``cached``
     Run the shared plan-cache server: an asyncio TCP key-value store other
-    hosts' ``repro serve --cache remote://...`` processes warm and reuse.
-    Clients fail open (a dead server means local rebuilds, never request
-    errors), so the server needs no high-availability story to be useful.
+    hosts' ``repro serve --cache remote://...`` (or ``sharded://...``)
+    processes warm and reuse.  Clients fail open (a dead server means local
+    rebuilds, never request errors), so the server needs no
+    high-availability story to be useful; ``--persist <path>`` additionally
+    backs the store with a SQLite file so a restarted server keeps its keys.
 
 Every sub-command reports library-level failures (:class:`SladeError`
 subclasses) as a one-line ``error:`` message on stderr with exit code 2
@@ -134,8 +138,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="default solver for requests that do not name one")
     serve.add_argument("--cache", default=None,
                        help="plan-cache backend spec: 'memory', 'memory:<N>', "
-                            "'sqlite:<path>', 'remote://host:port', or "
-                            "'tiered:memory:<N>+remote://host:port' "
+                            "'sqlite:<path>', 'remote://host:port', "
+                            "'sharded://h1:p1,h2:p2[?replicas=R&vnodes=V]', or "
+                            "'tiered:memory:<N>+<far-spec>' "
                             "(default: in-memory)")
     serve.add_argument("--input", default="-",
                        help="file of JSON-line requests ('-' reads stdin)")
@@ -170,6 +175,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "a free port)")
     cached.add_argument("--max-entries", type=int, default=None,
                         help="LRU bound on stored queues (default: unbounded)")
+    cached.add_argument("--persist", metavar="PATH", default=None,
+                        help="back the store with a SQLite file so a "
+                             "restarted server keeps its keys")
     cached.add_argument("--stats", action="store_true",
                         help="print server statistics to stderr on exit")
 
@@ -445,22 +453,33 @@ def _cmd_cached(args: argparse.Namespace) -> int:
         return await run_cache_server(
             host, port,
             max_entries=args.max_entries,
+            persist_path=args.persist,
             stop=stop,
             on_ready=on_ready,
         )
+
+    import sqlite3
 
     try:
         server = asyncio.run(main())
     except OSError as exc:
         raise SladeError(f"cannot serve on {args.address!r}: {exc}") from exc
+    except sqlite3.Error as exc:
+        raise SladeError(
+            f"cannot open --persist file {args.persist!r}: {exc}"
+        ) from exc
     if args.stats:
         stats = server.stats()
+        persisted = (
+            f", restored {int(stats['restored_keys'])} persisted key(s)"
+            if stats["persisted"] else ""
+        )
         print(
             f"served {int(stats['connections'])} connection(s); "
             f"{int(stats['keys'])} key(s), {int(stats['bytes'])} byte(s) stored; "
             f"gets {int(stats['hits'])}/{int(stats['hits'] + stats['misses'])} hit, "
             f"puts {int(stats['puts'])}, evictions {int(stats['evictions'])}, "
-            f"frame errors {int(stats['frame_errors'])}",
+            f"frame errors {int(stats['frame_errors'])}{persisted}",
             file=sys.stderr,
         )
     return 0

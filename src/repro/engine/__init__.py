@@ -20,8 +20,10 @@ Typical use::
 
 from repro.engine.backends import (
     CacheBackend,
+    HashRing,
     MemoryBackend,
     RemoteBackend,
+    ShardedBackend,
     SQLiteBackend,
     TieredBackend,
     open_backend,
@@ -54,10 +56,12 @@ __all__ = [
     "CacheServer",
     "CacheStats",
     "EXECUTORS",
+    "HashRing",
     "HistogramSnapshot",
     "MemoryBackend",
     "PlanCache",
     "RemoteBackend",
+    "ShardedBackend",
     "SQLiteBackend",
     "SeriesStats",
     "Telemetry",

@@ -12,12 +12,17 @@ the ``QueueFactory`` signature) and delegates storage to a
 * :class:`~repro.engine.backends.remote.RemoteBackend` — a networked store on
   a shared ``repro cached`` server, so multi-*host* fleets warm one another;
   unreachable or corrupt servers fail open into local rebuilds.
+* :class:`~repro.engine.backends.sharded.ShardedBackend` — a consistent-hash
+  ring over several ``repro cached`` servers with configurable replication:
+  reads fail over to the next replica, writes land on every replica, and the
+  whole ring going dark still fails open into local rebuilds.
 * :class:`~repro.engine.backends.tiered.TieredBackend` — an in-process LRU in
-  front of a remote or SQLite far tier: hot fingerprints stay in-process,
-  cold builds write through to the fleet.
+  front of a remote, sharded, or SQLite far tier: hot fingerprints stay
+  in-process, cold builds write through to the fleet.
 
 :func:`open_backend` turns a compact spec string (``"memory"``,
 ``"memory:128"``, ``"sqlite:plans.db"``, ``"remote://host:port"``,
+``"sharded://h1:p1,h2:p2,h3:p3?replicas=2"``,
 ``"tiered:memory:128+remote://host:port"``) into a backend instance; the
 service layer and the ``repro serve`` CLI use it so deployments pick a store
 with a flag instead of code.
@@ -32,6 +37,7 @@ from repro.core.errors import SladeError
 from repro.engine.backends.base import CacheBackend
 from repro.engine.backends.memory import MemoryBackend
 from repro.engine.backends.remote import RemoteBackend
+from repro.engine.backends.sharded import HashRing, ShardedBackend
 from repro.engine.backends.sqlite import SQLiteBackend
 from repro.engine.backends.tiered import TieredBackend
 from repro.engine.telemetry import Telemetry
@@ -86,6 +92,62 @@ def _parse_remote_spec(
     )
 
 
+def _parse_sharded_spec(
+    spec: str, telemetry: Optional[Telemetry]
+) -> ShardedBackend:
+    """Build a :class:`ShardedBackend` from ``sharded://h1:p1,h2:p2[?...]``.
+
+    Query parameters: ``replicas`` (ring successors per entry, default 2),
+    ``vnodes`` (virtual nodes per endpoint, default 128), and the per-shard
+    client options ``timeout`` / ``pool``.
+
+    ``urlsplit`` cannot host a comma-separated endpoint list, so the spec is
+    parsed by hand.
+    """
+    body = spec[len("sharded://"):]
+    body, _, query = body.partition("?")
+    endpoints = []
+    for token in body.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        host, sep, port_text = token.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            port = -1
+        if not sep or not host or not (1 <= port <= 65535):
+            raise BackendSpecError(
+                f"sharded backend endpoints must be 'host:port'; got {token!r} "
+                f"in {spec!r}"
+            )
+        endpoints.append((host, port))
+    if not endpoints:
+        raise BackendSpecError(
+            f"sharded backend spec needs at least one endpoint: "
+            f"'sharded://host:port[,host:port...]', got {spec!r}"
+        )
+    params = {key: values[-1] for key, values in parse_qs(query).items()}
+    kwargs = {}
+    try:
+        if "replicas" in params:
+            kwargs["replicas"] = int(params.pop("replicas"))
+        if "vnodes" in params:
+            kwargs["vnodes"] = int(params.pop("vnodes"))
+        if "timeout" in params:
+            kwargs["timeout"] = float(params.pop("timeout"))
+        if "pool" in params:
+            kwargs["pool_size"] = int(params.pop("pool"))
+    except ValueError as exc:
+        raise BackendSpecError(f"invalid sharded backend option: {exc}") from None
+    if params:
+        unknown = ", ".join(sorted(params))
+        raise BackendSpecError(
+            f"unknown sharded backend option(s) {unknown} in {spec!r}"
+        )
+    return ShardedBackend(endpoints, telemetry=telemetry, **kwargs)
+
+
 def _parse_tiered_spec(
     spec: str, max_entries: Optional[int], telemetry: Optional[Telemetry]
 ) -> TieredBackend:
@@ -116,8 +178,8 @@ def _parse_tiered_spec(
         if isinstance(far, (MemoryBackend, TieredBackend)):
             far.close()
             raise BackendSpecError(
-                f"the far tier of a tiered backend must be remote or sqlite; "
-                f"got {far_spec!r}"
+                f"the far tier of a tiered backend must be remote, sharded, "
+                f"or sqlite; got {far_spec!r}"
             )
     except BaseException:
         near.close()
@@ -144,13 +206,18 @@ def open_backend(
         Shorthand for the SQLite form.
     ``"remote://<host>:<port>[?timeout=<s>&pool=<n>]"``
         A :class:`RemoteBackend` against a ``repro cached`` server.
+    ``"sharded://<h>:<p>,<h>:<p>[,...][?replicas=<r>&vnodes=<v>&timeout=<s>&pool=<n>]"``
+        A :class:`ShardedBackend`: a consistent-hash ring over several
+        ``repro cached`` servers, each entry replicated to ``replicas`` ring
+        successors, reads failing over between them.
     ``"tiered:<memory-spec>+<far-spec>"``
         A :class:`TieredBackend`: an in-process memory tier (bounded by its
-        own ``memory:<N>`` form or by ``max_entries``) in front of a remote
-        or SQLite far tier, e.g. ``tiered:memory:128+remote://10.0.0.7:9009``.
+        own ``memory:<N>`` form or by ``max_entries``) in front of a remote,
+        sharded, or SQLite far tier, e.g.
+        ``tiered:memory:128+sharded://10.0.0.7:9009,10.0.0.8:9009``.
 
     ``telemetry`` is forwarded to backends that report per-tier counters
-    (remote and tiered); memory and SQLite stores ignore it.
+    (remote, sharded, and tiered); memory and SQLite stores ignore it.
 
     Raises
     ------
@@ -180,6 +247,8 @@ def open_backend(
             return SQLiteBackend(path, max_entries=max_entries)
         if spec.startswith("remote://"):
             return _parse_remote_spec(spec, telemetry)
+        if spec.startswith("sharded://"):
+            return _parse_sharded_spec(spec, telemetry)
         if spec.startswith("tiered:"):
             return _parse_tiered_spec(spec, max_entries, telemetry)
         # Last: the suffix shorthand, so explicit prefixes always win (a
@@ -193,15 +262,18 @@ def open_backend(
     raise BackendSpecError(
         f"unknown cache backend spec {spec!r}; expected 'memory', 'memory:<N>', "
         f"'sqlite:<path>', a path ending in {', '.join(_SQLITE_SUFFIXES)}, "
-        f"'remote://host:port', or 'tiered:<memory>+<far>'"
+        f"'remote://host:port', 'sharded://host:port,host:port', or "
+        f"'tiered:<memory>+<far>'"
     )
 
 
 __all__ = [
     "BackendSpecError",
     "CacheBackend",
+    "HashRing",
     "MemoryBackend",
     "RemoteBackend",
+    "ShardedBackend",
     "SQLiteBackend",
     "TieredBackend",
     "open_backend",

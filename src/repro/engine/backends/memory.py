@@ -5,10 +5,16 @@ extracted behind the :class:`~repro.engine.backends.base.CacheBackend`
 protocol.  Entries are held by reference, so a hit returns the *same* queue
 object that was stored — solvers may therefore share one queue across
 thousands of instances with zero copying.
+
+Storage calls take an internal lock (cheap when uncontended), so the plan
+cache's per-key leaders may touch the store concurrently — required for the
+tiered backend's near tier, where a get/put must not wait behind another
+key's far-tier network round trip.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -30,46 +36,58 @@ class MemoryBackend:
 
     persistent = False
 
+    #: Every storage call is guarded by an internal lock, so the plan
+    #: cache's concurrent per-key leaders need no extra serialisation.
+    concurrent_safe = True
+
     def __init__(self, max_entries: Optional[int] = None) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be positive; got {max_entries}")
         self.max_entries = max_entries
         #: Entries dropped by the LRU bound since construction (telemetry).
         self.evictions = 0
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[OPQKey, OptimalPriorityQueue]" = OrderedDict()
 
     def get(self, key: OPQKey) -> Optional[OptimalPriorityQueue]:
-        queue = self._entries.get(key)
-        if queue is not None:
-            self._entries.move_to_end(key)
-        return queue
+        with self._lock:
+            queue = self._entries.get(key)
+            if queue is not None:
+                self._entries.move_to_end(key)
+            return queue
 
     def put(self, key: OPQKey, queue: OptimalPriorityQueue) -> None:
-        self._entries[key] = queue
-        self._entries.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+        with self._lock:
+            self._entries[key] = queue
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
 
     def merge(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
-        for key, queue in entries.items():
-            self._entries.setdefault(key, queue)
+        with self._lock:
+            for key, queue in entries.items():
+                self._entries.setdefault(key, queue)
 
     def snapshot(self) -> Dict[OPQKey, OptimalPriorityQueue]:
-        return dict(self._entries)
+        with self._lock:
+            return dict(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def close(self) -> None:
         """Nothing to release for in-memory storage."""
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: OPQKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MemoryBackend(entries={len(self._entries)}, max_entries={self.max_entries})"

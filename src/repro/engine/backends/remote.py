@@ -138,6 +138,11 @@ class RemoteBackend:
     #: Entries live on the server, so they survive *this* process's restarts.
     persistent = True
 
+    #: The socket pool carries its own lock and the counters are advisory,
+    #: so :class:`~repro.engine.cache.PlanCache` may drive this backend from
+    #: concurrent per-key leaders without extra serialisation.
+    concurrent_safe = True
+
     def __init__(
         self,
         host: str,
@@ -234,18 +239,30 @@ class RemoteBackend:
     # -- storage protocol ------------------------------------------------------
 
     def get(self, key: OPQKey) -> Optional[OptimalPriorityQueue]:
+        return self.try_get(key)[0]
+
+    def try_get(self, key: OPQKey) -> "tuple[Optional[OptimalPriorityQueue], bool]":
+        """``(queue, reachable)``: a miss on a live server is ``(None, True)``.
+
+        The sharded backend needs the distinction a plain :meth:`get` hides:
+        an unreachable shard ``(None, False)`` triggers fail-over to the next
+        replica, while a reachable shard that simply lacks (or stored a
+        corrupt copy of) the entry ``(None, True)`` is a candidate for read
+        repair.
+        """
         wire_key = encode_key(key)
         reply = self._roundtrip(OP_GET, wire_key)
-        if reply is None or reply.op == REPLY_MISS:
-            if reply is not None:
-                self._count("remote_cache.misses")
-                self.remote_misses += 1
-            return None
+        if reply is None:
+            return None, False
+        if reply.op == REPLY_MISS:
+            self._count("remote_cache.misses")
+            self.remote_misses += 1
+            return None, True
         if reply.op != REPLY_VALUE:
             # An ERROR (or unexpected) reply is a server-side refusal; treat
             # it exactly like an unreachable server.
             self._count_fail_open()
-            return None
+            return None, False
         try:
             queue = decode_queue(reply.payload)
         except WirePayloadError:
@@ -253,10 +270,10 @@ class RemoteBackend:
             self._count("remote_cache.corrupt_payloads")
             # Purge the poisoned entry so the next writer repairs the fleet.
             self._roundtrip(OP_DELETE, wire_key)
-            return None
+            return None, True
         self.remote_hits += 1
         self._count("remote_cache.hits")
-        return queue
+        return queue, True
 
     def put(self, key: OPQKey, queue: OptimalPriorityQueue) -> None:
         # Fire-and-check: a failed PUT only costs the fleet future warmth.

@@ -17,17 +17,31 @@ last-writer-wins is harmless.
 Protocol errors never crash the serving loop: a malformed frame answers one
 ``ERROR`` reply and closes that connection (its framing is unrecoverable);
 every other connection, and the server itself, keeps going.
+
+With ``persist_path`` set (the ``repro cached --persist <path>`` flag), the
+in-memory store is backed by a
+:class:`~repro.engine.backends.sqlite.SQLiteBackend` through its raw-payload
+API: every PUT/DELETE/CLEAR/eviction writes through, and a restarting server
+reloads its keys (in LRU order) before accepting connections — the fleet's
+warmth survives the restart.  The server still never unpickles anything; it
+moves the clients' opaque blobs in and out of the same SQLite schema the
+``sqlite:<path>`` backend uses, so either side can read a file the other
+wrote.  Persistence is fail-open like everything else: a failing disk write
+counts ``persist_errors`` in STATS and the entry stays served from memory.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import sqlite3
 import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
 
+from repro.engine.backends.sqlite import SQLiteBackend
 from repro.engine.backends.wire import (
     OP_CLEAR,
     OP_CONTAINS,
@@ -44,6 +58,8 @@ from repro.engine.backends.wire import (
     REPLY_VALUE,
     Frame,
     WireProtocolError,
+    decode_key,
+    encode_key,
     encode_frame,
     read_frame,
 )
@@ -58,9 +74,20 @@ class CacheServer:
         Optional LRU bound on stored keys; a GET refreshes recency, a PUT past
         the bound evicts the least recently used entry.  ``None`` (the
         default) stores everything.
+    persist_path:
+        Optional SQLite file backing the in-memory store.  Existing entries
+        are reloaded at construction (so a restarted server keeps the
+        fleet's warmth), and every mutation writes through.  Only keys that
+        parse as cache keys are persisted — foreign byte keys stay
+        memory-only, since the SQLite schema stores the two key components
+        as text columns.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        persist_path: Optional[Union[str, Path]] = None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be positive; got {max_entries}")
         self.max_entries = max_entries
@@ -74,9 +101,57 @@ class CacheServer:
         self.evictions = 0
         self.frame_errors = 0
         self.connections = 0
+        #: Persistence write-throughs that failed (the entry stays in memory).
+        self.persist_errors = 0
+        #: Keys reloaded from the persistence file at construction.
+        self.restored_keys = 0
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        #: Kept separate from the live handle so stats() still reports a
+        #: persistent server after close() has released the connection.
+        self.persist_path = Path(persist_path) if persist_path is not None else None
+        self._persist: Optional[SQLiteBackend] = None
+        if self.persist_path is not None:
+            self._persist = SQLiteBackend(self.persist_path)
+            self._restore()
+            self._evict()
+
+    def _restore(self) -> None:
+        """Reload persisted entries (LRU order) into the in-memory store."""
+        assert self._persist is not None
+        for key, payload in self._persist.payloads():
+            wire_key = encode_key(key)
+            self._entries[wire_key] = payload
+            self._bytes_stored += len(payload)
+            self.restored_keys += 1
+
+    # -- persistence write-through ---------------------------------------------
+
+    def _persist_put(self, wire_key: bytes, payload: bytes) -> None:
+        if self._persist is None:
+            return
+        try:
+            self._persist.put_payload(decode_key(wire_key), payload)
+        except (WireProtocolError, sqlite3.Error):
+            # Foreign keys are memory-only; disk failures are fail-open.
+            self.persist_errors += 1
+
+    def _persist_delete(self, wire_key: bytes) -> None:
+        if self._persist is None:
+            return
+        try:
+            self._persist.delete(decode_key(wire_key))
+        except (WireProtocolError, sqlite3.Error):
+            self.persist_errors += 1
+
+    def _persist_clear(self) -> None:
+        if self._persist is None:
+            return
+        try:
+            self._persist.clear()
+        except sqlite3.Error:
+            self.persist_errors += 1
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -99,6 +174,9 @@ class CacheServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._persist is not None:
+            self._persist.close()
+            self._persist = None
 
     # -- connection handling ---------------------------------------------------
 
@@ -150,6 +228,7 @@ class CacheServer:
             self._entries.move_to_end(frame.key)
             self._bytes_stored += len(frame.payload)
             self.puts += 1
+            self._persist_put(frame.key, frame.payload)
             self._evict()
             return encode_frame(REPLY_OK)
         if frame.op == OP_DELETE:
@@ -158,6 +237,7 @@ class CacheServer:
                 return encode_frame(REPLY_MISS)
             self._bytes_stored -= len(value)
             self.deletes += 1
+            self._persist_delete(frame.key)
             return encode_frame(REPLY_OK)
         if frame.op == OP_CONTAINS:
             return encode_frame(
@@ -166,6 +246,7 @@ class CacheServer:
         if frame.op == OP_CLEAR:
             self._entries.clear()
             self._bytes_stored = 0
+            self._persist_clear()
             return encode_frame(REPLY_OK)
         if frame.op == OP_STATS:
             return encode_frame(
@@ -184,9 +265,11 @@ class CacheServer:
         if self.max_entries is None:
             return
         while len(self._entries) > self.max_entries:
-            _key, value = self._entries.popitem(last=False)
+            key, value = self._entries.popitem(last=False)
             self._bytes_stored -= len(value)
             self.evictions += 1
+            # A bounded persistent server stays bounded on disk too.
+            self._persist_delete(key)
 
     # -- statistics ------------------------------------------------------------
 
@@ -202,6 +285,9 @@ class CacheServer:
             "evictions": self.evictions,
             "frame_errors": self.frame_errors,
             "connections": self.connections,
+            "persisted": int(self.persist_path is not None),
+            "persist_errors": self.persist_errors,
+            "restored_keys": self.restored_keys,
             "uptime_seconds": time.monotonic() - self._started,
         }
 
@@ -213,6 +299,7 @@ async def run_cache_server(
     host: str,
     port: int,
     max_entries: Optional[int] = None,
+    persist_path: Optional[Union[str, Path]] = None,
     stop: Optional["asyncio.Event"] = None,
     on_ready: Optional[Callable[[CacheServer], None]] = None,
 ) -> CacheServer:
@@ -222,7 +309,7 @@ async def run_cache_server(
     socket is bound (used to print the listening address).  Returns the
     closed server so callers can read final statistics.
     """
-    server = CacheServer(max_entries=max_entries)
+    server = CacheServer(max_entries=max_entries, persist_path=persist_path)
     await server.start(host, port)
     if on_ready is not None:
         on_ready(server)
@@ -246,8 +333,12 @@ class CacheServerThread:
     assertions after the loop has stopped.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
-        self.server = CacheServer(max_entries=max_entries)
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        persist_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.server = CacheServer(max_entries=max_entries, persist_path=persist_path)
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None

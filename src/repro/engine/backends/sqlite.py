@@ -12,18 +12,26 @@ only ever race to store equivalent values; ``INSERT OR IGNORE`` plus SQLite's
 own file locking make the race harmless.  Within a process, unpickled queues
 are memoised so repeated hits return the same object without re-reading the
 blob (matching :class:`~repro.engine.backends.memory.MemoryBackend`'s
-by-reference semantics on the hot path).
+by-reference semantics on the hot path).  Storage calls serialise on an
+internal lock, so the plan cache's concurrent per-key leaders (and the
+``repro cached --persist`` server loop) can share one instance safely.
 
 Blobs use the same pinned cross-host pickle codec as the networked backend
 (:func:`repro.engine.backends.wire.encode_queue`), so a SQLite file on shared
-storage is readable by every interpreter in a mixed-version fleet.
+storage is readable by every interpreter in a mixed-version fleet.  The
+*raw-payload* methods (:meth:`put_payload` / :meth:`payloads` /
+:meth:`delete`) move those same blobs without unpickling them — the
+``repro cached --persist`` server stores client payloads through this API,
+which means a ``--persist`` file and a ``sqlite:<path>`` backend file are
+the same format: warmth written by either is readable by both.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.algorithms.opq import OptimalPriorityQueue
 from repro.engine.backends.wire import decode_queue, encode_queue
@@ -55,6 +63,10 @@ class SQLiteBackend:
 
     persistent = True
 
+    #: Storage calls serialise on an internal lock, so concurrent per-key
+    #: leaders in :class:`~repro.engine.cache.PlanCache` are safe.
+    concurrent_safe = True
+
     def __init__(self, path: Union[str, Path], max_entries: Optional[int] = None) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be positive; got {max_entries}")
@@ -62,9 +74,10 @@ class SQLiteBackend:
         self.max_entries = max_entries
         #: Entries dropped by the LRU bound by *this* process (telemetry).
         self.evictions = 0
+        self._lock = threading.RLock()
         # autocommit (isolation_level=None) keeps each statement in its own
-        # implicit transaction; check_same_thread=False because PlanCache
-        # serialises calls under its lock and may be driven from a thread pool.
+        # implicit transaction; check_same_thread=False because calls are
+        # serialised on self._lock and may come from any worker thread.
         self._conn = sqlite3.connect(
             str(self.path), check_same_thread=False, isolation_level=None
         )
@@ -74,79 +87,133 @@ class SQLiteBackend:
     # -- storage protocol ------------------------------------------------------
 
     def get(self, key: OPQKey) -> Optional[OptimalPriorityQueue]:
-        queue = self._memo.get(key)
-        if queue is not None:
+        with self._lock:
+            queue = self._memo.get(key)
+            if queue is not None:
+                self._touch(key)
+                return queue
+            row = self._conn.execute(
+                "SELECT payload FROM opq_entries "
+                "WHERE bins_fingerprint = ? AND threshold_token = ?",
+                key,
+            ).fetchone()
+            if row is None:
+                return None
+            queue = decode_queue(row[0])
+            self._memo[key] = queue
             self._touch(key)
             return queue
-        row = self._conn.execute(
-            "SELECT payload FROM opq_entries "
-            "WHERE bins_fingerprint = ? AND threshold_token = ?",
-            key,
-        ).fetchone()
-        if row is None:
-            return None
-        queue = decode_queue(row[0])
-        self._memo[key] = queue
-        self._touch(key)
-        return queue
 
     def put(self, key: OPQKey, queue: OptimalPriorityQueue) -> None:
-        payload = encode_queue(queue)
+        with self._lock:
+            self._store(key, encode_queue(queue))
+            self._memo[key] = queue
+            self._evict()
+
+    def merge(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
+        with self._lock:
+            for key, queue in entries.items():
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO opq_entries "
+                    "(bins_fingerprint, threshold_token, payload, touch_seq) "
+                    "VALUES (?, ?, ?, ?)",
+                    (
+                        key[0],
+                        key[1],
+                        encode_queue(queue),
+                        self._next_seq(),
+                    ),
+                )
+                self._memo.setdefault(key, queue)
+            self._evict()
+
+    def snapshot(self) -> Dict[OPQKey, OptimalPriorityQueue]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT bins_fingerprint, threshold_token, payload FROM opq_entries"
+            ).fetchall()
+            out: Dict[OPQKey, OptimalPriorityQueue] = {}
+            for bins_fp, token, payload in rows:
+                key = (bins_fp, token)
+                queue = self._memo.get(key)
+                out[key] = queue if queue is not None else decode_queue(payload)
+            return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM opq_entries")
+            self._memo.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count_rows()
+
+    def __contains__(self, key: OPQKey) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM opq_entries "
+                "WHERE bins_fingerprint = ? AND threshold_token = ?",
+                key,
+            ).fetchone()
+            return row is not None
+
+    # -- raw payload access (the cache server's persistence path) --------------
+
+    def put_payload(self, key: OPQKey, payload: bytes) -> None:
+        """Store an already-encoded queue blob without unpickling it.
+
+        The ``repro cached --persist`` server is deliberately ignorant of
+        payload contents (a hostile blob must harm only the client that
+        stored it); this path writes the client's bytes through verbatim.
+        The in-process memo is left untouched — raw writers never read
+        queues back as objects.
+        """
+        with self._lock:
+            self._store(key, payload)
+            self._evict()
+
+    def payloads(self) -> Iterator[Tuple[OPQKey, bytes]]:
+        """Every stored ``(key, blob)`` pair, least recently used first.
+
+        Iteration order preserves LRU recency so a restarting server can
+        rebuild its in-memory LRU chain faithfully.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT bins_fingerprint, threshold_token, payload "
+                "FROM opq_entries ORDER BY touch_seq ASC"
+            ).fetchall()
+        for bins_fp, token, payload in rows:
+            yield (bins_fp, token), payload
+
+    def delete(self, key: OPQKey) -> None:
+        """Drop one entry (no-op when absent)."""
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM opq_entries "
+                "WHERE bins_fingerprint = ? AND threshold_token = ?",
+                key,
+            )
+            self._memo.pop(key, None)
+
+    # -- recency and eviction ---------------------------------------------------
+
+    def _store(self, key: OPQKey, payload: bytes) -> None:
         self._conn.execute(
             "INSERT OR REPLACE INTO opq_entries "
             "(bins_fingerprint, threshold_token, payload, touch_seq) "
             "VALUES (?, ?, ?, ?)",
             (key[0], key[1], payload, self._next_seq()),
         )
-        self._memo[key] = queue
-        self._evict()
 
-    def merge(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
-        for key, queue in entries.items():
-            self._conn.execute(
-                "INSERT OR IGNORE INTO opq_entries "
-                "(bins_fingerprint, threshold_token, payload, touch_seq) "
-                "VALUES (?, ?, ?, ?)",
-                (
-                    key[0],
-                    key[1],
-                    encode_queue(queue),
-                    self._next_seq(),
-                ),
-            )
-            self._memo.setdefault(key, queue)
-        self._evict()
-
-    def snapshot(self) -> Dict[OPQKey, OptimalPriorityQueue]:
-        rows = self._conn.execute(
-            "SELECT bins_fingerprint, threshold_token, payload FROM opq_entries"
-        ).fetchall()
-        out: Dict[OPQKey, OptimalPriorityQueue] = {}
-        for bins_fp, token, payload in rows:
-            key = (bins_fp, token)
-            queue = self._memo.get(key)
-            out[key] = queue if queue is not None else decode_queue(payload)
-        return out
-
-    def clear(self) -> None:
-        self._conn.execute("DELETE FROM opq_entries")
-        self._memo.clear()
-
-    def close(self) -> None:
-        self._conn.close()
-
-    def __len__(self) -> int:
-        return self._conn.execute("SELECT COUNT(*) FROM opq_entries").fetchone()[0]
-
-    def __contains__(self, key: OPQKey) -> bool:
-        row = self._conn.execute(
-            "SELECT 1 FROM opq_entries "
-            "WHERE bins_fingerprint = ? AND threshold_token = ?",
-            key,
-        ).fetchone()
-        return row is not None
-
-    # -- recency and eviction ---------------------------------------------------
+    def _count_rows(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM opq_entries"
+        ).fetchone()[0]
 
     def _next_seq(self) -> int:
         row = self._conn.execute(
@@ -168,7 +235,7 @@ class SQLiteBackend:
     def _evict(self) -> None:
         if self.max_entries is None:
             return
-        excess = len(self) - self.max_entries
+        excess = self._count_rows() - self.max_entries
         if excess <= 0:
             return
         self.evictions += excess

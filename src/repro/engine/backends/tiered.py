@@ -88,6 +88,18 @@ class TieredBackend:
         return bool(getattr(self.remote, "persistent", False))
 
     @property
+    def concurrent_safe(self) -> bool:
+        """Safe for concurrent per-key leaders iff both tiers are.
+
+        This is what keeps distinct fingerprints from serialising behind one
+        another's far-tier network round trips in
+        :class:`~repro.engine.cache.PlanCache`.
+        """
+        return bool(getattr(self.local, "concurrent_safe", False)) and bool(
+            getattr(self.remote, "concurrent_safe", False)
+        )
+
+    @property
     def max_entries(self) -> Optional[int]:
         """The near tier's bound (the far tier bounds itself)."""
         return getattr(self.local, "max_entries", None)

@@ -18,13 +18,28 @@ planner's thread executor shares one instance).  For process-based
 parallelism the in-memory backend cannot be shared directly;
 :meth:`export_entries` / :meth:`absorb` ship a pre-warmed snapshot to the
 workers instead.
+
+Concurrency is **per key**, not global: threads requesting *distinct*
+fingerprints proceed in parallel (builds are GIL-bound, but network-backed
+storage round trips genuinely overlap), while threads missing on the *same*
+fingerprint coalesce — one leader performs the single backend lookup and the
+single Algorithm 2 build, and every follower waits on the in-flight entry
+and shares the resulting queue object (counted as a hit plus
+``cache.coalesced_waits``).  So a thread executor over a
+:class:`~repro.engine.backends.remote.RemoteBackend` or
+:class:`~repro.engine.backends.sharded.ShardedBackend` never serialises
+behind one slow (timeout-bounded) round trip for an unrelated key, and a
+thundering herd on one fingerprint issues exactly one GET and one build.
+Backends advertising ``concurrent_safe = True`` are called without extra
+locking; anything else is serialised on an internal storage lock (the
+pre-existing contract for third-party backends).
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, TypeVar
 
 from repro.algorithms.opq import OptimalPriorityQueue, build_optimal_priority_queue
 from repro.core.bins import TaskBinSet
@@ -33,8 +48,27 @@ from repro.engine.fingerprint import OPQKey, opq_key
 from repro.engine.telemetry import Telemetry
 from repro.utils.timing import Stopwatch
 
+_T = TypeVar("_T")
+
 #: Distinguishes "backend has no telemetry attribute" from "attribute is None".
 _UNSET = object()
+
+
+class _InflightBuild:
+    """One fingerprint's in-flight lookup/build, shared by coalescing waiters.
+
+    The leader resolves :attr:`queue` (hit or fresh build) before setting
+    :attr:`done`; followers wait and adopt the object without touching the
+    backend.  When the leader fails, :attr:`queue` stays ``None`` and each
+    follower retries as a new leader (matching the pre-coalescing behaviour,
+    where every thread attempted the build independently).
+    """
+
+    __slots__ = ("done", "queue")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.queue: Optional[OptimalPriorityQueue] = None
 
 
 @dataclass(frozen=True)
@@ -139,10 +173,20 @@ class PlanCache:
         # backend was built without one, so /metrics is one snapshot.
         if telemetry is not None and getattr(backend, "telemetry", _UNSET) is None:
             backend.telemetry = telemetry
+        #: Guards the counters and the in-flight build table (never held
+        #: across a backend call or a build).
         self._lock = threading.Lock()
+        #: Serialises storage calls for backends that are not internally
+        #: thread-safe; bypassed when the backend declares
+        #: ``concurrent_safe = True`` (memory, sqlite, remote, sharded,
+        #: tiered-over-safe-tiers all do).
+        self._storage_lock = threading.Lock()
+        self._backend_concurrent = bool(getattr(backend, "concurrent_safe", False))
+        self._inflight: Dict[OPQKey, _InflightBuild] = {}
         self._hits = 0
         self._misses = 0
         self._build_seconds = 0.0
+        self._evictions_seen = getattr(backend, "evictions", 0)
 
     # -- the hot path ----------------------------------------------------------
 
@@ -151,36 +195,75 @@ class PlanCache:
 
         Matches the :data:`~repro.algorithms.opq.QueueFactory` signature so it
         can be passed wherever a queue supplier is expected.
+
+        Concurrent callers coalesce per key: one leader performs the single
+        backend lookup and (on a miss) the single Algorithm 2 build; every
+        other thread waits on the in-flight entry and shares the resulting
+        queue object without its own backend round trip.  Distinct keys
+        never wait on each other.
         """
         key = opq_key(bins, threshold)
-        with self._lock:
-            queue = self.backend.get(key)
+        while True:
+            with self._lock:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InflightBuild()
+                    self._inflight[key] = flight
+                    break  # this thread leads the lookup/build for `key`
+            flight.done.wait()
+            if flight.queue is not None:
+                self._record_hit(coalesced=True)
+                return flight.queue
+            # The leader failed without a queue; retry as a new leader so a
+            # transient error is not broadcast to every waiter.
+        try:
+            queue = self._guarded(lambda: self.backend.get(key))
             if queue is not None:
-                self._hits += 1
-                if self.telemetry is not None:
-                    self.telemetry.increment("cache.hits")
+                flight.queue = queue
+                self._record_hit()
                 return queue
-            # Build under the lock: construction is pure Python (GIL-bound),
-            # so releasing the lock would only let threads duplicate work.
-            # For networked backends this also serialises threads behind the
-            # (timeout-bounded) get/put round trips — acceptable because the
-            # async serving path executes batches on one worker thread; a
-            # per-key locking scheme is the ROADMAP follow-on if thread
-            # executors over remote caches become a hot configuration.
-            self._misses += 1
             watch = Stopwatch()
             with watch:
                 queue = build_optimal_priority_queue(bins, threshold)
-            self._build_seconds += watch.elapsed
-            evictions_before = getattr(self.backend, "evictions", 0)
-            self.backend.put(key, queue)
-            if self.telemetry is not None:
-                self.telemetry.increment("cache.misses")
-                self.telemetry.increment("cache.build_seconds", watch.elapsed)
-                evicted = getattr(self.backend, "evictions", 0) - evictions_before
-                if evicted:
-                    self.telemetry.increment("cache.evictions", evicted)
+            self._guarded(lambda: self.backend.put(key, queue))
+            flight.queue = queue
+            self._record_miss(watch.elapsed)
             return queue
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+
+    def _guarded(self, call: Callable[[], _T]) -> _T:
+        """Run one backend storage call with the required serialisation."""
+        if self._backend_concurrent:
+            return call()
+        with self._storage_lock:
+            return call()
+
+    def _record_hit(self, coalesced: bool = False) -> None:
+        with self._lock:
+            self._hits += 1
+        if self.telemetry is not None:
+            self.telemetry.increment("cache.hits")
+            if coalesced:
+                self.telemetry.increment("cache.coalesced_waits")
+
+    def _record_miss(self, build_seconds: float) -> None:
+        with self._lock:
+            self._misses += 1
+            self._build_seconds += build_seconds
+            # Attribute evictions through the monotone backend counter
+            # instead of a before/after diff, which concurrent leaders on
+            # other keys would corrupt.
+            total_evictions = getattr(self.backend, "evictions", 0)
+            evicted = total_evictions - self._evictions_seen
+            self._evictions_seen = total_evictions
+        if self.telemetry is not None:
+            self.telemetry.increment("cache.misses")
+            self.telemetry.increment("cache.build_seconds", build_seconds)
+            if evicted > 0:
+                self.telemetry.increment("cache.evictions", evicted)
 
     def warm(self, bins: TaskBinSet, thresholds: Iterable[float]) -> None:
         """Pre-build the queues for every threshold in ``thresholds``.
@@ -194,12 +277,10 @@ class PlanCache:
     # -- bookkeeping -----------------------------------------------------------
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self.backend)
+        return self._guarded(lambda: len(self.backend))
 
     def __contains__(self, key: OPQKey) -> bool:
-        with self._lock:
-            return key in self.backend
+        return self._guarded(lambda: key in self.backend)
 
     @property
     def persistent(self) -> bool:
@@ -245,25 +326,21 @@ class PlanCache:
 
     def clear(self) -> None:
         """Drop every stored queue (counters are kept)."""
-        with self._lock:
-            self.backend.clear()
+        self._guarded(self.backend.clear)
 
     def close(self) -> None:
         """Release backend resources (e.g. the SQLite connection)."""
-        with self._lock:
-            self.backend.close()
+        self._guarded(self.backend.close)
 
     # -- process-parallel support ----------------------------------------------
 
     def export_entries(self) -> Dict[OPQKey, OptimalPriorityQueue]:
         """A picklable snapshot of the stored queues for worker processes."""
-        with self._lock:
-            return self.backend.snapshot()
+        return self._guarded(self.backend.snapshot)
 
     def absorb(self, entries: Dict[OPQKey, OptimalPriorityQueue]) -> None:
         """Adopt queues exported by another cache (counted as neither hit nor miss)."""
-        with self._lock:
-            self.backend.merge(entries)
+        self._guarded(lambda: self.backend.merge(entries))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         snapshot = self.stats

@@ -1,17 +1,28 @@
-"""Fault injection for the networked plan-cache backend.
+"""Fault injection for the networked plan-cache backends.
 
 The serving-path contract under test: **the shared cache is an accelerator,
-never a dependency**.  Whatever the cache server does — dies mid-stream,
-stores corrupt bytes, answers truncated or checksum-broken frames, or hangs
-past the client timeout — every solve request must still succeed with a plan
+never a dependency**.  Whatever the cache servers do — die mid-stream, store
+corrupt bytes, answer truncated or checksum-broken frames, or hang past the
+client timeout — every solve request must still succeed with a plan
 byte-identical to a cache-less run, the only observable difference being
 fail-open/corruption telemetry counters.
+
+The sharded-fleet chaos layer extends the same contract across a
+consistent-hash ring: killing one of three shards under a replicated ring
+must preserve the warm hit rate (reads fail over to the surviving replica),
+killing *every* shard must degrade to local rebuilds, and a ``--persist``
+server restarted as a real subprocess must come back with all of its keys.
 """
 
 import json
+import os
+import signal
 import socket
+import subprocess
+import sys
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
@@ -350,6 +361,199 @@ class TestEquivalenceAcrossBackends:
                 ) as warm_service:
                     assert solve_all(warm_service, bins) == expected
                     assert warm_service.cache_stats.misses == 0
+
+
+#: Distinct fingerprints for the sharded chaos runs: enough keys that every
+#: shard in a three-way ring owns some, so a shard death always matters.
+_FLEET_THRESHOLDS = (0.90, 0.92, 0.93, 0.95, 0.96, 0.97)
+
+
+def fleet_problems(bins):
+    return [
+        SladeProblem.homogeneous(
+            40 + 5 * i, threshold, bins, name=f"fleet-{i}"
+        )
+        for i, threshold in enumerate(_FLEET_THRESHOLDS)
+    ]
+
+
+def solve_fleet(service, bins):
+    responses = [
+        service.solve(SolveRequest(problem=p)) for p in fleet_problems(bins)
+    ]
+    assert all(r.ok for r in responses), [
+        str(r.error) for r in responses if not r.ok
+    ]
+    return [plan_bytes(r.plan) for r in responses]
+
+
+def fleet_baseline(bins):
+    with SladeService(ServiceConfig()) as service:
+        return solve_fleet(service, bins)
+
+
+class TestShardedFleetChaos:
+    """Kill-a-shard chaos for the consistent-hash ring (replication factor 2)."""
+
+    def _sharded_spec(self, servers, timeout=0.5):
+        hosts = ",".join(s.address for s in servers)
+        return f"sharded://{hosts}?replicas=2&timeout={timeout}"
+
+    def test_killing_one_of_three_shards_preserves_warmth(self, bins):
+        expected = fleet_baseline(bins)
+        servers = [CacheServerThread() for _ in range(3)]
+        telemetry = Telemetry()
+        service = SladeService(
+            ServiceConfig(cache_backend=self._sharded_spec(servers)),
+            telemetry=telemetry,
+        )
+        try:
+            # Warm the ring: every fingerprint lands on two shards.
+            assert solve_fleet(service, bins) == expected
+            warm_stats = service.cache_stats
+            assert warm_stats.misses == len(_FLEET_THRESHOLDS)
+
+            # Kill one shard mid-run.  Every key kept a replica, so reads
+            # fail over with byte-identical plans and zero request errors.
+            servers[0].stop()
+            assert solve_fleet(service, bins) == expected
+            after = service.cache_stats.since(warm_stats)
+            assert after.requests == len(_FLEET_THRESHOLDS)
+            # The acceptance bar: >= 95% warm after any single shard death
+            # (with R=2 every key survives, so this is exactly 100%).
+            assert after.hit_rate >= 0.95
+            assert after.misses == 0
+            # The dead shard's keys were served by fail-over...
+            assert telemetry.counter("sharded_cache.hits") >= len(
+                _FLEET_THRESHOLDS
+            )
+            # ...never by the whole-ring fail-open path.
+            assert telemetry.counter("sharded_cache.fail_open") == 0
+        finally:
+            service.close()
+            for server in servers:
+                server.stop()
+
+    def test_killing_every_shard_fails_open_to_local_rebuilds(self, bins):
+        expected = fleet_baseline(bins)
+        servers = [CacheServerThread() for _ in range(3)]
+        telemetry = Telemetry()
+        service = SladeService(
+            ServiceConfig(
+                cache_backend=self._sharded_spec(servers, timeout=0.3)
+            ),
+            telemetry=telemetry,
+        )
+        try:
+            assert solve_fleet(service, bins) == expected
+            for server in servers:
+                server.stop()
+            # The whole ring is dark: every read degrades to a local rebuild
+            # (a miss), yet every request still succeeds byte-identically.
+            assert solve_fleet(service, bins) == expected
+            assert telemetry.counter("sharded_cache.fail_open") >= len(
+                _FLEET_THRESHOLDS
+            )
+            assert telemetry.counter("remote_cache.fail_open") > 0
+        finally:
+            service.close()
+            for server in servers:
+                server.stop()
+
+    def test_read_failover_repairs_replication(self, bins):
+        # After a shard bounce (restart without --persist), reads must both
+        # fail over AND write the entry back, so the ring re-converges to
+        # full replication without any operator action.
+        servers = [CacheServerThread() for _ in range(3)]
+        telemetry = Telemetry()
+        service = SladeService(
+            ServiceConfig(cache_backend=self._sharded_spec(servers)),
+            telemetry=telemetry,
+        )
+        try:
+            solve_fleet(service, bins)
+            # Empty one shard in place (same address, cold store).
+            bounced = servers[1].server
+            bounced._entries.clear()
+            bounced._bytes_stored = 0
+            assert service.cache_stats.misses == len(_FLEET_THRESHOLDS)
+            solve_fleet(service, bins)
+            assert service.cache_stats.misses == len(_FLEET_THRESHOLDS)
+            if bounced.puts:  # the bounced shard owned at least one key
+                assert telemetry.counter("sharded_cache.rebalances") > 0
+        finally:
+            service.close()
+            for server in servers:
+                server.stop()
+
+
+class TestPersistentServerRestart:
+    """`repro cached --persist` keeps the fleet's warmth across restarts."""
+
+    @staticmethod
+    def _spawn_cached(env, persist: Path) -> "tuple[subprocess.Popen, str]":
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "cached", "127.0.0.1:0",
+             "--persist", str(persist)],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        banner = proc.stderr.readline().strip()
+        assert banner.startswith("cache listening on "), banner
+        return proc, banner.rsplit(" ", 1)[1]
+
+    @staticmethod
+    def _terminate(proc: subprocess.Popen) -> None:
+        proc.send_signal(signal.SIGTERM)
+        _, err = proc.communicate(timeout=20)
+        assert proc.returncode == 0, err
+
+    def test_restarted_persist_server_serves_full_warm_hit_rate(
+        self, bins, tmp_path
+    ):
+        env = dict(os.environ)
+        src_root = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = f"{src_root}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        persist = tmp_path / "fleet-warmth.db"
+
+        first_proc, address = self._spawn_cached(env, persist)
+        try:
+            with SladeService(
+                ServiceConfig(cache_backend=f"remote://{address}")
+            ) as service:
+                first_plans = solve_fleet(service, bins)
+                assert service.cache_stats.misses == len(_FLEET_THRESHOLDS)
+            self._terminate(first_proc)
+            assert persist.exists()
+
+            # Same persistence file, fresh process, fresh port: the warmth
+            # must come back from disk.
+            second_proc, address = self._spawn_cached(env, persist)
+            try:
+                probe = RemoteBackend(*_split(address))
+                stats = probe.server_stats()
+                probe.close()
+                assert stats["restored_keys"] == len(_FLEET_THRESHOLDS)
+
+                with SladeService(
+                    ServiceConfig(cache_backend=f"remote://{address}")
+                ) as warm_service:
+                    assert solve_fleet(warm_service, bins) == first_plans
+                    warm = warm_service.cache_stats
+                    # 100% warm: every request a hit, zero cold builds.
+                    assert warm.misses == 0
+                    assert warm.hit_rate == 1.0
+            finally:
+                if second_proc.poll() is None:
+                    self._terminate(second_proc)
+        finally:
+            if first_proc.poll() is None:
+                first_proc.kill()
+                first_proc.communicate()
+
+
+def _split(address: str) -> "tuple[str, int]":
+    host, _, port = address.rpartition(":")
+    return host, int(port)
 
 
 def _claim_dead_port() -> int:

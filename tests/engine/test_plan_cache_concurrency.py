@@ -1,0 +1,215 @@
+"""Concurrency tests for the plan cache's per-key locking and coalescing.
+
+Two contracts from the sharded-fleet PR:
+
+* **Coalescing** — many threads missing on the *same* fingerprint issue
+  exactly one backend GET and one Algorithm 2 build; the followers wait on
+  the in-flight entry and share the leader's queue object (counted as hits
+  plus ``cache.coalesced_waits``).
+* **Per-key parallelism** — threads on *distinct* fingerprints never
+  serialise behind one another's storage round trips.  With a backend whose
+  ``get``/``put`` simulate network latency, total wall time stays near one
+  round trip, not the sum — the regression that motivated replacing the old
+  global hot-path lock.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.bins import TaskBinSet
+from repro.engine.backends import MemoryBackend
+from repro.engine.cache import PlanCache
+from repro.engine.telemetry import Telemetry
+
+TRIPLES = [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)]
+
+
+@pytest.fixture
+def bins():
+    return TaskBinSet.from_triples(TRIPLES, name="table1")
+
+
+class CountingBackend:
+    """A MemoryBackend wrapper that counts and optionally delays traffic.
+
+    ``latency`` sleeps inside get/put to model a remote round trip;
+    ``concurrent_safe`` mirrors the networked backends so the cache lets
+    per-key leaders overlap.
+    """
+
+    persistent = False
+    concurrent_safe = True
+
+    def __init__(self, latency: float = 0.0) -> None:
+        self._inner = MemoryBackend()
+        self._latency = latency
+        self._lock = threading.Lock()
+        self.gets = 0
+        self.puts = 0
+        self.concurrent_calls = 0
+        self._active = 0
+
+    def _enter(self):
+        with self._lock:
+            self._active += 1
+            self.concurrent_calls = max(self.concurrent_calls, self._active)
+        if self._latency:
+            time.sleep(self._latency)
+
+    def _exit(self):
+        with self._lock:
+            self._active -= 1
+
+    def get(self, key):
+        self._enter()
+        try:
+            with self._lock:
+                self.gets += 1
+            return self._inner.get(key)
+        finally:
+            self._exit()
+
+    def put(self, key, queue):
+        self._enter()
+        try:
+            with self._lock:
+                self.puts += 1
+            self._inner.put(key, queue)
+        finally:
+            self._exit()
+
+    def merge(self, entries):
+        self._inner.merge(entries)
+
+    def snapshot(self):
+        return self._inner.snapshot()
+
+    def clear(self):
+        self._inner.clear()
+
+    def close(self):
+        self._inner.close()
+
+    def __len__(self):
+        return len(self._inner)
+
+    def __contains__(self, key):
+        return key in self._inner
+
+
+def run_threads(workers):
+    threads = [threading.Thread(target=worker) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestCoalescing:
+    def test_thundering_herd_issues_one_get_and_one_build(self, bins):
+        backend = CountingBackend(latency=0.05)
+        telemetry = Telemetry()
+        cache = PlanCache(backend=backend, telemetry=telemetry)
+        herd = 12
+        barrier = threading.Barrier(herd)
+        queues = []
+
+        def request():
+            barrier.wait()
+            queues.append(cache.queue_for(bins, 0.97))
+
+        run_threads([request] * herd)
+
+        # Exactly one storage lookup and one write-through for the herd...
+        assert backend.gets == 1
+        assert backend.puts == 1
+        # ...and exactly one build, with every follower counted as a
+        # coalesced hit sharing the same object.
+        assert telemetry.counter("cache.misses") == 1
+        assert telemetry.counter("cache.hits") == herd - 1
+        assert telemetry.counter("cache.coalesced_waits") == herd - 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (herd - 1, 1)
+        assert all(queue is queues[0] for queue in queues)
+
+    def test_coalesced_requests_resolve_after_leader_failure(self, bins):
+        class ExplodingBackend(CountingBackend):
+            def __init__(self):
+                super().__init__()
+                self.failures_left = 1
+
+            def put(self, key, queue):
+                with self._lock:
+                    if self.failures_left:
+                        self.failures_left -= 1
+                        raise OSError("disk full")
+                super().put(key, queue)
+
+        backend = ExplodingBackend()
+        cache = PlanCache(backend=backend)
+        herd = 4
+        barrier = threading.Barrier(herd)
+        outcomes = []
+
+        def request():
+            barrier.wait()
+            try:
+                outcomes.append(cache.queue_for(bins, 0.95))
+            except OSError:
+                outcomes.append(None)
+
+        run_threads([request] * herd)
+        # The leader's failure surfaces only on the leader; every follower
+        # retried as a fresh leader and got a real queue.
+        assert outcomes.count(None) == 1
+        survivors = [queue for queue in outcomes if queue is not None]
+        assert len(survivors) == herd - 1
+
+
+class TestPerKeyParallelism:
+    def test_distinct_fingerprints_overlap_storage_round_trips(self, bins):
+        latency = 0.15
+        backend = CountingBackend(latency=latency)
+        cache = PlanCache(backend=backend)
+        thresholds = (0.90, 0.93, 0.95, 0.97)
+        barrier = threading.Barrier(len(thresholds))
+
+        def request(threshold):
+            barrier.wait()
+            cache.queue_for(bins, threshold)
+
+        started = time.perf_counter()
+        run_threads([
+            (lambda t=t: request(t)) for t in thresholds
+        ])
+        elapsed = time.perf_counter() - started
+
+        # Serial execution would pay 4 keys x (get + put) x latency = 1.2 s.
+        # Overlapped leaders pay ~one get + one put plus build time.
+        assert elapsed < 2.5 * 2 * latency, (
+            f"distinct keys serialised: {elapsed:.2f}s for 4 keys at "
+            f"{latency}s per storage call"
+        )
+        # The backend really saw overlapping calls (the old global lock
+        # admitted exactly one at a time).
+        assert backend.concurrent_calls >= 2
+        assert cache.stats.misses == len(thresholds)
+
+    def test_unsafe_backends_keep_the_storage_lock(self, bins):
+        # A backend that does not declare concurrent_safe must never see
+        # overlapping storage calls, whatever the thread count.
+        backend = CountingBackend(latency=0.02)
+        backend.concurrent_safe = False
+        cache = PlanCache(backend=backend)
+        thresholds = (0.90, 0.93, 0.95, 0.97)
+        barrier = threading.Barrier(len(thresholds))
+
+        def request(threshold):
+            barrier.wait()
+            cache.queue_for(bins, threshold)
+
+        run_threads([(lambda t=t: request(t)) for t in thresholds])
+        assert backend.concurrent_calls == 1
+        assert cache.stats.misses == len(thresholds)
