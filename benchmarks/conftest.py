@@ -95,13 +95,23 @@ def record_result(benchmark: str, **metrics) -> None:
 
     A no-op when the environment variable is unset, so local runs stay
     side-effect free.  The file is a JSON list of flat records
-    (``{"benchmark": ..., metric: value, ...}``); benchmarks within one
-    pytest process run sequentially, so read-modify-write is safe.
+    (``{"benchmark": ..., "recorded_at": ..., "git_sha": ..., metric: value,
+    ...}``); every record carries its wall-clock timestamp and commit SHA so
+    a number in a CI artifact is attributable to the change that produced
+    it.  Benchmarks within one pytest process run sequentially, so
+    read-modify-write is safe.
     """
     path_text = os.environ.get(RESULTS_ENV)
     if not path_text:
         return
+    from repro.loadgen.trajectory import git_sha, utc_now_iso
+
     path = Path(path_text)
     records = json.loads(path.read_text()) if path.exists() else []
-    records.append({"benchmark": benchmark, **metrics})
+    records.append({
+        "benchmark": benchmark,
+        "recorded_at": utc_now_iso(),
+        "git_sha": git_sha(Path(__file__).resolve().parent) or "unknown",
+        **metrics,
+    })
     path.write_text(json.dumps(records, indent=2) + "\n")

@@ -31,7 +31,8 @@ Three sub-commands cover the common workflows:
     facade is served over the stdlib HTTP transport instead
     (``POST /v1/solve``, ``POST /v1/solve/batch``, ``GET /healthz``,
     ``GET /metrics``), with optional per-tenant admission control
-    (``--rate``, ``--burst``, ``--max-inflight``, ``--max-total-inflight``);
+    (``--rate``, ``--burst``, ``--tenant-rate``, ``--max-inflight``,
+    ``--max-total-inflight``);
     SIGINT/SIGTERM shut it down cleanly, draining in-flight requests.
 
 ``cached``
@@ -41,6 +42,13 @@ Three sub-commands cover the common workflows:
     rebuilds, never request errors), so the server needs no
     high-availability story to be useful; ``--persist <path>`` additionally
     backs the store with a SQLite file so a restarted server keeps its keys.
+
+``loadtest``
+    Replay a seeded open-loop tenant mix (``--profile ci-short`` or
+    ``steady``) against a live ``repro serve --http`` deployment and print
+    per-tenant-class throughput, p50/p99/p999 latency, error/rejection
+    budgets, and cache warm rate; ``--output`` writes the full JSON report
+    the CI perf-trajectory gate consumes.
 
 Every sub-command reports library-level failures (:class:`SladeError`
 subclasses) as a one-line ``error:`` message on stderr with exit code 2
@@ -157,6 +165,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-tenant sustained request rate (requests/second)")
     serve.add_argument("--burst", type=float, default=None,
                        help="per-tenant token-bucket capacity (defaults to rate)")
+    serve.add_argument("--tenant-rate", action="append", default=None,
+                       metavar="NAME=RATE[:BURST]",
+                       help="per-tenant token-bucket override (repeatable), "
+                            "e.g. --tenant-rate free=2:4 --tenant-rate "
+                            "paid=200; unlisted tenants use --rate/--burst")
     serve.add_argument("--max-inflight", type=int, default=None,
                        help="per-tenant cap on concurrently admitted requests")
     serve.add_argument("--max-total-inflight", type=int, default=None,
@@ -180,6 +193,29 @@ def _build_parser() -> argparse.ArgumentParser:
                              "restarted server keeps its keys")
     cached.add_argument("--stats", action="store_true",
                         help="print server statistics to stderr on exit")
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay a seeded open-loop tenant mix against a live HTTP server",
+    )
+    loadtest.add_argument("--url", required=True, metavar="URL",
+                          help="base URL of a running 'repro serve --http' "
+                               "server (e.g. http://127.0.0.1:8080)")
+    loadtest.add_argument("--profile", default="ci-short",
+                          help="named workload profile (default: ci-short)")
+    loadtest.add_argument("--seed", type=int, default=None,
+                          help="override the profile's seed")
+    loadtest.add_argument("--duration", type=float, default=None,
+                          help="override the profile's duration (seconds)")
+    loadtest.add_argument("--clients", type=int, default=16,
+                          help="persistent-connection pool size")
+    loadtest.add_argument("--timeout", type=float, default=30.0,
+                          help="per-request client timeout (seconds)")
+    loadtest.add_argument("--output", metavar="PATH", default=None,
+                          help="write the full JSON report to this file")
+    loadtest.add_argument("--json", action="store_true",
+                          help="print the JSON report to stdout instead of "
+                               "the summary table")
 
     calibrate = sub.add_parser("calibrate", help="probe the simulated platform")
     calibrate.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
@@ -321,6 +357,29 @@ def _serve_loop(service: SladeService, stream: TextIO, include_plans: bool) -> i
     return handled
 
 
+def _parse_tenant_limits(raw: Optional[List[str]]) -> Optional[dict]:
+    """Parse repeated ``--tenant-rate NAME=RATE[:BURST]`` flags."""
+    if not raw:
+        return None
+    limits = {}
+    for item in raw:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise SladeError(
+                f"invalid --tenant-rate value {item!r}; expected NAME=RATE[:BURST]"
+            )
+        rate_text, _sep, burst_text = value.partition(":")
+        try:
+            rate = float(rate_text)
+            burst = float(burst_text) if burst_text else max(1.0, rate)
+        except ValueError:
+            raise SladeError(
+                f"invalid --tenant-rate value {item!r}; expected NAME=RATE[:BURST]"
+            ) from None
+        limits[name] = (rate, burst)
+    return limits
+
+
 def _serve_http(args: argparse.Namespace) -> int:
     """Run the HTTP transport until SIGINT/SIGTERM, then drain and exit 0."""
     try:
@@ -339,6 +398,7 @@ def _serve_http(args: argparse.Namespace) -> int:
         burst=args.burst,
         max_inflight=args.max_inflight,
         max_total_inflight=args.max_total_inflight,
+        tenant_limits=_parse_tenant_limits(args.tenant_rate),
     )
 
     async def main() -> SladeService:
@@ -485,6 +545,58 @@ def _cmd_cached(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Replay a seeded open-loop workload against a live HTTP deployment."""
+    from repro.loadgen import build_profile, generate_schedule, run_load_test
+
+    if args.clients < 1:
+        raise SladeError(f"--clients must be >= 1; got {args.clients}")
+    try:
+        spec = build_profile(
+            args.profile, duration_seconds=args.duration, seed=args.seed
+        )
+    except ValueError as exc:
+        raise SladeError(str(exc)) from exc
+    schedule = generate_schedule(spec)
+    if not args.json:
+        print(
+            f"replaying {len(schedule)} request(s) over "
+            f"{spec.duration_seconds:g}s against {args.url} "
+            f"(profile {args.profile!r}, seed {spec.seed}, "
+            f"{args.clients} connection(s))",
+            file=sys.stderr, flush=True,
+        )
+    report = asyncio.run(run_load_test(
+        schedule,
+        args.url,
+        clients=args.clients,
+        timeout=args.timeout,
+        profile=args.profile,
+        seed=spec.seed,
+    ))
+    document = report.as_dict()
+    if args.output:
+        try:
+            with open(args.output, "w") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+        except OSError as exc:
+            raise SladeError(f"cannot write --output file: {exc}") from exc
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(report.format_table())
+        overall = report.overall
+        print(
+            f"\n{overall.ok}/{report.scheduled} ok in {report.wall_seconds:.2f}s "
+            f"({overall.throughput(report.wall_seconds):.1f} rps); "
+            f"error budget {overall.error_budget:.2%}, "
+            f"rejection budget {overall.rejection_budget:.2%}, "
+            f"warm rate {overall.warm_rate:.1%}"
+        )
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     if args.dataset == "jelly":
         platform = jelly_platform(difficulty=args.difficulty, seed=args.seed)
@@ -508,6 +620,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "cached": _cmd_cached,
+    "loadtest": _cmd_loadtest,
     "calibrate": _cmd_calibrate,
 }
 

@@ -1,0 +1,74 @@
+"""The million-user load harness: workloads, open-loop replay, trajectory.
+
+This package sits beside the service layer and drives it from the outside,
+the way production traffic would (see ``DESIGN.md``):
+
+* :mod:`repro.loadgen.workload` — seeded tenant mixes: bursty reward-elastic
+  arrivals, heterogeneous threshold distributions, Zipfian hot-key skew,
+  expanded into a deterministic open-loop request schedule.
+* :mod:`repro.loadgen.histogram` — HDR-style log-bucketed latency
+  histograms (p50/p99/p999 within one bucket of exact).
+* :mod:`repro.loadgen.runner` — the open-loop asyncio runner: N persistent
+  connections, latency measured from scheduled arrival so coordinated
+  omission cannot hide queueing delay, per-tenant-class error and rejection
+  budgets, cache warm-rate over time.
+* :mod:`repro.loadgen.profiles` — pinned named workloads (``ci-short`` is
+  the CI trajectory profile).
+* :mod:`repro.loadgen.trajectory` — the committed ``BENCH_trajectory.json``
+  history and the absolute-regression gate CI runs.
+
+Typical use (the ``repro loadtest`` CLI wraps exactly this)::
+
+    import asyncio
+    from repro.loadgen import build_profile, generate_schedule, run_load_test
+
+    spec = build_profile("ci-short")
+    schedule = generate_schedule(spec)
+    report = asyncio.run(run_load_test(
+        schedule, "http://127.0.0.1:8080", profile="ci-short", seed=spec.seed,
+    ))
+    print(report.format_table())
+"""
+
+from repro.loadgen.histogram import LATENCY_BUCKETS, LatencyHistogram
+from repro.loadgen.profiles import PROFILES, build_profile, ci_short_profile
+from repro.loadgen.runner import ClassStats, LoadReport, run_load_test
+from repro.loadgen.trajectory import (
+    TRAJECTORY_FILENAME,
+    append_entry,
+    entry_from_report,
+    gate_entry,
+    git_sha,
+    load_trajectory,
+)
+from repro.loadgen.workload import (
+    DEFAULT_BINS,
+    ScheduledRequest,
+    TenantClass,
+    WorkloadError,
+    WorkloadSpec,
+    generate_schedule,
+)
+
+__all__ = [
+    "DEFAULT_BINS",
+    "LATENCY_BUCKETS",
+    "LatencyHistogram",
+    "ClassStats",
+    "LoadReport",
+    "PROFILES",
+    "ScheduledRequest",
+    "TRAJECTORY_FILENAME",
+    "TenantClass",
+    "WorkloadError",
+    "WorkloadSpec",
+    "append_entry",
+    "build_profile",
+    "ci_short_profile",
+    "entry_from_report",
+    "gate_entry",
+    "generate_schedule",
+    "git_sha",
+    "load_trajectory",
+    "run_load_test",
+]

@@ -1,0 +1,90 @@
+"""HDR-style log-bucketed latency histograms for the load harness.
+
+Built on the same bucket machinery the telemetry registry uses
+(:class:`repro.engine.telemetry.SeriesStats`), with geometrically spaced
+boundaries so the histogram keeps constant *relative* resolution from
+sub-millisecond cache hits out to multi-second saturation tails.  A mean
+hides the tail; :meth:`LatencyHistogram.percentile` reads p50/p99/p999
+straight from the bucket counts with a guaranteed error of at most one
+bucket (the true quantile lies in ``(previous bound, reported value]`` —
+pinned by the hypothesis property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.engine.telemetry import SeriesStats, log_bucket_bounds
+
+#: Default latency boundaries: 200 µs to ~2 minutes at √2 spacing (~41
+#: buckets, ≤ 41% relative error per reading), which spans an in-process
+#: cache hit through a fully saturated open-loop queue.
+LATENCY_BUCKETS: Tuple[float, ...] = log_bucket_bounds(0.0002, 120.0, factor=2 ** 0.5)
+
+#: The percentiles every report records, with their JSON labels.
+REPORT_PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p99", 0.99), ("p999", 0.999),
+)
+
+
+class LatencyHistogram:
+    """Log-bucketed latency recorder with percentile reads.
+
+    A thin, single-threaded wrapper over :class:`SeriesStats` — the load
+    runner records from one event loop, so no lock is needed.
+    """
+
+    def __init__(self, bounds: Tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        self._series = SeriesStats(bucket_bounds=tuple(bounds))
+
+    def record(self, seconds: float) -> None:
+        """Record one latency observation (seconds)."""
+        self._series.observe(seconds)
+
+    @property
+    def count(self) -> int:
+        return self._series.count
+
+    @property
+    def mean(self) -> float:
+        return self._series.mean
+
+    @property
+    def maximum(self) -> float:
+        return self._series.maximum
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Upper-bound estimate of the ``q``-quantile (``None`` when empty)."""
+        return self._series.percentile(q)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's counts into this one (same bounds only)."""
+        theirs = other._series
+        if theirs.count == 0:
+            return
+        mine = self._series
+        if mine.bucket_bounds != theirs.bucket_bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        assert mine.bucket_counts is not None and theirs.bucket_counts is not None
+        if mine.count == 0:
+            mine.minimum, mine.maximum = theirs.minimum, theirs.maximum
+        else:
+            mine.minimum = min(mine.minimum, theirs.minimum)
+            mine.maximum = max(mine.maximum, theirs.maximum)
+        mine.count += theirs.count
+        mine.total += theirs.total
+        mine.last = theirs.last
+        for index, bucket in enumerate(theirs.bucket_counts):
+            mine.bucket_counts[index] += bucket
+
+    def summary(self) -> Dict[str, float]:
+        """The report-ready view: count, mean, max, and the headline quantiles."""
+        out: Dict[str, float] = {
+            "count": float(self.count),
+            "mean": self.mean,
+            "max": self.maximum,
+        }
+        for label, q in REPORT_PERCENTILES:
+            value = self.percentile(q)
+            out[label] = value if value is not None else 0.0
+        return out

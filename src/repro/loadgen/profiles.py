@@ -1,0 +1,116 @@
+"""Pinned workload profiles for `repro loadtest` and the CI trajectory gate.
+
+A profile is a named, fully seeded :class:`~repro.loadgen.workload.WorkloadSpec`
+builder.  The ``ci-short`` profile is the one CI replays every run: its seed,
+duration, and tenant mix are pinned so every `BENCH_trajectory.json` entry
+measures the same offered load and entries stay comparable across PRs.
+Changing ``ci-short`` invalidates the trajectory history — bump the profile
+name instead (``ci-short-v2``) and re-seed the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.loadgen.workload import TenantClass, WorkloadSpec
+
+#: The seed every committed trajectory entry was generated with.
+CI_SHORT_SEED = 2026
+
+
+def ci_short_profile() -> WorkloadSpec:
+    """The pinned CI mix: three tenant classes, ~65 req/s for four seconds.
+
+    * ``interactive`` — many small, latency-sensitive requests from four
+      tenants, strongly Zipf-skewed onto six hot fingerprints (the cache's
+      bread and butter);
+    * ``batch`` — heavier heterogeneous-threshold requests arriving in
+      3x bursts a quarter of the time (the queueing stressor);
+    * ``scan`` — a low-rate near-uniform scan over twelve fingerprints
+      (the cache-churn floor).
+    """
+    return WorkloadSpec(
+        classes=(
+            TenantClass(
+                name="interactive",
+                tenants=4,
+                requests_per_second=40.0,
+                n_range=(30, 60),
+                thresholds="normal",
+                mu=0.90,
+                sigma=0.02,
+                keys=6,
+                zipf_exponent=1.2,
+            ),
+            TenantClass(
+                name="batch",
+                tenants=2,
+                requests_per_second=15.0,
+                burst_factor=3.0,
+                burst_fraction=0.25,
+                mean_burst_seconds=0.5,
+                n_range=(60, 120),
+                thresholds="heavy_tailed",
+                mu=0.90,
+                keys=4,
+                zipf_exponent=1.0,
+            ),
+            TenantClass(
+                name="scan",
+                tenants=2,
+                requests_per_second=10.0,
+                n_range=(40, 90),
+                thresholds="uniform",
+                mu=0.90,
+                sigma=0.03,
+                keys=12,
+                zipf_exponent=0.4,
+            ),
+        ),
+        duration_seconds=4.0,
+        seed=CI_SHORT_SEED,
+    )
+
+
+def steady_profile() -> WorkloadSpec:
+    """A single reward-driven class at the crowd model's derived rate.
+
+    The demonstration profile for the README walkthrough: arrival intensity
+    comes from the paper's reward-elastic supply model rather than a pinned
+    requests/second figure.
+    """
+    return WorkloadSpec(
+        classes=(
+            TenantClass(
+                name="steady",
+                tenants=2,
+                reward_per_bin=0.10,
+                n_range=(40, 80),
+                thresholds="normal",
+                keys=8,
+            ),
+        ),
+        duration_seconds=5.0,
+        seed=7,
+    )
+
+
+PROFILES: Dict[str, Callable[[], WorkloadSpec]] = {
+    "ci-short": ci_short_profile,
+    "steady": steady_profile,
+}
+
+
+def build_profile(
+    name: str,
+    duration_seconds: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> WorkloadSpec:
+    """Instantiate a named profile, optionally overriding duration/seed."""
+    try:
+        factory = PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {name!r}; available: {', '.join(sorted(PROFILES))}"
+        ) from None
+    return factory().scaled(duration_seconds=duration_seconds, seed=seed)

@@ -1,0 +1,324 @@
+"""The open-loop load runner: fire a schedule at a live HTTP deployment.
+
+**Open-loop** is the load-testing contract that keeps the numbers honest:
+every request is launched at its pre-computed arrival time regardless of how
+many earlier requests are still in flight.  A closed-loop driver (send,
+wait, send) silently slows its offered load to match a struggling server —
+the *coordinated omission* problem — and reports flattering latencies while
+the real queue would have exploded.  Here the queueing delay lands where it
+belongs: latency is measured from the request's **scheduled arrival**, so
+time spent waiting behind a saturated connection pool or a slow planner is
+part of the recorded number.
+
+The runner drives N persistent :class:`~repro.service.client.AsyncSladeHttpClient`
+connections from one event loop, accounts every outcome to its tenant class,
+and separates two budgets a multi-tenant SLO cares about:
+
+* the **error budget** — solve failures, transport errors, unexpected HTTP
+  statuses: things that should never happen;
+* the **rejection budget** — 429/503 admission responses: the contractual
+  backpressure of an over-quota tenant, tracked per class precisely so tests
+  can assert one tenant's rejections never bleed into another's error budget.
+
+Latency percentiles cover successfully served requests; cache provenance
+(``hit``/``miss`` from the response envelope) is additionally bucketed into
+per-second windows so a report shows the cache warming up over time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.loadgen.histogram import LatencyHistogram
+from repro.loadgen.workload import ScheduledRequest
+from repro.service.client import AsyncSladeHttpClient, TransportError
+
+
+@dataclass
+class ClassStats:
+    """Accumulated outcomes of one tenant class (or the overall roll-up)."""
+
+    name: str
+    scheduled: int = 0
+    ok: int = 0
+    solve_failures: int = 0
+    rejected: int = 0          #: 429 — per-tenant quota backpressure
+    overloaded: int = 0        #: 503 — global overload backpressure
+    transport_errors: int = 0
+    other_errors: int = 0      #: unexpected statuses (400/404/500/...)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    service_seconds_total: float = 0.0
+
+    @property
+    def attempted(self) -> int:
+        return (self.ok + self.solve_failures + self.rejected + self.overloaded
+                + self.transport_errors + self.other_errors)
+
+    @property
+    def error_budget(self) -> float:
+        """Fraction of attempts that failed in a non-contractual way."""
+        if self.attempted == 0:
+            return 0.0
+        failures = self.solve_failures + self.transport_errors + self.other_errors
+        return failures / self.attempted
+
+    @property
+    def rejection_budget(self) -> float:
+        """Fraction of attempts turned away by admission control."""
+        if self.attempted == 0:
+            return 0.0
+        return (self.rejected + self.overloaded) / self.attempted
+
+    @property
+    def warm_rate(self) -> float:
+        """Cache hits over cache-visible responses (served requests only)."""
+        visible = self.cache_hits + self.cache_misses
+        return self.cache_hits / visible if visible else 0.0
+
+    def throughput(self, wall_seconds: float) -> float:
+        return self.ok / wall_seconds if wall_seconds > 0 else 0.0
+
+    def as_dict(self, wall_seconds: float) -> Dict[str, Any]:
+        return {
+            "scheduled": self.scheduled,
+            "ok": self.ok,
+            "solve_failures": self.solve_failures,
+            "rejected": self.rejected,
+            "overloaded": self.overloaded,
+            "transport_errors": self.transport_errors,
+            "other_errors": self.other_errors,
+            "error_budget": self.error_budget,
+            "rejection_budget": self.rejection_budget,
+            "throughput_rps": self.throughput(wall_seconds),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "warm_rate": self.warm_rate,
+            "latency_seconds": self.latency.summary(),
+            "mean_service_seconds": (
+                self.service_seconds_total / self.ok if self.ok else 0.0
+            ),
+        }
+
+
+@dataclass
+class LoadReport:
+    """The structured outcome of one load-test run."""
+
+    started_at: str
+    duration_seconds: float
+    wall_seconds: float
+    scheduled: int
+    overall: ClassStats
+    classes: Dict[str, ClassStats]
+    warm_windows: List[Dict[str, float]]
+    profile: Optional[str] = None
+    seed: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON document ``repro loadtest --output`` writes."""
+        return {
+            "kind": "loadtest_report",
+            "version": 1,
+            "started_at": self.started_at,
+            "profile": self.profile,
+            "seed": self.seed,
+            "duration_seconds": self.duration_seconds,
+            "wall_seconds": self.wall_seconds,
+            "scheduled": self.scheduled,
+            "overall": self.overall.as_dict(self.wall_seconds),
+            "classes": {
+                name: stats.as_dict(self.wall_seconds)
+                for name, stats in sorted(self.classes.items())
+            },
+            "warm_windows": self.warm_windows,
+        }
+
+    def format_table(self) -> str:
+        """A terminal summary table (the ``repro loadtest`` default output)."""
+        wall = self.wall_seconds
+        header = (
+            f"{'class':<14} {'req':>6} {'ok':>6} {'rej':>5} {'err':>5} "
+            f"{'rps':>8} {'p50':>9} {'p99':>9} {'p999':>9} {'warm':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        rows = [*sorted(self.classes.items()), ("overall", self.overall)]
+        for name, stats in rows:
+            summary = stats.latency.summary()
+            errors = (stats.solve_failures + stats.transport_errors
+                      + stats.other_errors)
+            lines.append(
+                f"{name:<14} {stats.scheduled:>6} {stats.ok:>6} "
+                f"{stats.rejected + stats.overloaded:>5} {errors:>5} "
+                f"{stats.throughput(wall):>8.1f} "
+                f"{summary['p50'] * 1000:>7.1f}ms {summary['p99'] * 1000:>7.1f}ms "
+                f"{summary['p999'] * 1000:>7.1f}ms {stats.warm_rate:>6.1%}"
+            )
+        return "\n".join(lines)
+
+
+#: Builds one concurrent client; injectable so tests can fake the wire.
+ClientFactory = Callable[[], Any]
+
+
+async def run_load_test(
+    schedule: Sequence[ScheduledRequest],
+    base_url: Optional[str] = None,
+    *,
+    clients: int = 16,
+    timeout: float = 30.0,
+    time_scale: float = 1.0,
+    client_factory: Optional[ClientFactory] = None,
+    profile: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> LoadReport:
+    """Replay ``schedule`` open-loop and return the accounted report.
+
+    Parameters
+    ----------
+    schedule:
+        The deterministic arrival list from
+        :func:`repro.loadgen.workload.generate_schedule`.
+    base_url:
+        The live ``repro serve --http`` endpoint (unused when
+        ``client_factory`` is given).
+    clients:
+        Size of the persistent-connection pool.  Requests never wait to
+        *arrive* (open-loop); they wait for a free connection, and that wait
+        is part of their recorded latency.
+    timeout:
+        Per-exchange client timeout in seconds.
+    time_scale:
+        Multiplier on scheduled arrival times (tests compress time with
+        values < 1).
+    client_factory:
+        Builds the N pool clients; anything with ``async solve(payload)``
+        returning an object with ``status``/``payload`` attributes and
+        ``async close()`` works.  Defaults to
+        :class:`~repro.service.client.AsyncSladeHttpClient` against
+        ``base_url``.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1; got {clients}")
+    if not schedule:
+        raise ValueError("schedule is empty; nothing to replay")
+    if client_factory is None:
+        if base_url is None:
+            raise ValueError("pass base_url or client_factory")
+        factory_url = base_url
+
+        def client_factory() -> AsyncSladeHttpClient:
+            return AsyncSladeHttpClient(factory_url, timeout=timeout)
+
+    started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    overall = ClassStats(name="overall")
+    per_class: Dict[str, ClassStats] = {}
+    for request in schedule:
+        stats = per_class.setdefault(
+            request.tenant_class, ClassStats(name=request.tenant_class)
+        )
+        stats.scheduled += 1
+        overall.scheduled += 1
+    windows: Dict[int, Dict[str, int]] = {}
+
+    pool: "asyncio.Queue[Any]" = asyncio.Queue()
+    pool_clients = [client_factory() for _ in range(clients)]
+    for client in pool_clients:
+        pool.put_nowait(client)
+
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+
+    async def fire(request: ScheduledRequest, due: float) -> None:
+        stats = per_class[request.tenant_class]
+        client = await pool.get()
+        begun = loop.time()
+        status: Optional[int] = None
+        payload: Any = None
+        try:
+            reply = await client.solve(request.payload, include_plan=False)
+            status, payload = reply.status, reply.payload
+        except TransportError:
+            pass
+        finally:
+            pool.put_nowait(client)
+        now = loop.time()
+        body = payload if isinstance(payload, dict) else {}
+        if status == 200 and body.get("ok") is True:
+            for target in (stats, overall):
+                target.ok += 1
+                target.latency.record(now - due)
+                target.service_seconds_total += now - begun
+            cache = body.get("cache")
+            window = windows.setdefault(
+                int(request.at), {"hits": 0, "misses": 0}
+            )
+            if cache == "hit":
+                stats.cache_hits += 1
+                overall.cache_hits += 1
+                window["hits"] += 1
+            elif cache == "miss":
+                stats.cache_misses += 1
+                overall.cache_misses += 1
+                window["misses"] += 1
+        elif status == 200:
+            stats.solve_failures += 1
+            overall.solve_failures += 1
+        elif status == 429:
+            stats.rejected += 1
+            overall.rejected += 1
+        elif status == 503:
+            stats.overloaded += 1
+            overall.overloaded += 1
+        elif status is None:
+            stats.transport_errors += 1
+            overall.transport_errors += 1
+        else:
+            stats.other_errors += 1
+            overall.other_errors += 1
+
+    tasks: List["asyncio.Task[None]"] = []
+    try:
+        for request in schedule:
+            due = start + request.at * time_scale
+            delay = due - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.create_task(fire(request, due)))
+        await asyncio.gather(*tasks)
+    finally:
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+        for client in pool_clients:
+            await client.close()
+    wall = loop.time() - start
+
+    warm_windows = [
+        {
+            "second": second,
+            "hits": counts["hits"],
+            "misses": counts["misses"],
+            "warm_rate": (
+                counts["hits"] / (counts["hits"] + counts["misses"])
+                if counts["hits"] + counts["misses"] else 0.0
+            ),
+        }
+        for second, counts in sorted(windows.items())
+    ]
+    duration = max(request.at for request in schedule)
+    return LoadReport(
+        started_at=started_at,
+        duration_seconds=duration,
+        wall_seconds=wall,
+        scheduled=len(schedule),
+        overall=overall,
+        classes=per_class,
+        warm_windows=warm_windows,
+        profile=profile,
+        seed=seed,
+    )

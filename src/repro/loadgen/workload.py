@@ -1,0 +1,303 @@
+"""Seeded open-loop workload generation for the load harness.
+
+A workload is a *tenant mix*: several :class:`TenantClass` populations, each
+with its own arrival process, threshold distribution, and hot-key skew,
+replayed against the serving stack.  :func:`generate_schedule` turns a
+:class:`WorkloadSpec` into a deterministic, time-sorted list of
+:class:`ScheduledRequest` — same seed, same schedule, byte for byte — which
+the runner (:mod:`repro.loadgen.runner`) then fires **open-loop**: arrival
+times are fixed here, before a single response exists, so a slow server
+cannot slow down the offered load and thereby hide its own queueing delay
+(the coordinated-omission trap).
+
+The pieces deliberately reuse the paper-model machinery the repo already
+has:
+
+* arrival rates derive from the reward-elastic Poisson supply model of
+  :class:`repro.crowd.arrival.RewardSensitiveArrivalModel` — a class paying
+  more per bin attracts proportionally more traffic — unless a class pins an
+  explicit ``requests_per_second``;
+* per-request reliability thresholds come from the Section 7.2 generators in
+  :mod:`repro.datasets.thresholds` (normal / uniform / heavy-tailed);
+* hot-key skew is Zipfian over a per-class population of ``keys`` distinct
+  problem fingerprints, so cache warm-rate under load reflects realistic
+  popularity curves rather than uniform churn.
+
+Burstiness is an on/off modulated Poisson process: each class alternates
+between a base phase at its mean rate and burst phases at
+``burst_factor`` times that rate, with exponentially distributed phase
+lengths sized so bursts cover ``burst_fraction`` of the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import SladeError
+from repro.crowd.arrival import RewardSensitiveArrivalModel
+from repro.datasets.thresholds import (
+    heavy_tailed_thresholds,
+    normal_thresholds,
+    uniform_thresholds,
+)
+
+#: The paper's Table 1 menu — the default shared bin menu of every class, so
+#: a whole workload exercises the shared-menu plan cache the way a real
+#: multi-tenant deployment would.
+DEFAULT_BINS: Tuple[Tuple[int, float, float], ...] = (
+    (1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24),
+)
+
+#: Threshold distributions a tenant class may draw from.
+THRESHOLD_DISTRIBUTIONS = ("normal", "uniform", "heavy_tailed", "constant")
+
+
+class WorkloadError(SladeError):
+    """An invalid workload specification."""
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One tenant population sharing an arrival process and request shape.
+
+    Attributes
+    ----------
+    name:
+        Class label; tenants are named ``<name>-<i>`` for ``i`` in
+        ``range(tenants)``.
+    tenants:
+        Number of distinct tenant identities the class's traffic is spread
+        over (uniformly at random, deterministically seeded).
+    reward_per_bin:
+        Per-bin reward (USD) fed to the crowd supply model to derive the
+        class's arrival rate when ``requests_per_second`` is not pinned.
+    requests_per_second:
+        Explicit mean arrival rate; overrides the reward-derived rate.
+    burst_factor:
+        Rate multiplier during burst phases (1.0 disables bursting).
+    burst_fraction:
+        Fraction of the timeline spent bursting (0 disables bursting).
+    mean_burst_seconds:
+        Mean length of one burst phase.
+    n_range:
+        Inclusive range of atomic-task counts per request.
+    thresholds:
+        One of :data:`THRESHOLD_DISTRIBUTIONS`.
+    mu, sigma:
+        Location/spread of the threshold distribution (``uniform`` draws
+        from ``[mu - 2*sigma, mu + 2*sigma]``; ``constant`` uses ``mu``).
+    keys:
+        Size of the class's fingerprint population — the number of distinct
+        ``(n, threshold)`` problems its requests are drawn from.
+    zipf_exponent:
+        Popularity skew across those keys: rank-``k`` popularity is
+        proportional to ``1 / k**zipf_exponent`` (0 is uniform).
+    """
+
+    name: str
+    tenants: int = 1
+    reward_per_bin: float = 0.10
+    requests_per_second: Optional[float] = None
+    burst_factor: float = 1.0
+    burst_fraction: float = 0.0
+    mean_burst_seconds: float = 1.0
+    n_range: Tuple[int, int] = (40, 80)
+    thresholds: str = "normal"
+    mu: float = 0.9
+    sigma: float = 0.02
+    keys: int = 8
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("tenant class needs a non-empty name")
+        if self.tenants < 1:
+            raise WorkloadError(f"{self.name}: tenants must be >= 1")
+        if self.requests_per_second is not None and self.requests_per_second <= 0:
+            raise WorkloadError(f"{self.name}: requests_per_second must be positive")
+        if self.burst_factor < 1.0:
+            raise WorkloadError(f"{self.name}: burst_factor must be >= 1")
+        if not 0.0 <= self.burst_fraction < 1.0:
+            raise WorkloadError(f"{self.name}: burst_fraction must lie in [0, 1)")
+        if self.mean_burst_seconds <= 0:
+            raise WorkloadError(f"{self.name}: mean_burst_seconds must be positive")
+        lo, hi = self.n_range
+        if not 1 <= lo <= hi:
+            raise WorkloadError(f"{self.name}: invalid n_range {self.n_range}")
+        if self.thresholds not in THRESHOLD_DISTRIBUTIONS:
+            raise WorkloadError(
+                f"{self.name}: unknown threshold distribution "
+                f"{self.thresholds!r}; pick one of {THRESHOLD_DISTRIBUTIONS}"
+            )
+        if self.keys < 1:
+            raise WorkloadError(f"{self.name}: keys must be >= 1")
+        if self.zipf_exponent < 0:
+            raise WorkloadError(f"{self.name}: zipf_exponent must be >= 0")
+
+    def mean_rate(
+        self,
+        model: RewardSensitiveArrivalModel,
+        rate_scale: float,
+    ) -> float:
+        """Mean requests/second: pinned, or derived from the supply model.
+
+        The crowd model speaks workers/minute at a given reward; the load
+        harness reinterprets that supply curve as request demand and scales
+        it by ``rate_scale`` into a serving-grade requests/second figure.
+        """
+        if self.requests_per_second is not None:
+            return self.requests_per_second
+        return model.arrival_rate(self.reward_per_bin) / 60.0 * rate_scale
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete tenant mix: classes, duration, menu, and the master seed."""
+
+    classes: Tuple[TenantClass, ...]
+    duration_seconds: float = 5.0
+    seed: int = 0
+    bins: Tuple[Tuple[int, float, float], ...] = DEFAULT_BINS
+    rate_scale: float = 600.0
+    arrival_model: RewardSensitiveArrivalModel = field(
+        default_factory=RewardSensitiveArrivalModel
+    )
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise WorkloadError("workload needs at least one tenant class")
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"tenant class names must be unique; got {names}")
+        if self.duration_seconds <= 0:
+            raise WorkloadError("duration_seconds must be positive")
+        if self.rate_scale <= 0:
+            raise WorkloadError("rate_scale must be positive")
+
+    def scaled(
+        self,
+        duration_seconds: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> "WorkloadSpec":
+        """A copy with the duration and/or seed replaced (CLI overrides)."""
+        return WorkloadSpec(
+            classes=self.classes,
+            duration_seconds=(
+                duration_seconds if duration_seconds is not None
+                else self.duration_seconds
+            ),
+            seed=seed if seed is not None else self.seed,
+            bins=self.bins,
+            rate_scale=self.rate_scale,
+            arrival_model=self.arrival_model,
+        )
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One arrival: when it fires, who it bills, and what it asks for."""
+
+    at: float                 #: seconds from the start of the run
+    tenant_class: str
+    tenant: str
+    key: int                  #: index into the class's fingerprint population
+    payload: Dict[str, Any]   #: inline ``solve_request`` body
+
+
+def _class_keys(
+    cls: TenantClass, rng: np.random.Generator
+) -> List[Tuple[int, float]]:
+    """The class's fingerprint population: ``keys`` distinct (n, threshold)."""
+    lo, hi = cls.n_range
+    ns = rng.integers(lo, hi + 1, size=cls.keys)
+    if cls.thresholds == "normal":
+        ts = normal_thresholds(cls.keys, mu=cls.mu, sigma=cls.sigma, seed=rng)
+    elif cls.thresholds == "uniform":
+        low = max(0.5, cls.mu - 2.0 * cls.sigma)
+        high = min(0.995, cls.mu + 2.0 * cls.sigma)
+        ts = uniform_thresholds(cls.keys, low=low, high=high, seed=rng)
+    elif cls.thresholds == "heavy_tailed":
+        ts = heavy_tailed_thresholds(cls.keys, mu=cls.mu, seed=rng)
+    else:  # constant
+        ts = [cls.mu] * cls.keys
+    # Round so fingerprints are stable across platforms' float formatting.
+    return [(int(n), round(float(t), 6)) for n, t in zip(ns, ts)]
+
+
+def _zipf_probabilities(keys: int, exponent: float) -> np.ndarray:
+    weights = 1.0 / np.arange(1, keys + 1, dtype=float) ** exponent
+    return weights / weights.sum()
+
+
+def _arrival_times(
+    cls: TenantClass, rate: float, duration: float, rng: np.random.Generator
+) -> List[float]:
+    """Arrival instants of one class's on/off modulated Poisson process."""
+    bursting = cls.burst_fraction > 0.0 and cls.burst_factor > 1.0
+    mean_off = (
+        cls.mean_burst_seconds * (1.0 / cls.burst_fraction - 1.0)
+        if bursting else duration
+    )
+    times: List[float] = []
+    t = 0.0
+    in_burst = False
+    while t < duration:
+        if bursting:
+            phase_mean = cls.mean_burst_seconds if in_burst else mean_off
+            phase_end = min(duration, t + float(rng.exponential(phase_mean)))
+            phase_rate = rate * (cls.burst_factor if in_burst else 1.0)
+        else:
+            phase_end = duration
+            phase_rate = rate
+        while True:
+            t += float(rng.exponential(1.0 / phase_rate))
+            if t >= phase_end:
+                t = phase_end
+                break
+            times.append(t)
+        in_burst = not in_burst
+    return times
+
+
+def generate_schedule(spec: WorkloadSpec) -> List[ScheduledRequest]:
+    """Expand a workload spec into its deterministic request schedule.
+
+    Every stochastic choice — arrival instants, burst phases, key popularity,
+    tenant assignment, threshold draws — flows from ``spec.seed`` through
+    per-class child generators, so the same spec always yields the same
+    schedule (pinned by ``tests/loadgen/test_harness.py``).  The result is
+    sorted by arrival time with a stable tiebreak.
+    """
+    bins = [list(triple) for triple in spec.bins]
+    requests: List[ScheduledRequest] = []
+    for index, cls in enumerate(spec.classes):
+        rng = np.random.default_rng([spec.seed, index])
+        keys = _class_keys(cls, rng)
+        probabilities = _zipf_probabilities(cls.keys, cls.zipf_exponent)
+        rate = cls.mean_rate(spec.arrival_model, spec.rate_scale)
+        for sequence, at in enumerate(
+            _arrival_times(cls, rate, spec.duration_seconds, rng)
+        ):
+            key = int(rng.choice(cls.keys, p=probabilities))
+            n, threshold = keys[key]
+            tenant = f"{cls.name}-{int(rng.integers(cls.tenants))}"
+            requests.append(ScheduledRequest(
+                at=at,
+                tenant_class=cls.name,
+                tenant=tenant,
+                key=key,
+                payload={
+                    "kind": "solve_request",
+                    "version": 1,
+                    "request_id": f"{cls.name}-{sequence}",
+                    "tenant": tenant,
+                    "n": n,
+                    "threshold": threshold,
+                    "bins": bins,
+                },
+            ))
+    requests.sort(key=lambda r: (r.at, r.tenant_class, r.payload["request_id"]))
+    return requests

@@ -51,7 +51,7 @@ from repro.service.api import (
     http_status_for,
 )
 from repro.service.async_service import AsyncSladeService
-from repro.service.client import HttpReply, SladeHttpClient
+from repro.service.client import AsyncSladeHttpClient, HttpReply, SladeHttpClient
 from repro.service.facade import SladeService
 from repro.service.transport import (
     AdmissionController,
@@ -63,6 +63,7 @@ from repro.service.transport import (
 __all__ = [
     "AdmissionController",
     "AdmissionError",
+    "AsyncSladeHttpClient",
     "AsyncSladeService",
     "CACHE_BYPASS",
     "CACHE_HIT",

@@ -1,4 +1,4 @@
-"""A stdlib HTTP client for the SLADE service transport.
+"""Stdlib HTTP clients for the SLADE service transport.
 
 :class:`SladeHttpClient` wraps ``urllib`` so tests, examples, benchmarks and
 the CI smoke job can drive a running ``repro serve --http`` server without
@@ -6,6 +6,12 @@ any third-party dependency.  Every call returns an :class:`HttpReply` — the
 status code, headers, and parsed JSON payload — and *never* raises on 4xx/5xx
 responses: admission rejections and validation failures are data (structured
 error envelopes), not exceptions, matching the service layer's philosophy.
+
+:class:`AsyncSladeHttpClient` is the concurrent counterpart: an asyncio
+HTTP/1.1 client holding one persistent keep-alive connection, so the load
+harness (:mod:`repro.loadgen`) can keep hundreds of requests in flight from
+one event loop without a thread per connection.  It returns the same
+:class:`HttpReply` shape with the same never-raise-on-4xx/5xx contract.
 
 Typical use::
 
@@ -21,12 +27,14 @@ Typical use::
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import urllib.error
+import urllib.parse
 import urllib.request
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.errors import SladeError
 from repro.service.api import SolveRequest, SolveResponse
@@ -153,11 +161,7 @@ class SladeHttpClient:
     # -- plumbing --------------------------------------------------------------
 
     def _payload(self, request: RequestLike) -> Dict[str, Any]:
-        if isinstance(request, SolveRequest):
-            from repro.io.serialization import solve_request_to_dict
-
-            return solve_request_to_dict(request)
-        return dict(request)
+        return _payload_dict(request)
 
     def _request(
         self,
@@ -184,9 +188,185 @@ class SladeHttpClient:
             raise TransportError(f"cannot reach {self.base_url}: {exc}") from exc
 
     def _reply(self, status: int, headers: Dict[str, str], raw: bytes) -> HttpReply:
-        text = raw.decode("utf-8", errors="replace")
+        return _build_reply(status, headers, raw)
+
+
+def _build_reply(status: int, headers: Dict[str, str], raw: bytes) -> HttpReply:
+    """Decode one raw exchange into the shared :class:`HttpReply` shape."""
+    text = raw.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    return HttpReply(status=status, payload=payload, headers=headers, text=text)
+
+
+def _payload_dict(request: RequestLike) -> Dict[str, Any]:
+    """Normalise a request-like value into a JSON-ready dictionary."""
+    if isinstance(request, SolveRequest):
+        from repro.io.serialization import solve_request_to_dict
+
+        return solve_request_to_dict(request)
+    return dict(request)
+
+
+class AsyncSladeHttpClient:
+    """An asyncio HTTP/1.1 client holding one keep-alive connection.
+
+    The synchronous :class:`SladeHttpClient` opens a fresh ``urllib``
+    connection per call and blocks a thread while it waits; an open-loop load
+    generator needs hundreds of requests in flight at once, which only an
+    event loop can hold cheaply.  This client speaks the same minimal
+    HTTP/1.1 the transport serves (``Content-Length`` framing, keep-alive),
+    reuses its single connection across calls, and transparently reconnects
+    — retrying once — when a reused connection turns out to be dead.
+
+    All coroutine methods must be awaited from one event loop at a time; for
+    N-way concurrency open N clients (see
+    :func:`repro.loadgen.runner.run_load_test`).
+
+    Typical use::
+
+        client = AsyncSladeHttpClient("http://127.0.0.1:8080", tenant="a")
         try:
-            payload = json.loads(text)
-        except json.JSONDecodeError:
-            payload = None
-        return HttpReply(status=status, payload=payload, headers=headers, text=text)
+            reply = await client.solve({"kind": "solve_request", ...})
+        finally:
+            await client.close()
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        tenant: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        parts = urllib.parse.urlsplit(base_url if "//" in base_url
+                                      else f"http://{base_url}")
+        if parts.scheme not in ("", "http") or not parts.hostname:
+            raise TransportError(f"unsupported base URL: {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    # -- endpoints -------------------------------------------------------------
+
+    async def solve(
+        self,
+        request: RequestLike,
+        tenant: Optional[str] = None,
+        include_plan: Optional[bool] = None,
+    ) -> HttpReply:
+        """POST one solve request to ``/v1/solve``."""
+        path = "/v1/solve"
+        if include_plan is not None:
+            path += f"?plan={'1' if include_plan else '0'}"
+        return await self._request("POST", path, _payload_dict(request), tenant)
+
+    async def healthz(self) -> HttpReply:
+        """GET the liveness document."""
+        return await self._request("GET", "/healthz", None, None)
+
+    async def metrics(self, fmt: str = "json") -> HttpReply:
+        """GET the telemetry snapshot (``fmt="text"`` for Prometheus lines)."""
+        path = "/metrics" if fmt == "text" else "/metrics?format=json"
+        return await self._request("GET", path, None, None)
+
+    async def close(self) -> None:
+        """Close the persistent connection (safe to call repeatedly)."""
+        await self._drop_connection()
+
+    # -- plumbing --------------------------------------------------------------
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        tenant: Optional[str],
+    ) -> HttpReply:
+        data = json.dumps(body).encode("utf-8") if body is not None else b""
+        effective_tenant = tenant if tenant is not None else self.tenant
+        for attempt in (0, 1):
+            reused = self._writer is not None
+            try:
+                return await asyncio.wait_for(
+                    self._exchange(method, path, data, effective_tenant),
+                    timeout=self.timeout,
+                )
+            except asyncio.TimeoutError as exc:
+                await self._drop_connection()
+                raise TransportError(
+                    f"timed out after {self.timeout:g}s waiting for "
+                    f"{self.host}:{self.port}"
+                ) from exc
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+                await self._drop_connection()
+                # A server is allowed to close an idle keep-alive connection
+                # between our calls; only a fresh connection failing is an
+                # actual transport error.
+                if reused and attempt == 0:
+                    continue
+                raise TransportError(
+                    f"cannot reach {self.host}:{self.port}: {exc}"
+                ) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _exchange(
+        self, method: str, path: str, data: bytes, tenant: Optional[str]
+    ) -> HttpReply:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        assert self._reader is not None and self._writer is not None
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(data)}",
+            "Connection: keep-alive",
+        ]
+        if tenant:
+            lines.append(f"X-Tenant: {tenant}")
+        self._writer.write("\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + data)
+        await self._writer.drain()
+        status, headers, raw = await self._read_response(self._reader)
+        reply = _build_reply(status, headers, raw)
+        if reply.header("connection", "keep-alive").lower() == "close":
+            await self._drop_connection()
+        return reply
+
+    async def _read_response(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        status_line = (await reader.readline()).decode("ascii", errors="replace")
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("ascii", errors="replace")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _sep, value = line.partition(":")
+            headers[name.strip()] = value.strip()
+        length_text = next(
+            (v for k, v in headers.items() if k.lower() == "content-length"), None
+        )
+        if length_text is None:
+            raise ConnectionError("response carries no Content-Length")
+        raw = await reader.readexactly(int(length_text))
+        return status, headers, raw
+
+    async def _drop_connection(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass

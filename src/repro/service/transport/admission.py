@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.engine.telemetry import Telemetry
 from repro.service.api import (
@@ -163,6 +163,15 @@ class AdmissionController:
     max_total_inflight:
         Global cap on concurrently admitted requests across every tenant;
         ``None`` disables.
+    tenant_limits:
+        Per-tenant ``{tenant: (rate, burst)}`` token-bucket overrides for
+        tiered quotas (a free tier throttled hard while a paid tier runs
+        wide open).  A listed tenant gets its own bucket parameters; every
+        other tenant falls back to the global ``rate``/``burst`` (or no
+        bucket at all when ``rate`` is ``None``).  Isolation still holds:
+        an over-quota tenant's rejections never touch another tenant's
+        bucket (pinned by the fairness tests in
+        ``tests/service/test_admission.py``).
     clock:
         Monotonic time source for bucket refill (injectable for tests).
     telemetry:
@@ -176,11 +185,21 @@ class AdmissionController:
         burst: Optional[float] = None,
         max_inflight: Optional[int] = None,
         max_total_inflight: Optional[int] = None,
+        tenant_limits: Optional[Mapping[str, Tuple[float, float]]] = None,
         clock: Callable[[], float] = time.monotonic,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         if rate is None and burst is not None:
             raise ServiceError("burst requires rate to be set")
+        for tenant, (tenant_rate, tenant_burst) in (tenant_limits or {}).items():
+            if tenant_rate <= 0:
+                raise ServiceError(
+                    f"tenant {tenant!r} rate must be positive; got {tenant_rate}"
+                )
+            if tenant_burst < 1:
+                raise ServiceError(
+                    f"tenant {tenant!r} burst must be >= 1; got {tenant_burst}"
+                )
         if max_inflight is not None and max_inflight < 1:
             raise ServiceError(f"max_inflight must be >= 1; got {max_inflight}")
         if max_total_inflight is not None and max_total_inflight < 1:
@@ -193,6 +212,7 @@ class AdmissionController:
         )
         self.max_inflight = max_inflight
         self.max_total_inflight = max_total_inflight
+        self.tenant_limits: Dict[str, Tuple[float, float]] = dict(tenant_limits or {})
         self.telemetry = telemetry
         self._clock = clock
         self._lock = threading.Lock()
@@ -206,6 +226,7 @@ class AdmissionController:
             self.rate is not None
             or self.max_inflight is not None
             or self.max_total_inflight is not None
+            or bool(self.tenant_limits)
         )
 
     @property
@@ -220,12 +241,20 @@ class AdmissionController:
             state = self._tenants.get(tenant)
             return state.inflight if state is not None else 0
 
+    def _limits_for(self, tenant: str) -> Tuple[Optional[float], Optional[float]]:
+        """The effective ``(rate, burst)`` governing one tenant's bucket."""
+        override = self.tenant_limits.get(tenant)
+        if override is not None:
+            return override
+        return self.rate, self.burst
+
     def _state_for(self, tenant: str) -> _TenantState:
         state = self._tenants.get(tenant)
         if state is None:
+            rate, burst = self._limits_for(tenant)
             bucket = (
-                TokenBucket(self.rate, self.burst, clock=self._clock)
-                if self.rate is not None
+                TokenBucket(rate, burst, clock=self._clock)
+                if rate is not None
                 else None
             )
             state = self._tenants[tenant] = _TenantState(bucket)
@@ -246,8 +275,9 @@ class AdmissionController:
         if cost < 1:
             raise ServiceError(f"admission cost must be >= 1; got {cost}")
         name = tenant if tenant else DEFAULT_TENANT
+        _tenant_rate, tenant_burst = self._limits_for(name)
         for label, capacity in (
-            ("per-tenant burst capacity", self.burst),
+            ("per-tenant burst capacity", tenant_burst),
             ("per-tenant max_inflight", self.max_inflight),
             ("global max_total_inflight", self.max_total_inflight),
         ):
@@ -282,7 +312,8 @@ class AdmissionController:
                     self._note("admission.rate_limited")
                     raise RateLimitedError(
                         f"tenant {name!r} exceeded its request rate "
-                        f"({self.rate:g}/s, burst {self.burst:g}); "
+                        f"({state.bucket.rate:g}/s, burst "
+                        f"{state.bucket.burst:g}); "
                         f"retry in {retry_after:.2f}s",
                         retry_after=retry_after,
                     )

@@ -1,0 +1,380 @@
+"""The load-harness contract: determinism, open-loop honesty, end-to-end runs.
+
+Three layers of pinning:
+
+* :func:`repro.loadgen.workload.generate_schedule` is a pure function of the
+  spec — same seed, same schedule, byte for byte;
+* the runner is **open-loop**: scheduled arrivals fire on time no matter how
+  slow the server is, and queueing delay lands in the recorded latency
+  (coordinated omission cannot hide it);
+* a real :class:`HttpSladeServer` run produces a well-formed report, and
+  per-tenant quota overrides keep one tenant's 429s out of another tenant's
+  error budget.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.loadgen import (
+    TenantClass,
+    WorkloadError,
+    WorkloadSpec,
+    build_profile,
+    generate_schedule,
+    run_load_test,
+)
+from repro.loadgen.workload import ScheduledRequest
+from repro.service.client import TransportError
+from repro.service.transport.admission import AdmissionController
+from repro.service.transport.server import HttpSladeServer
+
+BINS = [[1, 0.9, 0.10], [2, 0.85, 0.18], [3, 0.8, 0.24]]
+
+
+def tiny_spec(**overrides):
+    """A fast two-class mix: small solves, pinned rates, one tenant each."""
+    defaults = dict(duration_seconds=1.0, seed=11)
+    defaults.update(overrides)
+    return WorkloadSpec(
+        classes=(
+            TenantClass(
+                name="free", requests_per_second=25.0, n_range=(10, 20),
+                thresholds="constant", mu=0.9, keys=2, zipf_exponent=0.0,
+            ),
+            TenantClass(
+                name="paid", requests_per_second=25.0, n_range=(10, 20),
+                thresholds="constant", mu=0.92, keys=2, zipf_exponent=0.0,
+            ),
+        ),
+        **defaults,
+    )
+
+
+def synthetic_schedule(count, spacing=0.01, tenant_class="synthetic"):
+    """A hand-built schedule for runner-only tests (no workload generator)."""
+    return [
+        ScheduledRequest(
+            at=index * spacing,
+            tenant_class=tenant_class,
+            tenant=f"{tenant_class}-0",
+            key=0,
+            payload={
+                "kind": "solve_request",
+                "version": 1,
+                "request_id": f"{tenant_class}-{index}",
+                "tenant": f"{tenant_class}-0",
+                "n": 10,
+                "threshold": 0.9,
+                "bins": BINS,
+            },
+        )
+        for index in range(count)
+    ]
+
+
+class FakeReply:
+    def __init__(self, status, payload):
+        self.status = status
+        self.payload = payload
+
+
+class FakeClient:
+    """An in-memory client: fixed service time, scripted outcomes, a log."""
+
+    def __init__(self, delay=0.0, outcomes=None, events=None):
+        self.delay = delay
+        self.outcomes = outcomes or {}
+        self.events = events if events is not None else []
+
+    async def solve(self, payload, include_plan=None):
+        loop = asyncio.get_running_loop()
+        request_id = payload["request_id"]
+        self.events.append(("start", loop.time(), request_id))
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        self.events.append(("done", loop.time(), request_id))
+        outcome = self.outcomes.get(request_id, "ok")
+        if outcome == "transport":
+            raise TransportError("scripted connection failure")
+        if outcome == "ok":
+            return FakeReply(200, {"ok": True, "cache": "miss"})
+        if outcome == "hit":
+            return FakeReply(200, {"ok": True, "cache": "hit"})
+        if outcome == "solve_failure":
+            return FakeReply(200, {"ok": False, "error": {"type": "X"}})
+        return FakeReply(int(outcome), {"ok": False})
+
+    async def close(self):
+        pass
+
+
+class ServerHandle:
+    """Run one :class:`HttpSladeServer` inside a dedicated event-loop thread."""
+
+    def __init__(self, **server_kwargs):
+        self._server_kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._error = None
+        self.server = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = HttpSladeServer(**self._server_kwargs)
+        await self.server.start("127.0.0.1", 0)
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.close()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def __exit__(self, *_exc_info):
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=30)
+            assert not self._thread.is_alive(), "server thread leaked"
+        if self._error is not None:
+            raise self._error
+
+    @property
+    def base_url(self):
+        return self.server.base_url
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_yields_identical_schedule(self):
+        spec = build_profile("ci-short", duration_seconds=3.0)
+        first = generate_schedule(spec)
+        second = generate_schedule(spec)
+        assert first == second
+        assert len(first) > 50
+
+    def test_different_seed_changes_schedule(self):
+        spec = build_profile("ci-short", duration_seconds=3.0)
+        baseline = generate_schedule(spec)
+        reseeded = generate_schedule(spec.scaled(seed=spec.seed + 1))
+        assert baseline != reseeded
+
+    def test_schedule_sorted_and_inside_duration(self):
+        spec = tiny_spec(duration_seconds=2.0)
+        schedule = generate_schedule(spec)
+        times = [request.at for request in schedule]
+        assert times == sorted(times)
+        assert all(0.0 <= at < 2.0 for at in times)
+
+    def test_zipf_skew_concentrates_on_hot_keys(self):
+        spec = WorkloadSpec(
+            classes=(
+                TenantClass(
+                    name="skewed", requests_per_second=200.0,
+                    keys=8, zipf_exponent=1.2,
+                ),
+            ),
+            duration_seconds=3.0,
+            seed=5,
+        )
+        counts = {}
+        for request in generate_schedule(spec):
+            counts[request.key] = counts.get(request.key, 0) + 1
+        hottest = max(counts.values())
+        # Rank-1 popularity under zipf(1.2) across 8 keys is ~41%.
+        assert hottest > 0.25 * sum(counts.values())
+
+    def test_tenant_names_follow_class(self):
+        spec = tiny_spec()
+        for request in generate_schedule(spec):
+            assert request.tenant.startswith(request.tenant_class + "-")
+            assert request.payload["tenant"] == request.tenant
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(WorkloadError):
+            TenantClass(name="bad", requests_per_second=-1.0)
+        with pytest.raises(WorkloadError):
+            TenantClass(name="bad", burst_fraction=1.0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(classes=())
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(
+                classes=(TenantClass(name="dup"), TenantClass(name="dup"))
+            )
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            build_profile("no-such-profile")
+
+
+class TestOpenLoopRunner:
+    def test_arrivals_fire_independent_of_response_times(self):
+        """Every request starts before the *first* slow response completes."""
+        events = []
+        delay = 0.3
+        schedule = synthetic_schedule(8, spacing=0.01)
+
+        report = asyncio.run(run_load_test(
+            schedule,
+            clients=8,
+            client_factory=lambda: FakeClient(delay=delay, events=events),
+        ))
+        starts = [at for kind, at, _ in events if kind == "start"]
+        dones = [at for kind, at, _ in events if kind == "done"]
+        assert len(starts) == len(schedule)
+        assert max(starts) < min(dones), (
+            "open-loop dispatch must not wait for responses"
+        )
+        # Closed-loop replay would take ~8 * 0.3s; open-loop overlaps them.
+        assert report.wall_seconds < len(schedule) * delay / 2
+        assert report.overall.ok == len(schedule)
+
+    def test_queueing_delay_lands_in_latency(self):
+        """With one connection, pool wait counts from the *scheduled* time."""
+        delay = 0.05
+        schedule = synthetic_schedule(5, spacing=0.0)
+        report = asyncio.run(run_load_test(
+            schedule,
+            clients=1,
+            client_factory=lambda: FakeClient(delay=delay),
+        ))
+        # The last request waited behind four 50 ms services before its own.
+        assert report.overall.latency.maximum >= 4 * delay
+        # Yet the service time itself stays ~delay: the gap is queueing.
+        assert report.overall.as_dict(report.wall_seconds)[
+            "mean_service_seconds"
+        ] == pytest.approx(delay, rel=0.8)
+
+    def test_outcome_classification_and_budgets(self):
+        schedule = synthetic_schedule(6, spacing=0.0)
+        outcomes = {
+            "synthetic-0": "ok",
+            "synthetic-1": "solve_failure",
+            "synthetic-2": "429",
+            "synthetic-3": "503",
+            "synthetic-4": "transport",
+            "synthetic-5": "400",
+        }
+        report = asyncio.run(run_load_test(
+            schedule,
+            clients=2,
+            client_factory=lambda: FakeClient(outcomes=outcomes),
+        ))
+        stats = report.classes["synthetic"]
+        assert stats.ok == 1
+        assert stats.solve_failures == 1
+        assert stats.rejected == 1
+        assert stats.overloaded == 1
+        assert stats.transport_errors == 1
+        assert stats.other_errors == 1
+        assert stats.attempted == 6
+        # 429/503 are contractual backpressure, not errors.
+        assert stats.error_budget == pytest.approx(3 / 6)
+        assert stats.rejection_budget == pytest.approx(2 / 6)
+
+    def test_warm_windows_track_cache_over_time(self):
+        schedule = synthetic_schedule(4, spacing=0.6)  # seconds 0 and 1
+        outcomes = {
+            "synthetic-0": "ok",   # second 0: miss
+            "synthetic-1": "hit",                      # second 0: hit
+            "synthetic-2": "hit",                      # second 1: hit
+            "synthetic-3": "hit",                      # second 1: hit
+        }
+        report = asyncio.run(run_load_test(
+            schedule,
+            clients=4,
+            time_scale=0.05,  # windows key on *scheduled* seconds
+            client_factory=lambda: FakeClient(outcomes=outcomes),
+        ))
+        windows = {w["second"]: w for w in report.warm_windows}
+        assert windows[0]["warm_rate"] == pytest.approx(0.5)
+        assert windows[1]["warm_rate"] == pytest.approx(1.0)
+        assert report.overall.warm_rate == pytest.approx(3 / 4)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            asyncio.run(run_load_test([], client_factory=FakeClient))
+        with pytest.raises(ValueError):
+            asyncio.run(run_load_test(
+                synthetic_schedule(1), client_factory=FakeClient, clients=0,
+            ))
+
+
+class TestEndToEndHttp:
+    def test_run_against_live_server_produces_wellformed_report(self):
+        spec = tiny_spec(duration_seconds=1.2)
+        schedule = generate_schedule(spec)
+        with ServerHandle() as handle:
+            report = asyncio.run(run_load_test(
+                schedule, handle.base_url, clients=8,
+                profile="tiny", seed=spec.seed,
+            ))
+
+        assert report.scheduled == len(schedule)
+        overall = report.overall
+        assert overall.attempted == report.scheduled
+        assert overall.ok == report.scheduled
+        assert overall.error_budget == 0.0
+        assert overall.rejection_budget == 0.0
+        # Two fingerprints per class: the plan cache must warm up.
+        assert overall.cache_hits > 0
+        assert overall.warm_rate > 0.5
+
+        document = report.as_dict()
+        assert document["kind"] == "loadtest_report"
+        assert document["version"] == 1
+        assert document["profile"] == "tiny"
+        assert document["seed"] == spec.seed
+        assert set(document["classes"]) == {"free", "paid"}
+        for stats in [document["overall"], *document["classes"].values()]:
+            for key in ("p50", "p99", "p999", "max"):
+                assert stats["latency_seconds"][key] >= 0.0
+            assert stats["ok"] + stats["solve_failures"] + stats["rejected"] \
+                + stats["overloaded"] + stats["transport_errors"] \
+                + stats["other_errors"] == stats["scheduled"]
+        assert document["warm_windows"]
+        for window in document["warm_windows"]:
+            assert 0.0 <= window["warm_rate"] <= 1.0
+
+        table = report.format_table()
+        assert "free" in table and "paid" in table and "overall" in table
+
+    def test_tenant_quota_rejections_do_not_bleed_across_classes(self):
+        """The fairness contract, end to end over real admission control.
+
+        ``free-0`` gets a 2 req/s bucket while ``paid-0`` rides the unlimited
+        default; both offer ~25 req/s from the same shared burst.  The free
+        tenant must see 429s — and every one of them must stay out of the
+        paid tenant's books.
+        """
+        spec = tiny_spec(duration_seconds=1.2)
+        schedule = generate_schedule(spec)
+        admission = AdmissionController(tenant_limits={"free-0": (2.0, 2.0)})
+        with ServerHandle(admission=admission) as handle:
+            report = asyncio.run(run_load_test(
+                schedule, handle.base_url, clients=8,
+            ))
+
+        free, paid = report.classes["free"], report.classes["paid"]
+        assert free.rejected > 0
+        assert free.rejection_budget > 0.5
+        # Backpressure is contractual: not an error even for the free tier.
+        assert free.error_budget == 0.0
+        # The paid tenant never sees a rejection or an error.
+        assert paid.rejected == 0 and paid.overloaded == 0
+        assert paid.error_budget == 0.0 and paid.rejection_budget == 0.0
+        assert paid.ok == paid.scheduled
+        assert report.overall.rejected == free.rejected

@@ -199,3 +199,103 @@ class TestAdmissionController:
             AdmissionController(max_total_inflight=0)
         with pytest.raises(ServiceError):
             AdmissionController().admit("a", cost=0)
+
+
+class TestTenantQuotaOverrides:
+    """Per-tenant ``tenant_limits`` token-bucket overrides (tiered quotas)."""
+
+    def test_override_replaces_global_bucket(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=100.0, burst=100, tenant_limits={"free": (1.0, 1.0)},
+            clock=clock,
+        )
+        controller.admit("free").release()
+        with pytest.raises(RateLimitedError) as excinfo:
+            controller.admit("free")
+        # The 429 quotes the *override* parameters, not the global ones.
+        assert "1/s" in str(excinfo.value)
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+
+    def test_unlisted_tenants_fall_back_to_global(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=1.0, burst=1, tenant_limits={"paid": (100.0, 100.0)},
+            clock=clock,
+        )
+        for _ in range(50):
+            controller.admit("paid").release()
+        controller.admit("other").release()
+        with pytest.raises(RateLimitedError):
+            controller.admit("other")
+
+    def test_overrides_work_without_global_rate(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            tenant_limits={"free": (1.0, 1.0)}, clock=clock
+        )
+        assert controller.limits_anything
+        # Unlisted tenants are unlimited: no global bucket exists.
+        for _ in range(50):
+            controller.admit("anyone").release()
+        controller.admit("free").release()
+        with pytest.raises(RateLimitedError):
+            controller.admit("free")
+
+    def test_oversize_cost_checked_against_tenant_burst(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=10.0, burst=10, tenant_limits={"free": (1.0, 2.0)},
+            clock=clock,
+        )
+        with pytest.raises(RequestValidationError):
+            controller.admit("free", cost=3)
+        # The same batch is fine for a tenant on the global bucket...
+        controller.admit("other", cost=3).release()
+        # ...and nothing was charged to the rejected tenant.
+        controller.admit("free", cost=2).release()
+
+    def test_invalid_overrides_rejected_eagerly(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(tenant_limits={"t": (0.0, 1.0)})
+        with pytest.raises(ServiceError):
+            AdmissionController(tenant_limits={"t": (1.0, 0.5)})
+
+
+class TestSharedBurstFairness:
+    """A soak over simulated time: tiered quotas under one shared burst.
+
+    ``free`` holds a 5 req/s bucket, ``paid`` a 200 req/s bucket.  Both
+    offer 20 req/s for 30 simulated seconds.  The free tier must shed most
+    of its load as 429s while the paid tier is admitted in full — and the
+    free tier's rejections must never leak into the paid tier's books or
+    the in-flight accounting.
+    """
+
+    def test_over_quota_tenant_sheds_load_without_touching_peer(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            tenant_limits={"free": (5.0, 5.0), "paid": (200.0, 200.0)},
+            clock=clock,
+        )
+        outcomes = {"free": {"ok": 0, "rejected": 0},
+                    "paid": {"ok": 0, "rejected": 0}}
+        step = 1.0 / 20.0
+        for _ in range(600):  # 30 simulated seconds at 20 req/s per tenant
+            for tenant in ("free", "paid"):
+                try:
+                    controller.admit(tenant).release()
+                    outcomes[tenant]["ok"] += 1
+                except RateLimitedError:
+                    outcomes[tenant]["rejected"] += 1
+            clock.advance(step)
+
+        assert outcomes["paid"]["rejected"] == 0
+        assert outcomes["paid"]["ok"] == 600
+        assert outcomes["free"]["rejected"] > 0
+        # The free tier converges on its sustained rate: ~5/s over 30 s,
+        # plus the initial burst allowance.
+        assert outcomes["free"]["ok"] == pytest.approx(155, abs=10)
+        assert controller.total_inflight == 0
+        assert controller.tenant_inflight("free") == 0
+        assert controller.tenant_inflight("paid") == 0
