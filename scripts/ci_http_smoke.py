@@ -105,7 +105,7 @@ class Server:
             self.proc.communicate()
             raise SystemExit(
                 f"server printed nothing within {STARTUP_TIMEOUT}s"
-            )
+            ) from None
         if not line.startswith("listening on http://"):
             out, err = self.proc.communicate(timeout=10)
             raise SystemExit(

@@ -116,7 +116,9 @@ class Subprocess:
         except queue.Empty:
             self.proc.kill()
             self.proc.communicate()
-            raise SystemExit(f"{label} printed nothing within {STARTUP_TIMEOUT}s")
+            raise SystemExit(
+                f"{label} printed nothing within {STARTUP_TIMEOUT}s"
+            ) from None
         if not line.startswith(banner_prefix):
             out, err = self.proc.communicate(timeout=10)
             raise SystemExit(

@@ -88,6 +88,7 @@ from repro.service import (
     failure_response,
     run_http_server,
 )
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.service.transport.http11 import split_host_port
 
 
@@ -223,6 +224,12 @@ def _build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--difficulty", type=int, default=2, choices=[1, 2, 3])
     calibrate.add_argument("--seed", type=int, default=7)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's static-analysis rules (SLD001-SLD005)",
+    )
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -276,7 +283,7 @@ def _parse_grid(raw: str, caster, flag: str) -> List:
     try:
         values = [caster(part) for part in raw.split(",") if part.strip()]
     except ValueError:
-        raise SystemExit(f"invalid {flag} value: {raw!r}")
+        raise SystemExit(f"invalid {flag} value: {raw!r}") from None
     if not values:
         raise SystemExit(f"{flag} must name at least one value")
     return values
@@ -622,6 +629,7 @@ _COMMANDS = {
     "cached": _cmd_cached,
     "loadtest": _cmd_loadtest,
     "calibrate": _cmd_calibrate,
+    "lint": run_lint_command,
 }
 
 

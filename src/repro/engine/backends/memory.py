@@ -90,4 +90,5 @@ class MemoryBackend:
             return key in self._entries
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"MemoryBackend(entries={len(self._entries)}, max_entries={self.max_entries})"
+        # len(self) takes the lock; _entries must never be read unlocked.
+        return f"MemoryBackend(entries={len(self)}, max_entries={self.max_entries})"

@@ -180,7 +180,13 @@ class RemoteBackend:
         connection is retried once on a fresh connection, so a restarted
         server does not surface as a spurious miss.
         """
-        request = encode_frame(op, key, payload)
+        try:
+            # An oversized key/payload raises before touching the wire; that
+            # too must degrade to a miss, not surface as a request error.
+            request = encode_frame(op, key, payload)
+        except WireProtocolError:
+            self._count_fail_open()
+            return None
         started = time.perf_counter()
         try:
             sock, reused = self._pool.acquire()

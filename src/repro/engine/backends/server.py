@@ -38,6 +38,7 @@ import sqlite3
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
@@ -112,8 +113,14 @@ class CacheServer:
         #: persistent server after close() has released the connection.
         self.persist_path = Path(persist_path) if persist_path is not None else None
         self._persist: Optional[SQLiteBackend] = None
+        #: Single worker so write-behind persistence keeps mutation order;
+        #: SQLite writes must never run on the serving event loop.
+        self._persist_executor: Optional[ThreadPoolExecutor] = None
         if self.persist_path is not None:
             self._persist = SQLiteBackend(self.persist_path)
+            self._persist_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="cache-persist"
+            )
             self._restore()
             self._evict()
 
@@ -128,28 +135,49 @@ class CacheServer:
 
     # -- persistence write-through ---------------------------------------------
 
+    # Mutations submit to the single persistence worker (FIFO, so disk sees
+    # the same order as memory) and return immediately: the event loop never
+    # waits on SQLite.  close() drains the queue before releasing the file.
+
     def _persist_put(self, wire_key: bytes, payload: bytes) -> None:
-        if self._persist is None:
+        if self._persist is None or self._persist_executor is None:
             return
+        self._persist_executor.submit(
+            self._persist_put_sync, self._persist, wire_key, payload
+        )
+
+    def _persist_put_sync(
+        self, persist: SQLiteBackend, wire_key: bytes, payload: bytes
+    ) -> None:
         try:
-            self._persist.put_payload(decode_key(wire_key), payload)
+            persist.put_payload(decode_key(wire_key), payload)
         except (WireProtocolError, sqlite3.Error):
             # Foreign keys are memory-only; disk failures are fail-open.
             self.persist_errors += 1
 
     def _persist_delete(self, wire_key: bytes) -> None:
-        if self._persist is None:
+        if self._persist is None or self._persist_executor is None:
             return
+        self._persist_executor.submit(
+            self._persist_delete_sync, self._persist, wire_key
+        )
+
+    def _persist_delete_sync(
+        self, persist: SQLiteBackend, wire_key: bytes
+    ) -> None:
         try:
-            self._persist.delete(decode_key(wire_key))
+            persist.delete(decode_key(wire_key))
         except (WireProtocolError, sqlite3.Error):
             self.persist_errors += 1
 
     def _persist_clear(self) -> None:
-        if self._persist is None:
+        if self._persist is None or self._persist_executor is None:
             return
+        self._persist_executor.submit(self._persist_clear_sync, self._persist)
+
+    def _persist_clear_sync(self, persist: SQLiteBackend) -> None:
         try:
-            self._persist.clear()
+            persist.clear()
         except sqlite3.Error:
             self.persist_errors += 1
 
@@ -175,8 +203,19 @@ class CacheServer:
             await self._server.wait_closed()
             self._server = None
         if self._persist is not None:
-            self._persist.close()
-            self._persist = None
+            persist, self._persist = self._persist, None
+            executor, self._persist_executor = self._persist_executor, None
+
+            def _drain_and_close() -> None:
+                if executor is not None:
+                    executor.shutdown(wait=True)
+                persist.close()
+
+            # Pending write-behind work and the SQLite close both block;
+            # finish them off-loop so in-flight connections keep draining.
+            await asyncio.get_running_loop().run_in_executor(
+                None, _drain_and_close
+            )
 
     # -- connection handling ---------------------------------------------------
 
@@ -309,16 +348,20 @@ async def run_cache_server(
     socket is bound (used to print the listening address).  Returns the
     closed server so callers can read final statistics.
     """
-    server = CacheServer(max_entries=max_entries, persist_path=persist_path)
+    loop = asyncio.get_running_loop()
+    # Construction restores persisted entries from SQLite — blocking work
+    # that must not run on the loop once other coroutines are scheduled.
+    server = await loop.run_in_executor(
+        None,
+        lambda: CacheServer(max_entries=max_entries, persist_path=persist_path),
+    )
     await server.start(host, port)
     if on_ready is not None:
         on_ready(server)
+    if stop is None:  # pragma: no cover - interactive use only
+        stop = asyncio.Event()  # never set: serve until cancelled
     try:
-        if stop is not None:
-            await stop.wait()
-        else:  # pragma: no cover - interactive use only
-            while True:
-                await asyncio.sleep(3600)
+        await stop.wait()
     finally:
         await server.close()
     return server

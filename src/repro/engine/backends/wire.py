@@ -35,7 +35,10 @@ import struct
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # asyncio stays a lazy import on the hot sync paths
+    import asyncio
 
 from repro.algorithms.opq import OptimalPriorityQueue
 from repro.core.errors import SladeError
@@ -166,7 +169,7 @@ def decode_frame(data: bytes) -> Frame:
     return Frame(op=op, key=key, payload=payload)
 
 
-async def read_frame(reader) -> Optional[Frame]:
+async def read_frame(reader: "asyncio.StreamReader") -> Optional[Frame]:
     """Read one frame from an asyncio stream; ``None`` on clean EOF.
 
     Raises :class:`WireProtocolError` on malformed framing and lets the
@@ -196,7 +199,9 @@ async def read_frame(reader) -> Optional[Frame]:
     return Frame(op=op, key=key, payload=payload)
 
 
-def read_frame_from_socket(sock, deadline: Optional[float] = None) -> Frame:
+def read_frame_from_socket(
+    sock: socket_module.socket, deadline: Optional[float] = None
+) -> Frame:
     """Read one frame from a blocking socket (the client side).
 
     ``deadline`` (a ``time.monotonic()`` instant) bounds the *whole* frame,
@@ -218,7 +223,9 @@ def read_frame_from_socket(sock, deadline: Optional[float] = None) -> Frame:
     return Frame(op=op, key=key, payload=payload)
 
 
-def _recv_exactly(sock, count: int, deadline: Optional[float] = None) -> bytes:
+def _recv_exactly(
+    sock: socket_module.socket, count: int, deadline: Optional[float] = None
+) -> bytes:
     chunks = []
     remaining = count
     while remaining > 0:

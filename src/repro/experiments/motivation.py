@@ -24,6 +24,9 @@ from repro.utils.rng import RandomSource
 #: Cardinalities probed in Figure 3a/3b.
 DEFAULT_CARDINALITIES: Sequence[int] = tuple(range(2, 31, 2))
 
+#: Cardinalities swept by the difficulty series (Figure 3c).
+DIFFICULTY_CARDINALITIES: Sequence[int] = tuple(range(1, 21, 2))
+
 #: Jelly per-bin prices (Figure 3a) and SMIC per-bin prices (Figure 3b).
 JELLY_COSTS: Sequence[float] = (0.05, 0.08, 0.10)
 SMIC_COSTS: Sequence[float] = (0.05, 0.10, 0.20)
@@ -135,7 +138,7 @@ def motivation_series(
 
 def difficulty_series(
     difficulties: Sequence[int] = (1, 2, 3),
-    cardinalities: Sequence[int] = tuple(range(1, 21, 2)),
+    cardinalities: Sequence[int] = DIFFICULTY_CARDINALITIES,
     cost: float = 0.10,
     seed: RandomSource = 7,
 ) -> Dict[int, Dict[int, float]]:

@@ -1,0 +1,37 @@
+"""Project-invariant static analysis for the SLADE codebase.
+
+The repo's load-bearing contracts — fail-open cache backends, lock
+discipline around shared counters, never blocking the event loop, one
+telemetry-name inventory — are enforced by convention and chaos tests, both
+of which miss whole classes of regression.  This package makes them
+machine-checked: a dependency-free AST analysis (stdlib only) with a
+package-local call graph, class symbol tables, and five project rules:
+
+========  ==================================================================
+SLD001    blocking call (``time.sleep``, socket/sqlite/file/subprocess ops,
+          or a transitively-blocking repro function) reachable inside an
+          ``async def``
+SLD002    fail-open contract: :class:`CacheBackend` methods in
+          ``remote.py`` / ``sharded.py`` / ``tiered.py`` must not let
+          ``OSError`` or wire exceptions escape to callers
+SLD003    lock discipline: an attribute written under ``with self._lock``
+          in one method must not be accessed outside that lock elsewhere
+SLD004    telemetry-name drift: counter/series names must match the dotted
+          convention and the shared inventory in
+          :mod:`repro.engine.metric_names`
+SLD005    lost asyncio tasks: ``asyncio.create_task`` results neither
+          stored nor awaited
+========  ==================================================================
+
+Findings render as ``file:line:CODE message``.  A finding is silenced
+either by a ``# slade: noqa[SLD001]`` comment on the offending line or by
+the committed baseline file (``lint-baseline.json``), which grandfathers
+pre-existing findings while new ones fail the build.  Entry points:
+``repro lint`` (CLI) and ``scripts/ci_static_analysis.py`` (CI gate).
+"""
+
+from repro.lint.findings import Finding
+from repro.lint.registry import all_rules, rule
+from repro.lint.runner import LintResult, run_lint
+
+__all__ = ["Finding", "LintResult", "all_rules", "rule", "run_lint"]

@@ -1,0 +1,82 @@
+"""The committed baseline: grandfather old findings, fail on new ones.
+
+The baseline stores finding *identities* — ``(path, code, message)`` with a
+count — not line numbers, so unrelated edits that shift code do not churn
+it.  A finding beyond its baselined count is "new" and fails the run;
+fixing a baselined finding leaves a stale entry that the next
+``--write-baseline`` prunes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.core.errors import SladeError
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(SladeError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read identity counts from ``path`` (empty counter if absent)."""
+    if not path.exists():
+        return Counter()
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise BaselineError(
+            f"baseline {path} is not a version-{BASELINE_VERSION} "
+            f"lint baseline document"
+        )
+    counts: Counter = Counter()
+    for entry in document["findings"]:
+        try:
+            identity = (entry["path"], entry["code"], entry["message"])
+            counts[identity] += int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(
+                f"baseline {path} holds a malformed entry: {entry!r}"
+            ) from exc
+    return counts
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the identities of ``findings`` as the new baseline."""
+    counts: Counter = Counter(f.identity for f in findings)
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": p, "code": c, "message": m, "count": n}
+            for (p, c, m), n in sorted(counts.items())
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: Iterable[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against the baseline."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in sorted(findings):
+        if remaining[finding.identity] > 0:
+            remaining[finding.identity] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

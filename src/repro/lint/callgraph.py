@@ -1,0 +1,500 @@
+"""Cross-module flow analyses over the package-local call graph.
+
+Two fixed-point computations drive the concurrency rules:
+
+* :func:`compute_blocking` — which *sync* functions transitively perform a
+  blocking operation (``time.sleep``, socket/sqlite/subprocess/file I/O).
+  SLD001 flags any un-awaited call from an ``async def`` into that set or
+  directly into a blocking primitive.
+* :func:`compute_leaks` — which watched exceptions (``OSError``,
+  ``EOFError``, wire-protocol errors) can escape each function, combining
+  risky primitives, ``raise`` statements, callee leak sets, and the
+  ``try``/``except`` blocks lexically enclosing each site.  SLD002 requires
+  the leak set of every networked-backend protocol method to be empty.
+
+Call targets resolve through the import tables and class symbol tables in
+:mod:`repro.lint.symbols`: ``self.m()``, ``self.attr.m()`` (via attribute
+annotations or constructor assignments), annotated parameters
+(``sock: socket.socket``), module functions, and imported project
+callables.  Anything unresolvable is treated as safe — the analyses prefer
+false negatives over false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.project import Project
+from repro.lint.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleSymbols,
+    dotted_name,
+    extract_type_names,
+)
+
+# -- blocking primitives -------------------------------------------------------
+
+#: Exact dotted names that block the calling thread.
+BLOCKING_EXACT = frozenset({
+    "time.sleep", "open", "input", "select.select", "selectors.select",
+    "os.system", "os.popen", "os.wait", "os.waitpid",
+})
+
+#: Dotted-name prefixes whose entire API is considered blocking.
+BLOCKING_PREFIXES = (
+    "socket.", "sqlite3.", "subprocess.", "shutil.",
+    "urllib.request.", "http.client.", "ssl.", "ftplib.", "smtplib.",
+)
+
+
+def is_blocking_external(dotted: str) -> bool:
+    return dotted in BLOCKING_EXACT or dotted.startswith(BLOCKING_PREFIXES)
+
+
+# -- watched exceptions (fail-open contract) -----------------------------------
+
+#: Exception names canonicalised to the token SLD002 tracks.  Subclasses of
+#: ``OSError`` collapse onto it because ``except OSError`` catches them all.
+_CANONICAL = {
+    "OSError": "OSError", "IOError": "OSError",
+    "ConnectionError": "OSError", "ConnectionResetError": "OSError",
+    "ConnectionRefusedError": "OSError", "ConnectionAbortedError": "OSError",
+    "BrokenPipeError": "OSError", "TimeoutError": "OSError",
+    "InterruptedError": "OSError",
+    "EOFError": "EOFError",
+    "WireProtocolError": "WireProtocolError",
+    "WirePayloadError": "WirePayloadError",
+}
+
+#: Full dotted names needing canonicalisation before the last-segment rule.
+_CANONICAL_DOTTED = {
+    "socket.timeout": "OSError",
+    "socket.gaierror": "OSError",
+    "socket.herror": "OSError",
+    "asyncio.TimeoutError": "OSError",
+}
+
+_WIRE_TOKENS = frozenset({"WireProtocolError", "WirePayloadError"})
+
+
+def canonical_token(resolved: str) -> Optional[str]:
+    """Map a resolved exception name onto its watched token, if any."""
+    if resolved in _CANONICAL_DOTTED:
+        return _CANONICAL_DOTTED[resolved]
+    return _CANONICAL.get(resolved.rsplit(".", 1)[-1])
+
+
+def external_risk(dotted: str) -> FrozenSet[str]:
+    """Watched exceptions a call into external code may raise."""
+    if dotted.startswith(("socket.", "ssl.")):
+        return frozenset({"OSError"})
+    return frozenset()
+
+
+# -- AST iteration helpers -----------------------------------------------------
+
+def iter_calls(func_node: ast.AST) -> Iterator[Tuple[ast.Call, bool]]:
+    """Yield ``(call, directly_awaited)`` pairs, skipping nested defs.
+
+    Nested functions and lambdas are *definitions*, not executions, so
+    their bodies do not run when the enclosing function does.
+    """
+    results: List[Tuple[ast.Call, bool]] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                results.append((child, isinstance(node, ast.Await)))
+            visit(child)
+
+    visit(func_node)
+    return iter(results)
+
+
+def iter_attr_loads(func_node: ast.AST) -> Iterator[ast.Attribute]:
+    """Yield attribute *loads* that are not the callee of a call.
+
+    Used to catch blocking ``@property`` accesses like ``facade.cache_stats``,
+    which never appear as :class:`ast.Call` nodes.
+    """
+    results: List[ast.Attribute] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.ctx, ast.Load)
+                and not (isinstance(node, ast.Call) and child is node.func)
+            ):
+                results.append(child)
+            visit(child)
+
+    visit(func_node)
+    return iter(results)
+
+
+def iter_raises(func_node: ast.AST) -> Iterator[ast.Raise]:
+    results: List[ast.Raise] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.Raise):
+                results.append(child)
+            visit(child)
+
+    visit(func_node)
+    return iter(results)
+
+
+def parent_map(func_node: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(func_node):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+# -- call resolution -----------------------------------------------------------
+
+def _attr_class(
+    project: Project,
+    mod: ModuleSymbols,
+    cls: ClassInfo,
+    attr: str,
+) -> Optional[Tuple[ModuleSymbols, ClassInfo]]:
+    """The project class an instance attribute holds, if determinable."""
+    for source in (cls.attr_annotations.get(attr), cls.attr_params.get(attr)):
+        if source is None:
+            continue
+        for name in extract_type_names(source):
+            resolved = mod.resolve(name)
+            if resolved in mod.classes:
+                return mod, mod.classes[resolved]
+            hit = project.lookup_class(resolved)
+            if hit is not None:
+                return hit
+    ctor = cls.attr_constructors.get(attr)
+    if ctor is not None:
+        resolved = mod.resolve(ctor)
+        if resolved in mod.classes:
+            return mod, mod.classes[resolved]
+        return project.lookup_class(resolved)
+    return None
+
+
+def _attr_external(
+    mod: ModuleSymbols, cls: ClassInfo, attr: str
+) -> Optional[str]:
+    """The external dotted origin of an attribute (e.g. ``sqlite3.connect``)."""
+    for source in (cls.attr_annotations.get(attr), cls.attr_params.get(attr)):
+        if source is None:
+            continue
+        for name in extract_type_names(source):
+            resolved = mod.resolve(name)
+            if "." in resolved and not resolved.startswith("repro."):
+                return resolved
+    ctor = cls.attr_constructors.get(attr)
+    if ctor is not None and ctor not in mod.classes:
+        resolved = mod.resolve(ctor)
+        if resolved not in mod.classes and "." in resolved:
+            return resolved
+    return None
+
+
+def _class_init_key(mod: ModuleSymbols, cls: ClassInfo) -> Optional[str]:
+    if "__init__" in cls.methods:
+        return f"{mod.module_name}::{cls.name}.__init__"
+    return None
+
+
+def _resolve_through_classes(
+    project: Project,
+    mod: ModuleSymbols,
+    cls: ClassInfo,
+    chain: List[str],
+) -> Tuple[Optional[str], Optional[str]]:
+    """Resolve ``attr.attr...name`` against a class; -> ``(kind, value)``."""
+    cur_mod, cur_cls = mod, cls
+    for index, attr in enumerate(chain[:-1]):
+        hit = _attr_class(project, cur_mod, cur_cls, attr)
+        if hit is None:
+            origin = _attr_external(cur_mod, cur_cls, attr)
+            if origin is not None:
+                remainder = ".".join(chain[index + 1:])
+                return "external", f"{origin}.{remainder}"
+            return None, None
+        cur_mod, cur_cls = hit
+    last = chain[-1]
+    if last in cur_cls.methods:
+        return "key", f"{cur_mod.module_name}::{cur_cls.name}.{last}"
+    origin = _attr_external(cur_mod, cur_cls, last)
+    if origin is not None:
+        return "external", origin
+    return None, None
+
+
+def resolve_callable(
+    project: Project,
+    mod: ModuleSymbols,
+    cls: Optional[ClassInfo],
+    fi: Optional[FunctionInfo],
+    expr: ast.AST,
+) -> Tuple[Optional[str], Optional[str]]:
+    """Resolve a callee/attribute expression.
+
+    Returns ``("key", "module::qualname")`` for project functions,
+    ``("external", "dotted.name")`` for everything resolvable outside the
+    project, and ``(None, None)`` when the target is unknown.
+    """
+    if isinstance(expr, ast.Name):
+        name = expr.id
+        if name in mod.functions:
+            return "key", f"{mod.module_name}::{name}"
+        if name in mod.classes:
+            key = _class_init_key(mod, mod.classes[name])
+            return ("key", key) if key else (None, None)
+        resolved = mod.resolve(name)
+        key = project.lookup_function(resolved)
+        if key is not None:
+            return "key", key
+        return "external", resolved
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return None, None
+    head, _, rest = dotted.partition(".")
+    if head == "self" and cls is not None and rest:
+        return _resolve_through_classes(project, mod, cls, rest.split("."))
+    if fi is not None and head in fi.params and rest:
+        for name in extract_type_names(fi.params[head]):
+            resolved = mod.resolve(name)
+            if resolved in mod.classes:
+                kind, value = _resolve_through_classes(
+                    project, mod, mod.classes[resolved], rest.split(".")
+                )
+            else:
+                hit = project.lookup_class(resolved)
+                if hit is not None:
+                    kind, value = _resolve_through_classes(
+                        project, hit[0], hit[1], rest.split(".")
+                    )
+                elif "." in resolved:
+                    kind, value = "external", f"{resolved}.{rest}"
+                else:
+                    kind, value = None, None
+            if kind is not None:
+                return kind, value
+        return None, None
+    resolved = mod.resolve(dotted)
+    key = project.lookup_function(resolved)
+    if key is not None:
+        return "key", key
+    if resolved != dotted or "." in dotted:
+        return "external", resolved
+    return None, None
+
+
+# -- blocking fixed point ------------------------------------------------------
+
+def compute_blocking(project: Project) -> Dict[str, str]:
+    """Sync functions that transitively block -> root-cause description."""
+    table = project.function_table
+    blocking: Dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for key, (mod, cls, fi) in table.items():
+            if key in blocking or fi.is_async:
+                continue
+            cause = _blocking_cause(project, mod, cls, fi, blocking)
+            if cause is not None:
+                blocking[key] = cause
+                changed = True
+    return blocking
+
+
+def _blocking_cause(
+    project: Project,
+    mod: ModuleSymbols,
+    cls: Optional[ClassInfo],
+    fi: FunctionInfo,
+    blocking: Dict[str, str],
+) -> Optional[str]:
+    for call, _awaited in iter_calls(fi.node):
+        kind, value = resolve_callable(project, mod, cls, fi, call.func)
+        if kind == "external" and value and is_blocking_external(value):
+            return value
+        if kind == "key" and value in blocking:
+            return blocking[value]
+    for attr in iter_attr_loads(fi.node):
+        cause = property_blocking_cause(project, mod, cls, fi, attr, blocking)
+        if cause is not None:
+            return cause
+    return None
+
+
+def property_blocking_cause(
+    project: Project,
+    mod: ModuleSymbols,
+    cls: Optional[ClassInfo],
+    fi: Optional[FunctionInfo],
+    attr: ast.Attribute,
+    blocking: Dict[str, str],
+) -> Optional[str]:
+    """Root cause if an attribute load hits a blocking ``@property``."""
+    kind, value = resolve_callable(project, mod, cls, fi, attr)
+    if kind != "key" or value not in blocking:
+        return None
+    _pmod, _pcls, pinfo = project.function_table[value]
+    if pinfo.is_property:
+        return blocking[value]
+    return None
+
+
+# -- exception-leak fixed point ------------------------------------------------
+
+def _handler_tokens(
+    project: Project, mod: ModuleSymbols, handler_type: Optional[ast.expr]
+) -> Tuple[Set[str], bool]:
+    """Tokens one ``except`` clause catches; second value = catch-all."""
+    if handler_type is None:
+        return set(), True
+    if isinstance(handler_type, ast.Tuple):
+        tokens: Set[str] = set()
+        for elt in handler_type.elts:
+            sub, catch_all = _handler_tokens(project, mod, elt)
+            if catch_all:
+                return set(), True
+            tokens |= sub
+        return tokens, False
+    dotted = dotted_name(handler_type)
+    if dotted is None:
+        return set(), False
+    resolved = mod.resolve(dotted)
+    last = resolved.rsplit(".", 1)[-1]
+    if last in ("Exception", "BaseException"):
+        return set(), True
+    if last == "SladeError":
+        # The project's error root: wire exceptions subclass it.
+        return set(_WIRE_TOKENS), False
+    token = canonical_token(resolved)
+    if token is not None:
+        return {token}, False
+    # An alias for a module-level tuple, e.g. ``except _FAIL_OPEN_ERRORS:``.
+    constant = mod.constants.get(dotted) or project.lookup_constant(resolved)
+    if isinstance(constant, ast.Tuple):
+        return _handler_tokens(project, mod, constant)
+    return set(), False
+
+
+def _caught_at(
+    project: Project,
+    mod: ModuleSymbols,
+    parents: Dict[ast.AST, ast.AST],
+    node: ast.AST,
+    func_node: ast.AST,
+) -> Tuple[Set[str], bool]:
+    """Tokens caught by ``try`` blocks lexically enclosing ``node``."""
+    tokens: Set[str] = set()
+    current: ast.AST = node
+    while current is not func_node:
+        parent = parents.get(current)
+        if parent is None:
+            break
+        if isinstance(parent, ast.Try) and current in parent.body:
+            for handler in parent.handlers:
+                sub, catch_all = _handler_tokens(project, mod, handler.type)
+                if catch_all:
+                    return tokens, True
+                tokens |= sub
+        current = parent
+    return tokens, False
+
+
+def _nearest_handler(
+    parents: Dict[ast.AST, ast.AST], node: ast.AST, func_node: ast.AST
+) -> Optional[ast.ExceptHandler]:
+    current: ast.AST = node
+    while current is not func_node:
+        parent = parents.get(current)
+        if parent is None:
+            return None
+        if isinstance(parent, ast.ExceptHandler):
+            return parent
+        current = parent
+    return None
+
+
+def compute_leaks(project: Project) -> Dict[str, FrozenSet[str]]:
+    """Watched exception tokens that may escape each project function."""
+    table = project.function_table
+    leaks: Dict[str, FrozenSet[str]] = {key: frozenset() for key in table}
+    parent_maps: Dict[str, Dict[ast.AST, ast.AST]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for key, (mod, cls, fi) in table.items():
+            if key not in parent_maps:
+                parent_maps[key] = parent_map(fi.node)
+            parents = parent_maps[key]
+            escaped: Set[str] = set(leaks[key])
+            for call, _awaited in iter_calls(fi.node):
+                kind, value = resolve_callable(project, mod, cls, fi, call.func)
+                if kind == "external" and value:
+                    risk = set(external_risk(value))
+                elif kind == "key" and value in leaks:
+                    risk = set(leaks[value])
+                else:
+                    risk = set()
+                if not risk:
+                    continue
+                caught, catch_all = _caught_at(
+                    project, mod, parents, call, fi.node
+                )
+                if not catch_all:
+                    escaped |= risk - caught
+            for raise_node in iter_raises(fi.node):
+                tokens: Set[str] = set()
+                if raise_node.exc is not None:
+                    target = raise_node.exc
+                    if isinstance(target, ast.Call):
+                        target = target.func
+                    dotted = dotted_name(target)
+                    if dotted is not None:
+                        token = canonical_token(mod.resolve(dotted))
+                        if token is not None:
+                            tokens.add(token)
+                else:
+                    handler = _nearest_handler(parents, raise_node, fi.node)
+                    if handler is not None:
+                        sub, catch_all = _handler_tokens(
+                            project, mod, handler.type
+                        )
+                        # A bare re-raise inside a catch-all can rethrow
+                        # anything the try body produced; approximate with
+                        # the tokens the handler names (none for catch-all).
+                        tokens |= sub
+                if not tokens:
+                    continue
+                caught, catch_all = _caught_at(
+                    project, mod, parents, raise_node, fi.node
+                )
+                if not catch_all:
+                    escaped |= tokens - caught
+            if escaped != set(leaks[key]):
+                leaks[key] = frozenset(escaped)
+                changed = True
+    return leaks

@@ -1,0 +1,82 @@
+"""The ``repro lint`` subcommand implementation.
+
+Kept out of :mod:`repro.cli` so the top-level CLI module stays a thin
+argparse shell and the lint machinery is importable on its own (the CI
+driver ``scripts/ci_static_analysis.py`` calls :func:`run_lint_command`'s
+building blocks directly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.lint.baseline import save_baseline
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import run_lint
+
+#: Default analysis scope when no paths are given.
+DEFAULT_PATHS = ("src/repro",)
+
+#: Default committed baseline location (repo root).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` flags to an argparse parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to analyse (default: {DEFAULT_PATHS[0]})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file grandfathering old findings "
+        f"(default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule codes to run (default: all)",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute ``repro lint``; returns the process exit code."""
+    paths = [Path(p) for p in (args.paths or DEFAULT_PATHS)]
+    baseline_path = None if args.no_baseline else Path(args.baseline)
+    select = (
+        [code.strip() for code in args.select.split(",") if code.strip()]
+        if args.select
+        else None
+    )
+    result = run_lint(paths, baseline_path=baseline_path, select=select)
+    if args.write_baseline:
+        target = Path(args.baseline)
+        save_baseline(target, result.all_findings)
+        print(
+            f"wrote {len(result.all_findings)} finding(s) to {target}"
+        )
+        return 0
+    if args.format == "json":
+        print(json.dumps(render_json(result), indent=2))
+    else:
+        print(render_text(result))
+    return 1 if result.failed else 0

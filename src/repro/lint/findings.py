@@ -1,0 +1,34 @@
+"""Finding records and their stable identity for baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: repo-relative POSIX path
+    line: int  #: 1-based line of the offending node
+    code: str  #: rule code, e.g. ``"SLD001"``
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``file:line:CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.code} {self.message}"
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers shift under unrelated edits, so
+        grandfathering matches on (path, code, message) instead."""
+        return (self.path, self.code, self.message)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,170 @@
+"""File contexts and the whole-project view rules run against."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.suppressions import Suppressions, collect_suppressions
+from repro.lint.symbols import ClassInfo, FunctionInfo, ModuleSymbols, collect_module
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus its symbol table and suppressions."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    symbols: ModuleSymbols
+    suppressions: Suppressions
+
+    @property
+    def basename(self) -> str:
+        return self.path.name
+
+
+def module_name_for(path: Path) -> Tuple[str, str]:
+    """Infer ``(module_name, package)`` from ``__init__.py`` ancestry.
+
+    Works for installed-layout trees (``src/repro/engine/cache.py`` →
+    ``repro.engine.cache``) and for flat fixture directories, where the
+    module name is simply the file stem.
+    """
+    parts: List[str] = [] if path.stem == "__init__" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").exists():
+        parts.append(directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    module_name = ".".join(reversed(parts)) or path.stem
+    if path.stem == "__init__":
+        package = module_name
+    else:
+        package = module_name.rsplit(".", 1)[0] if "." in module_name else ""
+    return module_name, package
+
+
+def load_file(path: Path, root: Path) -> FileContext:
+    """Read and parse one file (raises ``SyntaxError`` on broken sources)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    module_name, package = module_name_for(path)
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return FileContext(
+        path=path,
+        rel_path=rel,
+        source=source,
+        tree=tree,
+        symbols=collect_module(tree, module_name, package),
+        suppressions=collect_suppressions(source),
+    )
+
+
+#: A function-table entry: its module, enclosing class (if any), and info.
+FunctionEntry = Tuple[ModuleSymbols, Optional[ClassInfo], FunctionInfo]
+
+
+class Project:
+    """Every analysed file plus the lazily computed cross-module analyses."""
+
+    def __init__(self, files: List[FileContext]) -> None:
+        self.files = list(files)
+        self.modules: Dict[str, ModuleSymbols] = {
+            ctx.symbols.module_name: ctx.symbols for ctx in self.files
+        }
+        self._function_table: Optional[Dict[str, FunctionEntry]] = None
+        self._blocking: Optional[Dict[str, str]] = None
+        self._leaks: Optional[Dict[str, frozenset]] = None
+
+    # -- symbol lookup ---------------------------------------------------------
+
+    @property
+    def function_table(self) -> Dict[str, FunctionEntry]:
+        """Map ``"module::qualname"`` to every known function and method."""
+        if self._function_table is None:
+            table: Dict[str, FunctionEntry] = {}
+            for mod in self.modules.values():
+                for info in mod.functions.values():
+                    table[f"{mod.module_name}::{info.qualname}"] = (
+                        mod, None, info,
+                    )
+                for cls in mod.classes.values():
+                    for info in cls.methods.values():
+                        table[f"{mod.module_name}::{info.qualname}"] = (
+                            mod, cls, info,
+                        )
+            self._function_table = table
+        return self._function_table
+
+    def lookup_class(
+        self, dotted: str
+    ) -> Optional[Tuple[ModuleSymbols, ClassInfo]]:
+        """Resolve an absolute dotted name to a project class."""
+        module_name, _, last = dotted.rpartition(".")
+        mod = self.modules.get(module_name)
+        if mod is not None and last in mod.classes:
+            return mod, mod.classes[last]
+        return None
+
+    def lookup_function(self, dotted: str) -> Optional[str]:
+        """Resolve an absolute dotted name to a function-table key.
+
+        Accepts ``pkg.mod.func``, ``pkg.mod.Cls.method``, and class names
+        (resolved to their ``__init__`` when defined).
+        """
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            mod = self.modules.get(".".join(parts[:split]))
+            if mod is None:
+                continue
+            rest = parts[split:]
+            if len(rest) == 1:
+                if rest[0] in mod.functions:
+                    return f"{mod.module_name}::{rest[0]}"
+                cls = mod.classes.get(rest[0])
+                if cls is not None and "__init__" in cls.methods:
+                    return f"{mod.module_name}::{cls.name}.__init__"
+                return None
+            if len(rest) == 2:
+                cls = mod.classes.get(rest[0])
+                if cls is not None and rest[1] in cls.methods:
+                    return f"{mod.module_name}::{rest[0]}.{rest[1]}"
+            return None
+        return None
+
+    def lookup_constant(self, dotted: str) -> Optional[ast.expr]:
+        """Resolve an absolute dotted name to a module-level constant."""
+        module_name, _, last = dotted.rpartition(".")
+        mod = self.modules.get(module_name)
+        if mod is not None:
+            return mod.constants.get(last)
+        return None
+
+    # -- cross-module analyses -------------------------------------------------
+
+    @property
+    def blocking(self) -> Dict[str, str]:
+        """Function-table keys of blocking sync functions -> root cause."""
+        if self._blocking is None:
+            from repro.lint.callgraph import compute_blocking
+
+            self._blocking = compute_blocking(self)
+        return self._blocking
+
+    @property
+    def leaks(self) -> Dict[str, frozenset]:
+        """Function-table keys -> watched exception tokens that may escape."""
+        if self._leaks is None:
+            from repro.lint.callgraph import compute_leaks
+
+            self._leaks = compute_leaks(self)
+        return self._leaks

@@ -1,0 +1,44 @@
+"""The rule registry: ``@rule(...)`` decorator and lookup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.project import FileContext, Project
+
+#: A rule callback: findings for one file, given the whole-project view.
+CheckFn = Callable[[FileContext, Project], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class RegisteredRule:
+    code: str
+    name: str
+    summary: str
+    check: CheckFn
+
+
+_RULES: Dict[str, RegisteredRule] = {}
+
+
+def rule(code: str, name: str, summary: str) -> Callable[[CheckFn], CheckFn]:
+    """Register a rule callback under ``code`` (e.g. ``"SLD001"``)."""
+
+    def register(check: CheckFn) -> CheckFn:
+        if code in _RULES:
+            raise ValueError(f"duplicate lint rule code {code!r}")
+        _RULES[code] = RegisteredRule(
+            code=code, name=name, summary=summary, check=check
+        )
+        return check
+
+    return register
+
+
+def all_rules() -> List[RegisteredRule]:
+    """Every registered rule, sorted by code (imports the rule modules)."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    return [_RULES[code] for code in sorted(_RULES)]

@@ -1,0 +1,32 @@
+"""Text and JSON rendering of lint results."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.lint.runner import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one ``file:line:CODE message`` per finding."""
+    lines = [finding.render() for finding in result.new_findings]
+    summary = (
+        f"{len(result.new_findings)} finding(s) "
+        f"({len(result.grandfathered)} baselined, "
+        f"{result.suppressed} suppressed) "
+        f"in {result.files_checked} file(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> Dict[str, Any]:
+    """The machine-readable document CI uploads as an artifact."""
+    return {
+        "kind": "lint_report",
+        "version": 1,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "new_findings": [f.as_dict() for f in result.new_findings],
+        "grandfathered": [f.as_dict() for f in result.grandfathered],
+    }

@@ -1,0 +1,5 @@
+"""The project-invariant rules (importing registers them)."""
+
+from repro.lint.rules import sld001, sld002, sld003, sld004, sld005
+
+__all__ = ["sld001", "sld002", "sld003", "sld004", "sld005"]

@@ -1,0 +1,110 @@
+"""SLD001 — blocking calls reachable inside ``async def``.
+
+One blocked event loop stalls every in-flight request on it, which is why
+the transport offloads solves to an executor.  This rule flags un-awaited
+calls inside any ``async def`` (including nested ones) that resolve to a
+blocking primitive (``time.sleep``, socket/sqlite/subprocess/file ops) or
+to a project sync function that transitively blocks, plus loads of
+blocking ``@property`` attributes.
+
+Safe patterns stay silent: directly awaited calls, calls *creating*
+coroutines, callables passed (not called) to ``run_in_executor`` /
+``asyncio.to_thread``, and nested function definitions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.lint.callgraph import (
+    is_blocking_external,
+    iter_attr_loads,
+    iter_calls,
+    property_blocking_cause,
+    resolve_callable,
+)
+from repro.lint.findings import Finding
+from repro.lint.project import FileContext, Project
+from repro.lint.registry import rule
+from repro.lint.symbols import ClassInfo, dotted_name, _function_info
+
+
+def _async_defs(
+    ctx: FileContext,
+) -> Iterator[tuple]:
+    """Yield ``(async_node, enclosing_class_info)`` for every async def."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(ctx.tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        cls: Optional[ClassInfo] = None
+        current: ast.AST = node
+        while current in parents:
+            current = parents[current]
+            if isinstance(current, ast.ClassDef):
+                cls = ctx.symbols.classes.get(current.name)
+                break
+        yield node, cls
+
+
+@rule(
+    "SLD001",
+    "blocking-call-in-async",
+    "blocking work must never run on the event loop",
+)
+def check(ctx: FileContext, project: Project) -> Iterator[Finding]:
+    blocking = project.blocking
+    for node, cls in _async_defs(ctx):
+        fi = _function_info(node, cls.name if cls else None)
+        for call, awaited in iter_calls(node):
+            if awaited:
+                # ``await f()`` hands control to the loop; if ``f`` itself
+                # blocks internally, it is flagged at its own call sites.
+                continue
+            kind, value = resolve_callable(
+                project, ctx.symbols, cls, fi, call.func
+            )
+            display = dotted_name(call.func) or (value or "<call>")
+            if kind == "external" and value and is_blocking_external(value):
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=call.lineno,
+                    code="SLD001",
+                    message=(
+                        f"async function '{node.name}' makes blocking "
+                        f"call '{display}'"
+                    ),
+                )
+            elif kind == "key" and value in blocking:
+                _mod, _cls, target = project.function_table[value]
+                if target.is_async:
+                    continue  # creating a coroutine does not block
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=call.lineno,
+                    code="SLD001",
+                    message=(
+                        f"async function '{node.name}' calls '{display}', "
+                        f"which blocks (ultimately via '{blocking[value]}')"
+                    ),
+                )
+        for attr in iter_attr_loads(node):
+            cause = property_blocking_cause(
+                project, ctx.symbols, cls, fi, attr, blocking
+            )
+            if cause is not None:
+                display = dotted_name(attr) or attr.attr
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=attr.lineno,
+                    code="SLD001",
+                    message=(
+                        f"async function '{node.name}' reads property "
+                        f"'{display}', which blocks (ultimately via "
+                        f"'{cause}')"
+                    ),
+                )

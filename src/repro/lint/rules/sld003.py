@@ -1,0 +1,183 @@
+"""SLD003 — lock discipline (a lightweight race detector).
+
+If a class writes an attribute under ``with self._lock`` in one method,
+every other access to that attribute must also hold the lock: an unlocked
+read sees torn state, an unlocked write races the locked one.  The rule:
+
+1. finds lexical lock regions — ``with`` statements whose context manager
+   is a ``self.<attr>`` whose name contains ``lock``;
+2. collects the attributes *written* inside those regions (assignments,
+   augmented assignments, ``self.x[k] = v``, and mutating method calls
+   like ``self.x.pop(...)``) outside ``__init__``;
+3. classifies private helpers as lock-held when every in-class call site
+   is itself inside a lock region or another lock-held method (fixed
+   point), mirroring patterns like ``AdmissionController._state_for``;
+4. flags any remaining access to a guarded attribute outside a lock
+   region, in any method but the constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import FileContext, Project
+from repro.lint.registry import rule
+from repro.lint.symbols import ClassInfo
+
+#: Methods allowed to touch guarded state unlocked (single-threaded setup).
+_CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__"})
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset({
+    "append", "add", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "sort", "reverse", "update",
+})
+
+
+def _self_attr(expr: ast.AST) -> str:
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return ""
+
+
+def _lock_withs(method_node: ast.AST) -> List[ast.With]:
+    """``with self.<lock>:`` statements anywhere in one method."""
+    regions = []
+    for node in ast.walk(method_node):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if "lock" in attr.lower():
+                    regions.append(node)
+                    break
+    return regions
+
+
+def _accesses(
+    method_node: ast.AST,
+) -> Iterator[Tuple[ast.Attribute, str, bool, bool]]:
+    """Yield ``(node, attr, is_write, in_lock)`` for every self-attr use."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(method_node):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    lock_regions = set(_lock_withs(method_node))
+
+    def inside_lock(node: ast.AST) -> bool:
+        current = node
+        while current in parents:
+            current = parents[current]
+            if current in lock_regions:
+                return True
+        return False
+
+    for node in ast.walk(method_node):
+        attr = _self_attr(node)
+        if not attr:
+            continue
+        assert isinstance(node, ast.Attribute)
+        parent = parents.get(node)
+        write = isinstance(node.ctx, (ast.Store, ast.Del))
+        if (
+            not write
+            and isinstance(parent, ast.Subscript)
+            and parent.value is node
+            and isinstance(parent.ctx, (ast.Store, ast.Del))
+        ):
+            write = True  # self.x[k] = v / del self.x[k]
+        if not write and isinstance(parent, ast.Attribute):
+            grand = parents.get(parent)
+            if (
+                parent.attr in _MUTATORS
+                and isinstance(grand, ast.Call)
+                and grand.func is parent
+            ):
+                write = True  # self.x.pop(...)
+        yield node, attr, write, inside_lock(node)
+
+
+def _locked_helper_methods(cls: ClassInfo) -> Set[str]:
+    """Methods only ever called with the lock already held (fixed point)."""
+    # method name -> list of (caller method name, call site under lock?)
+    call_sites: Dict[str, List[Tuple[str, bool]]] = {}
+    for method in cls.methods.values():
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(method.node):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        lock_regions = set(_lock_withs(method.node))
+        for node in ast.walk(method.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _self_attr(node.func)
+            if callee not in cls.methods:
+                continue
+            current: ast.AST = node
+            in_lock = False
+            while current in parents:
+                current = parents[current]
+                if current in lock_regions:
+                    in_lock = True
+                    break
+            call_sites.setdefault(callee, []).append((method.name, in_lock))
+
+    locked: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, sites in call_sites.items():
+            if name in locked or name in _CONSTRUCTORS:
+                continue
+            if sites and all(
+                in_lock or caller in locked for caller, in_lock in sites
+            ):
+                locked.add(name)
+                changed = True
+    return locked
+
+
+@rule(
+    "SLD003",
+    "lock-discipline",
+    "attributes written under self._lock must always be accessed under it",
+)
+def check(ctx: FileContext, project: Project) -> Iterator[Finding]:
+    for cls in ctx.symbols.classes.values():
+        guarded: Set[str] = set()
+        lock_names: Set[str] = set()
+        for method in cls.methods.values():
+            for with_node in _lock_withs(method.node):
+                for item in with_node.items:
+                    attr = _self_attr(item.context_expr)
+                    if "lock" in attr.lower():
+                        lock_names.add(attr)
+            if method.name in _CONSTRUCTORS:
+                continue
+            for _node, attr, write, in_lock in _accesses(method.node):
+                if write and in_lock:
+                    guarded.add(attr)
+        guarded -= lock_names
+        if not guarded:
+            continue
+        locked_helpers = _locked_helper_methods(cls)
+        for method in cls.methods.values():
+            if method.name in _CONSTRUCTORS or method.name in locked_helpers:
+                continue
+            for node, attr, _write, in_lock in _accesses(method.node):
+                if attr in guarded and not in_lock:
+                    yield Finding(
+                        path=ctx.rel_path,
+                        line=node.lineno,
+                        code="SLD003",
+                        message=(
+                            f"'{cls.name}.{method.name}' accesses "
+                            f"'self.{attr}' outside the lock that guards "
+                            f"its writes"
+                        ),
+                    )

@@ -1,0 +1,133 @@
+"""SLD004 — telemetry names must match the shared inventory.
+
+Dashboards, the ``/metrics`` tests, and the fleet smoke scripts all key on
+metric names; a typo'd counter silently records to nowhere.  Every literal
+name passed to ``Telemetry.increment`` / ``Telemetry.observe`` (or to the
+``self._note`` / ``self._count`` forwarding helpers) must match the dotted
+``component.metric`` convention *and* appear in the single inventory
+module :mod:`repro.engine.metric_names`.  f-string names must extend one
+of the registered dynamic prefixes (``http.responses.``,
+``sharded_cache.shard.``).  Plain-name arguments (wrapper forwarding) are
+skipped — the literal is checked at the wrapper's call sites instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import FileContext, Project
+from repro.lint.registry import rule
+from repro.lint.symbols import dotted_name
+
+#: ``component.metric`` (lowercase, digits, underscores; >= 2 segments).
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: Telemetry entry points whose first argument is a metric name.
+_SINKS = frozenset({"increment", "observe"})
+#: Project forwarding helpers (AdmissionController._note, backends' _count).
+_FORWARDERS = frozenset({"_note", "_count"})
+
+
+def _metric_call(call: ast.Call) -> Optional[str]:
+    """The sink kind ('counter'/'series') if this call records a metric."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = dotted_name(func.value) or ""
+    if func.attr in _SINKS and "telemetry" in receiver:
+        return "series" if func.attr == "observe" else "counter"
+    if func.attr in _FORWARDERS and receiver == "self":
+        return "counter"
+    return None
+
+
+def _name_argument(call: ast.Call) -> Optional[ast.expr]:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+def _fstring_shape(node: ast.JoinedStr) -> Tuple[str, str]:
+    """``(literal_prefix, template)`` with ``{}`` for interpolations."""
+    prefix_parts = []
+    template_parts = []
+    still_prefix = True
+    for part in node.values:
+        if isinstance(part, ast.Constant) and isinstance(part.value, str):
+            template_parts.append(part.value)
+            if still_prefix:
+                prefix_parts.append(part.value)
+        else:
+            template_parts.append("{}")
+            still_prefix = False
+    return "".join(prefix_parts), "".join(template_parts)
+
+
+@rule(
+    "SLD004",
+    "telemetry-name-drift",
+    "metric names must match the dotted convention and shared inventory",
+)
+def check(ctx: FileContext, project: Project) -> Iterator[Finding]:
+    from repro.engine import metric_names as inventory
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = _metric_call(node)
+        if kind is None:
+            continue
+        arg = _name_argument(node)
+        if arg is None:
+            continue
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            name = arg.value
+            if not NAME_RE.match(name):
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=arg.lineno,
+                    code="SLD004",
+                    message=(
+                        f"telemetry name '{name}' does not match the "
+                        f"dotted 'component.metric' convention"
+                    ),
+                )
+            elif not inventory.is_known(name, kind):
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=arg.lineno,
+                    code="SLD004",
+                    message=(
+                        f"telemetry {kind} name '{name}' is not in the "
+                        f"shared inventory (repro.engine.metric_names)"
+                    ),
+                )
+        elif isinstance(arg, ast.JoinedStr):
+            prefix, template = _fstring_shape(arg)
+            if not inventory.matches_dynamic(prefix):
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=arg.lineno,
+                    code="SLD004",
+                    message=(
+                        f"dynamic telemetry name '{template}' does not "
+                        f"extend a registered dynamic prefix "
+                        f"(repro.engine.metric_names.DYNAMIC_PREFIXES)"
+                    ),
+                )
+            elif not NAME_RE.match(template.replace("{}", "x")):
+                yield Finding(
+                    path=ctx.rel_path,
+                    line=arg.lineno,
+                    code="SLD004",
+                    message=(
+                        f"dynamic telemetry name '{template}' does not "
+                        f"match the dotted 'component.metric' convention"
+                    ),
+                )

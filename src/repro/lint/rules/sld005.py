@@ -1,0 +1,52 @@
+"""SLD005 — lost asyncio tasks.
+
+The event loop keeps only a *weak* reference to tasks, so the result of
+``asyncio.create_task`` that is neither stored nor awaited can be
+garbage-collected mid-flight — the canonical silently-dropped-work bug.
+The rule flags ``create_task`` / ``ensure_future`` calls used as bare
+expression statements (their handle is discarded on the spot).  Storing
+the task (``self._loop_task = ...``, ``tasks.append(...)``), awaiting it,
+or passing it onward all keep a strong reference and stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.project import FileContext, Project
+from repro.lint.registry import rule
+
+_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+
+@rule(
+    "SLD005",
+    "lost-asyncio-task",
+    "asyncio task handles must be stored or awaited",
+)
+def check(ctx: FileContext, project: Project) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Expr):
+            continue
+        call = node.value
+        if not isinstance(call, ast.Call):
+            continue
+        func = call.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if name in _SPAWNERS:
+            yield Finding(
+                path=ctx.rel_path,
+                line=call.lineno,
+                code="SLD005",
+                message=(
+                    f"result of '{name}(...)' is discarded; the task can "
+                    f"be garbage-collected mid-flight — store the handle "
+                    f"or await it"
+                ),
+            )

@@ -1,0 +1,129 @@
+"""Collect files, run every rule, apply suppressions and the baseline."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.errors import SladeError
+from repro.lint.baseline import load_baseline, partition
+from repro.lint.findings import Finding
+from repro.lint.project import FileContext, Project, load_file
+from repro.lint.registry import all_rules
+
+
+class LintError(SladeError):
+    """The lint run itself could not proceed (bad paths, bad selection)."""
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    new_findings: List[Finding] = field(default_factory=list)
+    grandfathered: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.new_findings)
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return sorted(self.new_findings + self.grandfathered)
+
+
+def collect_files(paths: Sequence[object]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``*.py`` files."""
+    seen = set()
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw) if not isinstance(raw, Path) else raw
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise LintError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def run_lint(
+    paths: Sequence[Path],
+    baseline_path: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Lint ``paths`` and return the partitioned result.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to analyse (directories recurse).
+    baseline_path:
+        Committed baseline to grandfather against; a missing file is an
+        empty baseline.
+    select:
+        Restrict to these rule codes (default: every registered rule).
+    root:
+        Directory findings are reported relative to (default: cwd).
+    """
+    root = (root or Path.cwd()).resolve()
+    rules = all_rules()
+    if select is not None:
+        wanted = {code.upper() for code in select}
+        known = {r.code for r in rules}
+        unknown = wanted - known
+        if unknown:
+            raise LintError(
+                f"unknown rule code(s) {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        rules = [r for r in rules if r.code in wanted]
+
+    contexts: List[FileContext] = []
+    parse_findings: List[Finding] = []
+    for file_path in collect_files(paths):
+        try:
+            contexts.append(load_file(file_path, root))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            try:
+                rel = file_path.resolve().relative_to(root).as_posix()
+            except ValueError:
+                rel = file_path.as_posix()
+            line = getattr(exc, "lineno", None) or 1
+            parse_findings.append(
+                Finding(
+                    path=rel,
+                    line=int(line),
+                    code="SLD000",
+                    message=f"cannot analyse file: {exc}",
+                )
+            )
+
+    project = Project(contexts)
+    result = LintResult(files_checked=len(contexts) + len(parse_findings))
+    raw: List[Finding] = list(parse_findings)
+    for ctx in contexts:
+        for registered in rules:
+            for finding in registered.check(ctx, project):
+                if ctx.suppressions.is_suppressed(finding.line, finding.code):
+                    result.suppressed += 1
+                else:
+                    raw.append(finding)
+
+    baseline = (
+        load_baseline(baseline_path) if baseline_path is not None else Counter()
+    )
+    result.new_findings, result.grandfathered = partition(raw, baseline)
+    return result

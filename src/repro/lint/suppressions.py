@@ -1,0 +1,61 @@
+"""``# slade: noqa[SLDxxx]`` suppression comments.
+
+A bare ``# slade: noqa`` silences every rule on its line; the bracketed
+form silences only the listed codes (comma-separated).  Comments are found
+with :mod:`tokenize`, so the marker inside a string literal does not count.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Optional
+
+_NOQA_RE = re.compile(
+    r"#\s*slade:\s*noqa(?:\s*\[(?P<codes>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+class Suppressions:
+    """Per-line suppression table for one source file."""
+
+    def __init__(self, by_line: Dict[int, Optional[FrozenSet[str]]]) -> None:
+        #: line -> codes silenced there; ``None`` means every code.
+        self._by_line = by_line
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        if line not in self._by_line:
+            return False
+        codes = self._by_line[line]
+        return codes is None or code.upper() in codes
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for noqa comments, tolerant of tokenize errors."""
+    by_line: Dict[int, Optional[FrozenSet[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            raw = match.group("codes")
+            if raw is None:
+                by_line[tok.start[0]] = None
+            else:
+                codes = frozenset(
+                    part.strip().upper()
+                    for part in raw.split(",")
+                    if part.strip()
+                )
+                # "[ ]" with nothing listed is treated as a blanket noqa.
+                by_line[tok.start[0]] = codes or None
+    except tokenize.TokenError:
+        pass
+    return Suppressions(by_line)

@@ -1,0 +1,266 @@
+"""Per-module symbol tables: imports, functions, classes, attribute types.
+
+The rules need three things the raw AST does not give them directly:
+
+* an **import table** mapping local aliases to absolute dotted names, so
+  ``sleep`` after ``from time import sleep`` resolves to ``time.sleep``;
+* **class symbol tables** recording each method plus the best-known type of
+  every ``self.<attr>`` (from annotations like
+  ``self._persist: Optional[SQLiteBackend]``, from constructor assignments
+  like ``self._pool = _SocketPool(...)``, or from an annotated parameter
+  stored verbatim), so method calls through attributes resolve to project
+  code;
+* **module constants**, so an ``except _FAIL_OPEN_ERRORS:`` handler can be
+  expanded to the exception tuple it names.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Names that appear inside type annotations without naming a project class.
+_TYPING_NAMES = frozenset({
+    "Optional", "Union", "Any", "Dict", "List", "Tuple", "Set", "FrozenSet",
+    "Sequence", "Iterable", "Iterator", "Mapping", "MutableMapping",
+    "Callable", "Awaitable", "Coroutine", "Generator", "Type", "ClassVar",
+    "Final", "Literal", "dict", "list", "tuple", "set", "frozenset", "type",
+    "str", "int", "float", "bool", "bytes", "bytearray", "object", "None",
+})
+
+#: Generic wrappers whose subscript argument *is* the value's type.
+_UNWRAP_SUBSCRIPTS = frozenset({
+    "Optional", "Union", "ClassVar", "Final", "Annotated",
+})
+
+
+def dotted_name(expr: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string, or ``None`` for anything not a plain chain."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = dotted_name(expr.value)
+        if base is not None:
+            return f"{base}.{expr.attr}"
+    return None
+
+
+def extract_type_names(annotation: ast.AST) -> List[str]:
+    """Candidate class names inside an annotation (typing noise stripped).
+
+    ``Optional[SQLiteBackend]`` yields ``["SQLiteBackend"]``;
+    ``"tuple[socket.socket, bool]"`` (a string annotation) yields
+    ``["socket.socket"]``.
+    """
+    out: List[str] = []
+    _collect_type_names(annotation, out)
+    return out
+
+
+def _collect_type_names(expr: ast.AST, out: List[str]) -> None:
+    if isinstance(expr, ast.Name):
+        if expr.id not in _TYPING_NAMES:
+            out.append(expr.id)
+    elif isinstance(expr, ast.Attribute):
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            out.append(dotted)
+        else:
+            _collect_type_names(expr.value, out)
+    elif isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        try:
+            _collect_type_names(ast.parse(expr.value, mode="eval").body, out)
+        except SyntaxError:
+            pass
+    elif isinstance(expr, ast.Subscript):
+        # Only wrapper generics pass their argument through as the value's
+        # own type; for containers (List[socket.socket]) the *element* type
+        # must not become the receiver type of the attribute.
+        head = expr.value
+        head_name = (
+            head.id if isinstance(head, ast.Name)
+            else head.attr if isinstance(head, ast.Attribute) else ""
+        )
+        if head_name in _UNWRAP_SUBSCRIPTS:
+            _collect_type_names(expr.slice, out)
+        else:
+            _collect_type_names(expr.value, out)
+    elif isinstance(expr, (ast.Tuple, ast.List)):
+        for elt in expr.elts:
+            _collect_type_names(elt, out)
+    elif isinstance(expr, ast.BinOp):  # PEP 604 unions: X | None
+        _collect_type_names(expr.left, out)
+        _collect_type_names(expr.right, out)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    name: str
+    qualname: str  #: ``"f"`` for module functions, ``"Cls.m"`` for methods
+    node: ast.AST  #: the FunctionDef / AsyncFunctionDef
+    is_async: bool
+    class_name: Optional[str] = None
+    decorators: List[str] = field(default_factory=list)
+    #: annotated parameters, name -> annotation node
+    params: Dict[str, ast.expr] = field(default_factory=dict)
+
+    @property
+    def is_property(self) -> bool:
+        return any(
+            dec == "property" or dec.endswith(".setter")
+            or dec.endswith("cached_property")
+            for dec in self.decorators
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and what we know about ``self.<attr>`` types."""
+
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attr -> annotation node (``self.x: T`` or a class-level ``x: T``)
+    attr_annotations: Dict[str, ast.expr] = field(default_factory=dict)
+    #: attr -> dotted callable assigned (``self.x = SomeClass(...)``)
+    attr_constructors: Dict[str, str] = field(default_factory=dict)
+    #: attr -> annotation of the parameter stored (``self.x = param``)
+    attr_params: Dict[str, ast.expr] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleSymbols:
+    """Everything the analyses need to know about one module."""
+
+    module_name: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    constants: Dict[str, ast.expr] = field(default_factory=dict)
+
+    def resolve(self, dotted: str) -> str:
+        """Expand the leading alias of ``dotted`` through the import table."""
+        head, sep, rest = dotted.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if sep else target
+
+
+def _function_info(
+    node: ast.AST, class_name: Optional[str] = None
+) -> FunctionInfo:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    decorators = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = dotted_name(target)
+        if dotted is not None:
+            decorators.append(dotted)
+    params: Dict[str, ast.expr] = {}
+    args = node.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if arg.annotation is not None:
+            params[arg.arg] = arg.annotation
+    qualname = f"{class_name}.{node.name}" if class_name else node.name
+    return FunctionInfo(
+        name=node.name,
+        qualname=qualname,
+        node=node,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+        class_name=class_name,
+        decorators=decorators,
+        params=params,
+    )
+
+
+def _collect_class(node: ast.ClassDef) -> ClassInfo:
+    info = ClassInfo(name=node.name, node=node)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[stmt.name] = _function_info(stmt, node.name)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            # Class-level annotations, e.g. dataclass fields.
+            info.attr_annotations[stmt.target.id] = stmt.annotation
+    for method in info.methods.values():
+        _collect_attr_types(method, info)
+    return info
+
+
+def _is_self_attr(expr: ast.AST) -> Optional[str]:
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _collect_attr_types(method: FunctionInfo, info: ClassInfo) -> None:
+    for node in ast.walk(method.node):
+        if isinstance(node, ast.AnnAssign):
+            attr = _is_self_attr(node.target)
+            if attr is not None:
+                info.attr_annotations.setdefault(attr, node.annotation)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            attr = _is_self_attr(node.targets[0])
+            if attr is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                dotted = dotted_name(value.func)
+                if dotted is not None:
+                    info.attr_constructors.setdefault(attr, dotted)
+            elif isinstance(value, ast.Name) and value.id in method.params:
+                info.attr_params.setdefault(attr, method.params[value.id])
+
+
+def collect_module(
+    tree: ast.Module, module_name: str, package: str
+) -> ModuleSymbols:
+    """Build the symbol table for one parsed module.
+
+    ``package`` anchors relative imports (for ``repro.engine.cache`` it is
+    ``repro.engine``; for a package ``__init__`` it is the package itself).
+    """
+    symbols = ModuleSymbols(module_name=module_name)
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else local
+                symbols.imports[local] = target
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level == 0:
+                base = stmt.module or ""
+            else:
+                parts = package.split(".") if package else []
+                parts = parts[: len(parts) - (stmt.level - 1)] if stmt.level > 1 else parts
+                base = ".".join(parts)
+                if stmt.module:
+                    base = f"{base}.{stmt.module}" if base else stmt.module
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                symbols.imports[local] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            symbols.functions[stmt.name] = _function_info(stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            symbols.classes[stmt.name] = _collect_class(stmt)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                symbols.constants[target.id] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                symbols.constants[stmt.target.id] = stmt.value
+    return symbols

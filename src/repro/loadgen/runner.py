@@ -170,7 +170,9 @@ async def run_load_test(
     base_url: Optional[str] = None,
     *,
     clients: int = 16,
-    timeout: float = 30.0,
+    # Not a local wait (ASYNC109's concern): this is the per-exchange client
+    # timeout forwarded into every pooled AsyncSladeHttpClient.
+    timeout: float = 30.0,  # noqa: ASYNC109
     time_scale: float = 1.0,
     client_factory: Optional[ClientFactory] = None,
     profile: Optional[str] = None,

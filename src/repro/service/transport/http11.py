@@ -18,8 +18,11 @@ dropping the connection silently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
+
+if TYPE_CHECKING:  # only stream annotations need asyncio here
+    import asyncio
 
 #: Upper bound on accepted request bodies (16 MiB covers very large batch
 #: payloads while bounding memory per connection).
@@ -82,19 +85,21 @@ class HttpRequest:
         return self.headers.get(name.lower(), default)
 
 
-async def _read_line(reader, limit: int) -> bytes:
+async def _read_line(reader: "asyncio.StreamReader", limit: int) -> bytes:
     try:
         line = await reader.readline()
     except ValueError:
         # StreamReader raises ValueError when a line overruns its internal
         # buffer limit before our own check can run.
-        raise ProtocolError("header line too long", status=431)
+        raise ProtocolError("header line too long", status=431) from None
     if len(line) > limit:
         raise ProtocolError("header line too long", status=431)
     return line
 
 
-async def read_request(reader, max_body: int = MAX_BODY_BYTES) -> Optional[HttpRequest]:
+async def read_request(
+    reader: "asyncio.StreamReader", max_body: int = MAX_BODY_BYTES
+) -> Optional[HttpRequest]:
     """Read one request from the stream; ``None`` on clean EOF.
 
     Raises :class:`ProtocolError` on malformed framing (bad request line,
@@ -106,7 +111,7 @@ async def read_request(reader, max_body: int = MAX_BODY_BYTES) -> Optional[HttpR
     try:
         text = request_line.decode("ascii").rstrip("\r\n")
     except UnicodeDecodeError:
-        raise ProtocolError("request line is not ASCII")
+        raise ProtocolError("request line is not ASCII") from None
     if not text:
         return None
     parts = text.split(" ")
@@ -137,7 +142,7 @@ async def read_request(reader, max_body: int = MAX_BODY_BYTES) -> Optional[HttpR
         try:
             length = int(raw_length)
         except ValueError:
-            raise ProtocolError(f"invalid Content-Length {raw_length!r}")
+            raise ProtocolError(f"invalid Content-Length {raw_length!r}") from None
         if length < 0:
             raise ProtocolError(f"invalid Content-Length {raw_length!r}")
         if length > max_body:

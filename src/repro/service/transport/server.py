@@ -44,7 +44,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.errors import SladeError
 from repro.engine.telemetry import render_prometheus
@@ -120,6 +120,10 @@ class HttpSladeServer:
         self._closing = False
         self._inflight_solves = 0
         self._active_requests = 0
+        #: Set whenever _active_requests hits zero; close() waits on it
+        #: instead of polling the counter in a sleep loop.
+        self._drained = asyncio.Event()
+        self._drained.set()
         self._writers: Set[asyncio.StreamWriter] = set()
         self._handlers: Set["asyncio.Task[None]"] = set()
         self._request_ids = itertools.count(1)
@@ -164,8 +168,7 @@ class HttpSladeServer:
             self._server.close()
         # Let requests already being handled finish and flush their
         # responses; new requests on existing connections get 503 envelopes.
-        while self._active_requests > 0:
-            await asyncio.sleep(0.005)
+        await self._drained.wait()
         # Idle keep-alive connections are blocked reading the next request;
         # closing their transports resolves the read with EOF.
         for writer in list(self._writers):
@@ -224,6 +227,7 @@ class HttpSladeServer:
             # Counted until the response is flushed, so close() never cuts a
             # connection that still owes its client bytes.
             self._active_requests += 1
+            self._drained.clear()
             try:
                 keep_alive = request.keep_alive and not self._closing
                 try:
@@ -235,6 +239,8 @@ class HttpSladeServer:
                 await writer.drain()
             finally:
                 self._active_requests -= 1
+                if self._active_requests == 0:
+                    self._drained.set()
             if not keep_alive:
                 return
 
@@ -249,7 +255,11 @@ class HttpSladeServer:
         if request.path == "/metrics":
             if request.method != "GET":
                 return self._method_not_allowed(request, "GET", keep_alive)
-            return self._respond_metrics(request, keep_alive)
+            # Backend gauges make real cache-server round trips (remote
+            # __len__ / server_stats); a slow scrape must not stall the loop.
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self._respond_metrics, request, keep_alive
+            )
         if request.path == "/v1/solve":
             if request.method != "POST":
                 return self._method_not_allowed(request, "POST", keep_alive)
@@ -540,7 +550,7 @@ async def run_http_server(
     admission: Optional[AdmissionController] = None,
     include_plans: bool = True,
     stop: Optional["asyncio.Event"] = None,
-    on_ready=None,
+    on_ready: Optional[Callable[["HttpSladeServer"], None]] = None,
 ) -> HttpSladeServer:
     """Start a server, run until ``stop`` is set, close cleanly.
 
@@ -548,8 +558,13 @@ async def run_http_server(
     once the socket is bound (used to print the listening address).  Returns
     the closed server so callers can read final telemetry.
     """
-    server = HttpSladeServer(
-        config=config, admission=admission, include_plans=include_plans
+    # Construction opens the cache backend (possibly SQLite or a remote
+    # connection pool) — blocking work that belongs off the event loop.
+    server = await asyncio.get_running_loop().run_in_executor(
+        None,
+        lambda: HttpSladeServer(
+            config=config, admission=admission, include_plans=include_plans
+        ),
     )
     try:
         await server.start(host, port)

@@ -1,0 +1,83 @@
+"""The shared metric-name inventory: convention, consistency, and coverage.
+
+``repro.engine.metric_names`` is the single source of truth the SLD004
+lint rule and the ``/metrics`` surface both key on.  These tests pin the
+naming convention, keep the counter/series/gauge sets disjoint, and prove
+that every name an exercised service stack actually records is registered
+— so the inventory cannot silently drift away from the code.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.engine import metric_names
+from repro.service import ServiceConfig, SladeService, SolveRequest
+
+#: Must match repro.lint.rules.sld004.NAME_RE.
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: Suffixes Telemetry.snapshot() derives from one observed series.
+_SERIES_SUFFIXES = ("count", "total", "min", "max", "last", "mean", "bucket")
+
+
+class TestInventoryShape:
+    def test_every_name_matches_the_convention(self):
+        for name in metric_names.ALL_STATIC:
+            assert NAME_RE.match(name), name
+        for prefix in metric_names.DYNAMIC_PREFIXES:
+            assert prefix.endswith(".")
+            assert NAME_RE.match(prefix + "x"), prefix
+
+    def test_sets_are_disjoint(self):
+        assert not metric_names.COUNTERS & metric_names.SERIES
+        assert not metric_names.COUNTERS & metric_names.GAUGES
+        assert not metric_names.SERIES & metric_names.GAUGES
+
+    def test_is_known_respects_kinds(self):
+        assert metric_names.is_known("cache.hits", "counter")
+        assert not metric_names.is_known("cache.hits", "series")
+        assert metric_names.is_known("planner.batch_size", "series")
+        assert metric_names.is_known("cache.entries", "gauge")
+        assert metric_names.is_known("http.responses.503", "counter")
+        assert not metric_names.is_known("http.responses.503", "series")
+        assert not metric_names.is_known("nope.nothing", "any")
+
+    def test_dynamic_match_covers_fstring_literal_prefixes(self):
+        # SLD004 checks the literal prefix of an f-string, which may stop
+        # short of the full registered prefix ("http.responses." vs the
+        # f-string "http.responses.{status}" whose prefix is the whole
+        # registered string; "sharded_cache.shard.{i}.hits" stops inside).
+        assert metric_names.matches_dynamic("http.responses.")
+        assert metric_names.matches_dynamic("sharded_cache.shard.")
+        assert not metric_names.matches_dynamic("unrelated.")
+        assert not metric_names.matches_dynamic("")
+
+
+def _is_registered(key: str) -> bool:
+    if key in metric_names.ALL_STATIC:
+        return True
+    if metric_names.matches_dynamic(key):
+        return True
+    # Series appear in snapshots with derived suffixes (count/mean/...).
+    for series in metric_names.SERIES:
+        if key.startswith(series + "."):
+            suffix = key[len(series) + 1 :]
+            if suffix.split(".")[0] in _SERIES_SUFFIXES:
+                return True
+    return False
+
+
+class TestExercisedStackIsCovered:
+    def test_service_stack_records_only_registered_names(
+        self, example4_problem
+    ):
+        with SladeService(ServiceConfig()) as service:
+            service.solve(SolveRequest(problem=example4_problem))
+            service.solve(SolveRequest(problem=example4_problem))
+            snapshot = service.telemetry.snapshot()
+        assert snapshot, "exercised stack recorded nothing"
+        unregistered = sorted(
+            key for key in snapshot if not _is_registered(key)
+        )
+        assert unregistered == [], unregistered

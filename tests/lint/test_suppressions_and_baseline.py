@@ -1,0 +1,194 @@
+"""Round-trip tests for noqa suppressions, the baseline, and the CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import run_lint
+from repro.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    partition,
+    save_baseline,
+)
+from repro.lint.findings import Finding
+from repro.lint.suppressions import collect_suppressions
+
+BAD_ASYNC = """
+    import time
+
+    async def handler():
+        time.sleep(0.1)
+    """
+
+
+def write(tmp_path: Path, source: str, name: str = "sample.py") -> Path:
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source))
+    return target
+
+
+class TestNoqa:
+    def test_targeted_noqa_suppresses_only_that_code(self, tmp_path):
+        target = write(
+            tmp_path,
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)  # slade: noqa[SLD001]
+            """,
+        )
+        result = run_lint([target], root=tmp_path)
+        assert result.new_findings == []
+        assert result.suppressed == 1
+
+    def test_noqa_for_a_different_code_does_not_suppress(self, tmp_path):
+        target = write(
+            tmp_path,
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)  # slade: noqa[SLD005]
+            """,
+        )
+        result = run_lint([target], root=tmp_path)
+        assert [f.code for f in result.new_findings] == ["SLD001"]
+        assert result.suppressed == 0
+
+    def test_blanket_noqa_suppresses_everything_on_the_line(self, tmp_path):
+        target = write(
+            tmp_path,
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)  # slade: noqa
+            """,
+        )
+        result = run_lint([target], root=tmp_path)
+        assert result.new_findings == []
+        assert result.suppressed == 1
+
+    def test_collector_reads_multiple_codes(self):
+        sup = collect_suppressions(
+            "x = 1  # slade: noqa[SLD001, SLD003]\n"
+        )
+        assert sup.is_suppressed(1, "SLD001")
+        assert sup.is_suppressed(1, "SLD003")
+        assert not sup.is_suppressed(1, "SLD002")
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_old_findings(self, tmp_path):
+        target = write(tmp_path, BAD_ASYNC)
+        baseline_path = tmp_path / "baseline.json"
+
+        first = run_lint([target], root=tmp_path)
+        assert [f.code for f in first.new_findings] == ["SLD001"]
+
+        save_baseline(baseline_path, first.new_findings)
+        second = run_lint([target], baseline_path=baseline_path, root=tmp_path)
+        assert second.new_findings == []
+        assert [f.code for f in second.grandfathered] == ["SLD001"]
+        assert not second.failed
+
+    def test_baseline_survives_line_number_drift(self, tmp_path):
+        target = write(tmp_path, BAD_ASYNC)
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, run_lint([target], root=tmp_path).new_findings)
+
+        # Shift the finding down two lines; identity ignores line numbers.
+        write(tmp_path, "\n\n" + textwrap.dedent(BAD_ASYNC))
+        result = run_lint([target], baseline_path=baseline_path, root=tmp_path)
+        assert result.new_findings == []
+        assert len(result.grandfathered) == 1
+
+    def test_new_findings_still_fail_against_a_baseline(self, tmp_path):
+        target = write(tmp_path, BAD_ASYNC)
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, run_lint([target], root=tmp_path).new_findings)
+
+        write(
+            tmp_path,
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+
+            async def second():
+                time.sleep(0.2)
+            """,
+        )
+        result = run_lint([target], baseline_path=baseline_path, root=tmp_path)
+        assert [f.code for f in result.new_findings] == ["SLD001"]
+        assert result.failed
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99}))
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+    def test_partition_is_count_aware(self):
+        finding = Finding(path="a.py", line=3, code="SLD001", message="m")
+        twin = Finding(path="a.py", line=9, code="SLD001", message="m")
+        baseline = {finding.identity: 1}
+        new, grandfathered = partition([finding, twin], baseline)
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+
+
+class TestCli:
+    def test_lint_subcommand_exit_codes(self, tmp_path, capsys):
+        clean = write(tmp_path, "x = 1\n", name="clean.py")
+        assert cli_main(["lint", str(clean), "--no-baseline"]) == 0
+
+        dirty = write(tmp_path, BAD_ASYNC, name="dirty.py")
+        assert cli_main(["lint", str(dirty), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "SLD001" in out
+
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        dirty = write(tmp_path, BAD_ASYNC, name="dirty.py")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            cli_main(
+                ["lint", str(dirty), "--baseline", str(baseline),
+                 "--write-baseline"]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        assert (
+            cli_main(["lint", str(dirty), "--baseline", str(baseline)]) == 0
+        )
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        dirty = write(tmp_path, BAD_ASYNC, name="dirty.py")
+        assert cli_main(["lint", str(dirty), "--no-baseline",
+                         "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "lint_report"
+        assert report["new_findings"][0]["code"] == "SLD001"
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_new_findings(self):
+        repo_root = Path(__file__).resolve().parents[2]
+        result = run_lint(
+            [repo_root / "src" / "repro"],
+            baseline_path=repo_root / "lint-baseline.json",
+            root=repo_root,
+        )
+        assert result.new_findings == []
