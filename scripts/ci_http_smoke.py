@@ -2,13 +2,18 @@
 """CI smoke test: boot `repro serve --http`, drive it over the wire, shut it
 down cleanly, and fail loudly on any broken round-trip or leaked process.
 
-Two server runs cover the transport surface:
+Four server runs cover the transport surface:
 
 1. **functional** (no admission limits): solve, batch, healthz and metrics
    round-trips, including the micro-batch counters that prove concurrent
    requests coalesce;
 2. **admission** (tight per-tenant bucket): tenant A collects a structured
-   429 with ``Retry-After`` while tenant B keeps being admitted.
+   429 with ``Retry-After`` while tenant B keeps being admitted;
+3. **deadline** (v2 surface): a budgeted solve answers with a provenance
+   block, an already-expired budget answers a structured 503 without any
+   planner work, and a misspelled request field is rejected;
+4. **auth** (``--auth-token``): solve endpoints demand the shared secret
+   (401 envelope otherwise) while health/metrics stay open.
 
 Each run ends with SIGTERM; the server must drain and exit 0 within the
 timeout, and its process must actually be gone afterwards.
@@ -141,7 +146,7 @@ class Server:
 
 
 def functional_phase() -> None:
-    print("\n[1/2] functional round-trips")
+    print("\n[1/4] functional round-trips")
     server = Server()
     try:
         client = SladeHttpClient(server.base_url, tenant="smoke", timeout=60)
@@ -194,7 +199,7 @@ def functional_phase() -> None:
 
 
 def admission_phase() -> None:
-    print("\n[2/2] admission control")
+    print("\n[2/4] admission control")
     server = Server("--rate", "0.05", "--burst", "2")
     try:
         tenant_a = SladeHttpClient(server.base_url, tenant="tenant-a", timeout=60)
@@ -224,9 +229,86 @@ def admission_phase() -> None:
         server.kill_if_alive()
 
 
+def deadline_phase() -> None:
+    print("\n[3/4] deadline propagation (v2 surface)")
+    server = Server()
+    try:
+        client = SladeHttpClient(server.base_url, tenant="smoke", timeout=60)
+
+        reply = client.solve(solve_payload(500), deadline_ms=5_000)
+        check(reply.status == 200 and reply.payload["ok"] is True,
+              "budgeted POST /v2/solve returns ok")
+        check(reply.payload.get("schema_version") == 2,
+              "response carries schema_version 2")
+        provenance = reply.payload.get("provenance") or {}
+        check(provenance.get("quality") in ("optimal", "refined", "greedy"),
+              f"provenance carries a quality marker ({provenance.get('quality')})")
+        check(provenance.get("tier") in ("cache", "build", "greedy", "solver"),
+              f"provenance names the answering tier ({provenance.get('tier')})")
+        check(0 < provenance.get("remaining_budget_ms", -1.0) <= 5_000,
+              "provenance reports the remaining budget at completion")
+
+        builds_before = client.metrics().payload.get("cache.misses", 0.0)
+        expired = client.solve(solve_payload(501), deadline_ms=0.001)
+        check(expired.status == 503, "already-expired budget -> 503")
+        check(expired.payload["error"]["type"] == "DeadlineExceededError",
+              "503 carries the DeadlineExceededError envelope")
+        metrics = client.metrics().payload
+        check(metrics.get("cache.misses", 0.0) == builds_before,
+              "expired request triggered no planner work")
+        check(metrics.get("deadline.expired", 0.0) == 1.0,
+              "deadline.expired counter recorded the rejection")
+        check(metrics.get("deadline.hits", 0.0) >= 1.0,
+              "deadline.hits counter recorded the served budget")
+
+        typo = client.solve(solve_payload(502, dead_line_ms=50))
+        check(typo.status == 400
+              and typo.payload["error"]["type"] == "RequestValidationError",
+              "unknown request field -> structured 400")
+
+        v1 = SladeHttpClient(server.base_url, timeout=60, api_version="v1")
+        check(v1.solve(solve_payload(500), include_plan=False).status == 200,
+              "legacy /v1/solve alias still answers")
+
+        server.stop()
+    finally:
+        server.kill_if_alive()
+
+
+def auth_phase() -> None:
+    print("\n[4/4] shared-secret auth")
+    server = Server("--auth-token", "smoke-secret")
+    try:
+        anonymous = SladeHttpClient(server.base_url, tenant="smoke", timeout=60)
+        wrong = SladeHttpClient(server.base_url, auth_token="wrong", timeout=60)
+        trusted = SladeHttpClient(
+            server.base_url, tenant="smoke", auth_token="smoke-secret", timeout=60
+        )
+
+        denied = anonymous.solve(solve_payload(100), include_plan=False)
+        check(denied.status == 401, "missing token -> 401")
+        check(denied.payload["error"]["type"] == "AuthenticationError",
+              "401 carries the AuthenticationError envelope")
+        check(wrong.solve(solve_payload(100), include_plan=False).status == 401,
+              "wrong token -> 401")
+        check(trusted.solve(solve_payload(100), include_plan=False).status == 200,
+              "bearer token admitted")
+        check(anonymous.healthz().status == 200, "healthz stays open")
+        metrics = anonymous.metrics()
+        check(metrics.status == 200, "metrics stays open")
+        check(metrics.payload.get("admission.unauthorized", 0.0) == 2.0,
+              "admission.unauthorized counted both rejections")
+
+        server.stop()
+    finally:
+        server.kill_if_alive()
+
+
 def main() -> None:
     functional_phase()
     admission_phase()
+    deadline_phase()
+    auth_phase()
     print(f"\nhttp smoke: all {_checks} checks passed")
 
 

@@ -4,11 +4,13 @@
 Boots the production-shaped deployment the trajectory measures — **three**
 ``repro cached`` shards behind one ``repro serve --http`` host with
 ``--cache sharded://a,b,c?replicas=2`` — then replays the pinned
-``ci-short`` workload through the real ``repro loadtest`` CLI and distils
+``ci-short-v2`` workload (the classic ``ci-short`` mix plus a
+mixed-deadline class) through the real ``repro loadtest`` CLI and distils
 the report into a :mod:`repro.loadgen.trajectory` entry.
 
-The fresh entry is gated against the **last committed entry** of
-``BENCH_trajectory.json`` with the wide default tolerances (overridable via
+The fresh entry is gated against the **last committed entry for the same
+profile** of ``BENCH_trajectory.json`` with the wide default tolerances
+(overridable via
 ``SLADE_TRAJ_*`` environment variables, below): CI fails on an absolute
 regression — throughput collapse, latency blow-up, or a non-zero error
 budget — that the per-PR ratio benchmarks cannot see.  With ``--record``
@@ -65,7 +67,7 @@ SHUTDOWN_TIMEOUT = 30
 LOADTEST_TIMEOUT = 300
 REPORT_PATH = Path(os.environ.get("SLADE_LOADTEST_REPORT", "loadtest-report.json"))
 TRAJECTORY_PATH = REPO_ROOT / TRAJECTORY_FILENAME
-PROFILE = "ci-short"
+PROFILE = "ci-short-v2"
 
 _checks = 0
 
@@ -215,7 +217,25 @@ def main() -> None:
     print("\n[4/4] gate the fresh entry against the committed trajectory")
     fresh = entry_from_report(report, label=args.label)
     check(fresh["requests"] > 0, "the replay scheduled at least one request")
-    history = load_trajectory(TRAJECTORY_PATH)
+    overall = report["overall"]
+    check(overall.get("infeasible", 0) == 0,
+          "no served plan failed its reliability threshold")
+    deadline = overall.get("deadline", {})
+    check(deadline.get("requests", 0) > 0,
+          "the mix exercised the deadline class")
+    print(
+        f"  deadline: {deadline.get('met', 0)} met / "
+        f"{deadline.get('missed', 0)} missed / "
+        f"{deadline.get('expired', 0)} expired / "
+        f"{deadline.get('degraded', 0)} best-so-far "
+        f"(hit rate {deadline.get('hit_rate', 0.0):.1%})"
+    )
+    # Entries from retired profiles measure a different offered load; gate
+    # only against our own profile's curve (a profile bump re-seeds it).
+    history = [
+        entry for entry in load_trajectory(TRAJECTORY_PATH)
+        if entry.get("profile") == PROFILE
+    ]
     if history:
         baseline = history[-1]
         violations = gate_entry(

@@ -17,6 +17,12 @@ The package mirrors Sections 4-6 of the paper:
   solver for tiny instances, used as a test oracle.
 """
 
+from repro.algorithms.anytime import (
+    AnytimeSolver,
+    QUALITY_GREEDY,
+    QUALITY_OPTIMAL,
+    QUALITY_REFINED,
+)
 from repro.algorithms.base import Solver, SolveResult
 from repro.algorithms.baseline import CIPBaselineSolver
 from repro.algorithms.budgeted import BudgetedDecomposer, BudgetedResult
@@ -36,6 +42,10 @@ from repro.algorithms.registry import available_solvers, create_solver, register
 __all__ = [
     "Solver",
     "SolveResult",
+    "AnytimeSolver",
+    "QUALITY_GREEDY",
+    "QUALITY_OPTIMAL",
+    "QUALITY_REFINED",
     "GreedySolver",
     "OPQSolver",
     "OPQExtendedSolver",

@@ -94,6 +94,12 @@ class Solver(abc.ABC):
     #: engine checks it before injecting its :class:`~repro.engine.cache.PlanCache`.
     accepts_queue_factory: bool = False
 
+    #: Whether the constructor accepts a ``budget_seconds`` keyword bounding
+    #: the wall-clock time of one solve.  The service facade checks it before
+    #: forwarding a request's remaining deadline budget (see
+    #: :class:`~repro.algorithms.anytime.AnytimeSolver`).
+    accepts_budget: bool = False
+
     def __init__(self, verify: bool = True) -> None:
         self.verify = verify
         self._metadata: Dict[str, Any] = {}

@@ -22,6 +22,7 @@ reliability threshold for a *block* of atomic tasks at once?".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -212,11 +213,25 @@ class OptimalPriorityQueue:
         return f"OptimalPriorityQueue(threshold={self.threshold}, size={len(self)})"
 
 
+class _EnumerationDeadline(Exception):
+    """Internal unwind signal: the Algorithm 2 deadline elapsed mid-search."""
+
+
+def queue_is_complete(queue: OptimalPriorityQueue) -> bool:
+    """Whether a queue holds the *full* Pareto frontier for its threshold.
+
+    Queues built before the marker existed (e.g. unpickled from an old cache
+    payload) default to complete — they were always built exhaustively.
+    """
+    return bool(getattr(queue, "complete", True))
+
+
 def build_optimal_priority_queue(
     bins: TaskBinSet,
     threshold: float,
     max_assignments: Optional[int] = None,
     use_pruning: bool = True,
+    deadline: Optional[float] = None,
 ) -> OptimalPriorityQueue:
     """Algorithm 2: enumerate combinations and keep the Pareto frontier.
 
@@ -235,11 +250,21 @@ def build_optimal_priority_queue(
         Disabling it yields the same queue while visiting many more nodes; the
         flag exists for the ablation benchmark that quantifies the pruning
         rule's benefit.
+    deadline:
+        Optional ``time.monotonic()`` instant at which to stop enumerating.
+        The search is abandoned (not aborted): every combination inserted so
+        far individually satisfies the threshold, so a truncated queue still
+        yields feasible — merely possibly suboptimal — plans.  This is the
+        anytime hook: serve from the truncated frontier now, rebuild the full
+        one later.
 
     Returns
     -------
     OptimalPriorityQueue
-        The Pareto frontier of threshold-satisfying combinations.
+        The Pareto frontier of threshold-satisfying combinations.  The
+        ``complete`` attribute records whether the frontier is exhaustive
+        (no deadline truncation, no cap below the natural bound); see
+        :func:`queue_is_complete`.
     """
     demand = residual_from_reliability(threshold)
     queue = OptimalPriorityQueue(threshold)
@@ -250,12 +275,14 @@ def build_optimal_priority_queue(
         raise InfeasiblePlanError(
             "no task bin has positive confidence; the OPQ would be empty"
         )
+    smallest = min(positive)
+    natural_bound = max(1, int(demand / smallest) + 1)
     if max_assignments is None:
-        smallest = min(positive)
-        max_assignments = max(1, int(demand / smallest) + 1)
+        max_assignments = natural_bound
 
     counts: Dict[int, int] = {}
     stats = {"nodes": 0, "pruned": 0, "inserted": 0}
+    truncated = False
 
     def enumerate_from(start_index: int, accumulated: float, used: int) -> None:
         """Depth-first enumeration (SubFunction Enumerate of Algorithm 2)."""
@@ -267,6 +294,11 @@ def build_optimal_priority_queue(
             cardinality = task_bin.cardinality
             counts[cardinality] = counts.get(cardinality, 0) + 1
             stats["nodes"] += 1
+            # Check the budget on a stride so the clock read never dominates
+            # the per-node work.
+            if (deadline is not None and stats["nodes"] % 64 == 0
+                    and time.monotonic() >= deadline):
+                raise _EnumerationDeadline
             candidate = Combination.from_counts(counts, bins)
 
             if use_pruning and queue.dominates(candidate.lcm, candidate.unit_cost):
@@ -282,13 +314,25 @@ def build_optimal_priority_queue(
             if counts[cardinality] == 0:
                 del counts[cardinality]
 
-    enumerate_from(0, 0.0, 0)
+    try:
+        # The stride check can't fire on tiny menus whose whole enumeration
+        # fits inside one stride, so an already-blown budget must be caught
+        # here or the result would be mislabelled complete.
+        if deadline is not None and time.monotonic() >= deadline:
+            raise _EnumerationDeadline
+        enumerate_from(0, 0.0, 0)
+    except _EnumerationDeadline:
+        truncated = True
     if len(queue) == 0:
         raise InfeasiblePlanError(
             f"no combination of at most {max_assignments} bin assignments "
             f"reaches reliability threshold {threshold}"
+            + (" within the enumeration deadline" if truncated else "")
         )
     queue.stats = stats  # type: ignore[attr-defined]
+    queue.complete = (  # type: ignore[attr-defined]
+        not truncated and max_assignments >= natural_bound
+    )
     return queue
 
 

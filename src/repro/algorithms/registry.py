@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.algorithms.anytime import AnytimeSolver
 from repro.algorithms.base import Solver
 from repro.algorithms.baseline import CIPBaselineSolver
 from repro.algorithms.dp_relaxed import RelaxedDPSolver
@@ -67,7 +68,19 @@ def solver_accepts_queue_factory(name: str) -> bool:
     return bool(getattr(_get_factory(name), "accepts_queue_factory", False))
 
 
+def solver_accepts_budget(name: str) -> bool:
+    """Whether the named solver can take a ``budget_seconds`` wall-clock bound.
+
+    The service facade uses this to decide whether a request's remaining
+    deadline budget can be forwarded into the solver (today only the
+    ``"anytime"`` wrapper); solvers without the capability get the usual
+    all-or-nothing dispatch plus the facade's own pre-dispatch expiry check.
+    """
+    return bool(getattr(_get_factory(name), "accepts_budget", False))
+
+
 # Built-in solvers.
+register_solver("anytime", AnytimeSolver)
 register_solver("greedy", GreedySolver)
 register_solver("opq", OPQSolver)
 register_solver("opq-extended", OPQExtendedSolver)

@@ -77,10 +77,7 @@ from repro.experiments.config import ExperimentConfig, SweepResult
 from repro.experiments.figures import figure_ids, run_figure
 from repro.experiments.motivation import MotivationSeries
 from repro.experiments.report import format_series, format_sweep_table
-from repro.io.serialization import (
-    solve_request_from_dict,
-    solve_response_to_dict,
-)
+from repro.io.serialization import solve_response_to_dict
 from repro.service import (
     AdmissionController,
     ServiceConfig,
@@ -89,6 +86,7 @@ from repro.service import (
     run_http_server,
 )
 from repro.lint.cli import add_lint_arguments, run_lint_command
+from repro.service.normalize import parse_request_payload
 from repro.service.transport.http11 import split_host_port
 
 
@@ -179,6 +177,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="largest micro-batch the HTTP frontend coalesces")
     serve.add_argument("--max-wait-seconds", type=float, default=0.01,
                        help="longest an incomplete micro-batch is held open")
+    serve.add_argument("--auth-token", default=None, metavar="TOKEN",
+                       help="shared secret required on solve endpoints "
+                            "('Authorization: Bearer <token>' or "
+                            "'X-Auth-Token'); without it the X-Tenant "
+                            "header is trusted as-is (HTTP mode only)")
 
     cached = sub.add_parser(
         "cached",
@@ -349,7 +352,7 @@ def _serve_loop(service: SladeService, stream: TextIO, include_plans: bool) -> i
             response = failure_response(request_id, exc)
         else:
             try:
-                request = solve_request_from_dict(
+                request = parse_request_payload(
                     payload, default_request_id=request_id
                 )
             except (SladeError, KeyError, TypeError, ValueError) as exc:
@@ -426,6 +429,7 @@ def _serve_http(args: argparse.Namespace) -> int:
             config=config,
             admission=admission,
             include_plans=not args.no_plans,
+            auth_token=args.auth_token,
             stop=stop,
             on_ready=on_ready,
         )

@@ -41,7 +41,11 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, TypeVar
 
-from repro.algorithms.opq import OptimalPriorityQueue, build_optimal_priority_queue
+from repro.algorithms.opq import (
+    OptimalPriorityQueue,
+    build_optimal_priority_queue,
+    queue_is_complete,
+)
 from repro.core.bins import TaskBinSet
 from repro.engine.backends import CacheBackend, MemoryBackend
 from repro.engine.fingerprint import OPQKey, opq_key
@@ -233,6 +237,62 @@ class PlanCache:
             with self._lock:
                 self._inflight.pop(key, None)
             flight.done.set()
+
+    # -- anytime access --------------------------------------------------------
+
+    def peek(
+        self, bins: TaskBinSet, threshold: float
+    ) -> Optional[OptimalPriorityQueue]:
+        """Return the cached OPQ for ``(bins, threshold)`` without building.
+
+        The anytime path: a deadline-bounded caller wants the queue *if it is
+        already there* but must never pay for a cold Algorithm 2 run it cannot
+        afford.  A found queue counts as a hit; an absent one records nothing
+        (the caller decides whether to build, and :meth:`publish` accounts the
+        build when it lands).  The returned queue may be *incomplete* (a
+        truncated frontier published by an earlier budgeted build) — check
+        :func:`~repro.algorithms.opq.queue_is_complete`.
+        """
+        key = opq_key(bins, threshold)
+        queue = self._guarded(lambda: self.backend.get(key))
+        if queue is not None:
+            self._record_hit()
+        return queue
+
+    def publish(
+        self,
+        bins: TaskBinSet,
+        threshold: float,
+        queue: OptimalPriorityQueue,
+        build_seconds: float = 0.0,
+    ) -> bool:
+        """Store a queue built outside the cache, refining coarse entries.
+
+        A *complete* queue (full Pareto frontier) always lands, overwriting
+        any truncated frontier a budget-starved request published earlier.  An
+        *incomplete* queue only lands when nothing better is stored — it never
+        downgrades a complete entry, and between two incomplete frontiers the
+        larger one wins.  Returns whether the queue was stored; a stored build
+        is accounted as a miss with ``build_seconds`` of construction time,
+        mirroring :meth:`queue_for`'s bookkeeping.
+        """
+        key = opq_key(bins, threshold)
+
+        def exchange() -> bool:
+            existing = self.backend.get(key)
+            if existing is not None:
+                if queue_is_complete(existing) and not queue_is_complete(queue):
+                    return False
+                if (not queue_is_complete(queue)
+                        and len(existing) >= len(queue)):
+                    return False
+            self.backend.put(key, queue)
+            return True
+
+        stored = self._guarded(exchange)
+        if stored:
+            self._record_miss(build_seconds)
+        return stored
 
     def _guarded(self, call: Callable[[], _T]) -> _T:
         """Run one backend storage call with the required serialisation."""

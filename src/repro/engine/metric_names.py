@@ -48,6 +48,13 @@ COUNTERS: FrozenSet[str] = frozenset({
     "admission.admitted",
     "admission.rate_limited",
     "admission.overloaded",
+    "admission.unauthorized",
+    # deadline-aware serving
+    "deadline.requests",
+    "deadline.hits",
+    "deadline.misses",
+    "deadline.expired",
+    "deadline.best_so_far",
     # http transport
     "http.requests",
     "http.protocol_errors",

@@ -6,6 +6,16 @@ by other tooling (spreadsheets, platform uploaders).  Every ``*_from_dict``
 function validates through the normal constructors, so a hand-edited file that
 violates the model's invariants fails loudly rather than producing a silently
 broken plan.
+
+Wire-shape versioning (solve requests/responses only): writers emit
+``schema_version`` 2 (and mirror it into the legacy ``version`` field);
+readers follow tolerant-reader rules — ``schema_version`` is preferred,
+``version`` accepted as a fallback, and both 1 and 2 parse.  Requests are
+strict about *field names* (an unknown top-level key is a validation error,
+catching client typos like ``dead_line_ms`` before they silently lose a
+budget) while responses stay lenient (unknown fields are ignored, so an old
+client can read a new server's answer).  File kinds (bin sets, problems,
+plans) are unchanged at format version 1.
 """
 
 from __future__ import annotations
@@ -27,10 +37,29 @@ from repro.engine.backends.wire import (  # noqa: F401 - public re-exports
     decode_queue as queue_from_payload,
     encode_queue as queue_to_payload,
 )
-from repro.service.api import ErrorEnvelope, SolveRequest, SolveResponse
+from repro.service.api import (
+    ErrorEnvelope,
+    Provenance,
+    RequestValidationError,
+    SolveRequest,
+    SolveResponse,
+)
 
 #: Format version written into every file; bumped on incompatible changes.
 FORMAT_VERSION = 1
+
+#: Wire-shape version for solve requests/responses (the service surface).
+SCHEMA_VERSION = 2
+
+#: Wire-shape versions the tolerant reader accepts.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+#: Top-level keys a solve request may carry; anything else is rejected.
+REQUEST_FIELDS = frozenset({
+    "kind", "version", "schema_version",
+    "request_id", "solver", "verify", "tenant", "options", "deadline_ms",
+    "problem", "bins", "n", "threshold", "thresholds", "name",
+})
 
 PathLike = Union[str, Path]
 
@@ -51,6 +80,27 @@ def _check_kind(payload: Dict, expected: str) -> None:
             f"unsupported format version {version!r} (this library writes "
             f"version {FORMAT_VERSION})"
         )
+
+
+def _check_wire_kind(payload: Dict, expected: str) -> int:
+    """Validate kind + schema version for a wire shape; return the version.
+
+    Tolerant-reader rules: ``schema_version`` wins when present, the legacy
+    ``version`` field is the fallback, and a payload carrying neither is
+    treated as version 1 (pre-versioning clients).
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError(f"expected a mapping, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind != expected:
+        raise SerializationError(f"expected kind {expected!r}, got {kind!r}")
+    version = payload.get("schema_version", payload.get("version", 1))
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise SerializationError(
+            f"unsupported schema version {version!r} (this library speaks "
+            f"versions {', '.join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)})"
+        )
+    return int(version)
 
 
 # -- task bin sets ---------------------------------------------------------------
@@ -198,10 +248,16 @@ def load_plan(path: PathLike) -> DecompositionPlan:
 
 
 def solve_request_to_dict(request: SolveRequest) -> Dict:
-    """Serialise a service solve request to a JSON-compatible dictionary."""
-    return {
+    """Serialise a service solve request to a JSON-compatible dictionary.
+
+    ``deadline_ms`` (the relative budget) is on the wire; ``deadline_at``
+    (the absolute monotonic instant) never is — monotonic clocks are
+    meaningless across processes, so the receiver re-stamps at receipt.
+    """
+    payload = {
         "kind": "solve_request",
-        "version": FORMAT_VERSION,
+        "version": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "request_id": request.request_id,
         "solver": request.solver,
         "verify": request.verify,
@@ -209,6 +265,9 @@ def solve_request_to_dict(request: SolveRequest) -> Dict:
         "options": dict(request.options),
         "problem": problem_to_dict(request.problem),
     }
+    if request.deadline_ms is not None:
+        payload["deadline_ms"] = request.deadline_ms
+    return payload
 
 
 def _request_problem(payload: Dict) -> SladeProblem:
@@ -254,8 +313,19 @@ def solve_request_from_dict(
 
     ``default_request_id`` fills in a correlation id when the payload does
     not carry one (the ``repro serve`` loop passes the input line number).
+
+    Unknown top-level keys raise
+    :class:`~repro.service.api.RequestValidationError`: on the request side
+    a silently dropped field is a client bug (a misspelled ``deadline_ms``
+    would otherwise run unbudgeted), so the reader is strict where the
+    response reader is lenient.
     """
-    _check_kind(payload, "solve_request")
+    _check_wire_kind(payload, "solve_request")
+    unknown = sorted(set(payload) - REQUEST_FIELDS)
+    if unknown:
+        raise RequestValidationError(
+            f"unknown solve_request field(s): {', '.join(unknown)}"
+        )
     return SolveRequest(
         problem=_request_problem(payload),
         solver=payload.get("solver"),
@@ -263,6 +333,7 @@ def solve_request_from_dict(
         verify=payload.get("verify"),
         request_id=payload.get("request_id") or default_request_id,
         tenant=payload.get("tenant"),
+        deadline_ms=payload.get("deadline_ms"),
     )
 
 
@@ -274,7 +345,8 @@ def solve_response_to_dict(response: SolveResponse, include_plan: bool = True) -
     """
     return {
         "kind": "solve_response",
-        "version": FORMAT_VERSION,
+        "version": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "request_id": response.request_id,
         "ok": response.ok,
         "solver": response.solver,
@@ -290,6 +362,16 @@ def solve_response_to_dict(response: SolveResponse, include_plan: bool = True) -
             if response.error is not None
             else None
         ),
+        "provenance": (
+            {
+                "quality": response.provenance.quality,
+                "tier": response.provenance.tier,
+                "deadline_ms": response.provenance.deadline_ms,
+                "remaining_budget_ms": response.provenance.remaining_budget_ms,
+            }
+            if response.provenance is not None
+            else None
+        ),
         "plan": (
             plan_to_dict(response.plan)
             if include_plan and response.plan is not None
@@ -298,9 +380,25 @@ def solve_response_to_dict(response: SolveResponse, include_plan: bool = True) -
     }
 
 
+def _provenance_from_dict(entry: Optional[Dict]) -> Optional[Provenance]:
+    if not isinstance(entry, dict):
+        return None
+    return Provenance(
+        quality=entry.get("quality", "optimal"),
+        tier=entry.get("tier", "solver"),
+        deadline_ms=entry.get("deadline_ms"),
+        remaining_budget_ms=entry.get("remaining_budget_ms"),
+    )
+
+
 def solve_response_from_dict(payload: Dict) -> SolveResponse:
-    """Reconstruct a solve response from :func:`solve_response_to_dict` output."""
-    _check_kind(payload, "solve_response")
+    """Reconstruct a solve response from :func:`solve_response_to_dict` output.
+
+    Lenient by design: unknown fields are ignored and ``provenance`` is
+    optional, so a version-1 client library can still read a version-2
+    server's answers (and vice versa).
+    """
+    _check_wire_kind(payload, "solve_response")
     error = payload.get("error")
     plan = payload.get("plan")
     return SolveResponse(
@@ -316,4 +414,5 @@ def solve_response_from_dict(payload: Dict) -> SolveResponse:
         batch_size=int(payload.get("batch_size", 1)),
         problem_fingerprint=payload.get("problem_fingerprint"),
         error=ErrorEnvelope(error["type"], error["message"]) if error else None,
+        provenance=_provenance_from_dict(payload.get("provenance")),
     )

@@ -72,6 +72,39 @@ def ci_short_profile() -> WorkloadSpec:
     )
 
 
+def ci_short_v2_profile() -> WorkloadSpec:
+    """``ci-short`` plus a mixed-deadline class — the current CI gate mix.
+
+    The first three classes are byte-for-byte the ``ci-short`` mix (same
+    seed, same per-class child generators, so their schedules are
+    unchanged); the added ``deadline`` class sends budgeted traffic whose
+    ``deadline_ms`` spans tight-but-feasible (15ms) through roomy (250ms),
+    exercising the anytime ladder's greedy floor, budgeted refinement, and
+    already-expired 503 paths under real queueing.
+    """
+    base = ci_short_profile()
+    deadline_class = TenantClass(
+        name="deadline",
+        tenants=2,
+        requests_per_second=12.0,
+        n_range=(30, 70),
+        thresholds="normal",
+        mu=0.90,
+        sigma=0.02,
+        keys=6,
+        zipf_exponent=1.0,
+        deadline_range_ms=(15.0, 250.0),
+    )
+    return WorkloadSpec(
+        classes=base.classes + (deadline_class,),
+        duration_seconds=base.duration_seconds,
+        seed=base.seed,
+        bins=base.bins,
+        rate_scale=base.rate_scale,
+        arrival_model=base.arrival_model,
+    )
+
+
 def steady_profile() -> WorkloadSpec:
     """A single reward-driven class at the crowd model's derived rate.
 
@@ -97,6 +130,7 @@ def steady_profile() -> WorkloadSpec:
 
 PROFILES: Dict[str, Callable[[], WorkloadSpec]] = {
     "ci-short": ci_short_profile,
+    "ci-short-v2": ci_short_v2_profile,
     "steady": steady_profile,
 }
 

@@ -51,13 +51,21 @@ class ClassStats:
     other_errors: int = 0      #: unexpected statuses (400/404/500/...)
     cache_hits: int = 0
     cache_misses: int = 0
+    infeasible: int = 0        #: served plans that failed verification
+    deadline_requests: int = 0  #: attempts that carried a deadline_ms budget
+    deadline_met: int = 0      #: served within their own budget (client clock)
+    deadline_missed: int = 0   #: served, but past their budget
+    deadline_expired: int = 0  #: structured 503: budget blown before planning
+    deadline_degraded: int = 0  #: served best-so-far (quality != optimal)
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    deadline_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     service_seconds_total: float = 0.0
 
     @property
     def attempted(self) -> int:
         return (self.ok + self.solve_failures + self.rejected + self.overloaded
-                + self.transport_errors + self.other_errors)
+                + self.deadline_expired + self.transport_errors
+                + self.other_errors)
 
     @property
     def error_budget(self) -> float:
@@ -80,6 +88,17 @@ class ClassStats:
         visible = self.cache_hits + self.cache_misses
         return self.cache_hits / visible if visible else 0.0
 
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of budgeted attempts served within their own deadline.
+
+        Expired 503s count against the rate (the budget was blown), while
+        admission rejections and transport errors do not — they never
+        reached the planner, so they say nothing about deadline behaviour.
+        """
+        accounted = self.deadline_met + self.deadline_missed + self.deadline_expired
+        return self.deadline_met / accounted if accounted else 0.0
+
     def throughput(self, wall_seconds: float) -> float:
         return self.ok / wall_seconds if wall_seconds > 0 else 0.0
 
@@ -98,10 +117,20 @@ class ClassStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "warm_rate": self.warm_rate,
+            "infeasible": self.infeasible,
             "latency_seconds": self.latency.summary(),
             "mean_service_seconds": (
                 self.service_seconds_total / self.ok if self.ok else 0.0
             ),
+            "deadline": {
+                "requests": self.deadline_requests,
+                "met": self.deadline_met,
+                "missed": self.deadline_missed,
+                "expired": self.deadline_expired,
+                "degraded": self.deadline_degraded,
+                "hit_rate": self.deadline_hit_rate,
+                "latency_seconds": self.deadline_latency.summary(),
+            },
         }
 
 
@@ -158,6 +187,23 @@ class LoadReport:
                 f"{summary['p50'] * 1000:>7.1f}ms {summary['p99'] * 1000:>7.1f}ms "
                 f"{summary['p999'] * 1000:>7.1f}ms {stats.warm_rate:>6.1%}"
             )
+        if self.overall.deadline_requests:
+            lines.append("")
+            lines.append(
+                f"{'class':<14} {'bgt':>6} {'met':>6} {'miss':>5} {'exp':>5} "
+                f"{'b-s-f':>5} {'hit%':>7} {'dl-p99':>9}"
+            )
+            lines.append("-" * len(lines[-1]))
+            for name, stats in rows:
+                if not stats.deadline_requests:
+                    continue
+                dl = stats.deadline_latency.summary()
+                lines.append(
+                    f"{name:<14} {stats.deadline_requests:>6} "
+                    f"{stats.deadline_met:>6} {stats.deadline_missed:>5} "
+                    f"{stats.deadline_expired:>5} {stats.deadline_degraded:>5} "
+                    f"{stats.deadline_hit_rate:>7.1%} {dl['p99'] * 1000:>7.1f}ms"
+                )
         return "\n".join(lines)
 
 
@@ -250,11 +296,33 @@ async def run_load_test(
             pool.put_nowait(client)
         now = loop.time()
         body = payload if isinstance(payload, dict) else {}
+        budgeted = request.deadline_ms is not None
+        error_type = (body.get("error") or {}).get("type")
+        if budgeted and status is not None:
+            stats.deadline_requests += 1
+            overall.deadline_requests += 1
         if status == 200 and body.get("ok") is True:
             for target in (stats, overall):
                 target.ok += 1
                 target.latency.record(now - due)
                 target.service_seconds_total += now - begun
+            if body.get("feasible") is False:
+                stats.infeasible += 1
+                overall.infeasible += 1
+            if budgeted:
+                # Deadline accounting uses the client's end-to-end clock
+                # (dispatch to response), the budget a caller experiences;
+                # open-loop queue-wait latency stays in the main histogram.
+                elapsed_ms = (now - begun) * 1000.0
+                quality = (body.get("provenance") or {}).get("quality")
+                for target in (stats, overall):
+                    target.deadline_latency.record(now - begun)
+                    if elapsed_ms <= float(request.deadline_ms or 0.0):
+                        target.deadline_met += 1
+                    else:
+                        target.deadline_missed += 1
+                    if quality not in (None, "optimal"):
+                        target.deadline_degraded += 1
             cache = body.get("cache")
             window = windows.setdefault(
                 int(request.at), {"hits": 0, "misses": 0}
@@ -273,6 +341,10 @@ async def run_load_test(
         elif status == 429:
             stats.rejected += 1
             overall.rejected += 1
+        elif status == 503 and error_type == "DeadlineExceededError":
+            # Contractual "your budget was already blown", not overload.
+            stats.deadline_expired += 1
+            overall.deadline_expired += 1
         elif status == 503:
             stats.overloaded += 1
             overall.overloaded += 1

@@ -95,6 +95,10 @@ class TenantClass:
     zipf_exponent:
         Popularity skew across those keys: rank-``k`` popularity is
         proportional to ``1 / k**zipf_exponent`` (0 is uniform).
+    deadline_range_ms:
+        When set, every request of the class carries a ``deadline_ms``
+        budget drawn uniformly from this inclusive range, exercising the
+        anytime/deadline path; ``None`` (default) sends unbudgeted traffic.
     """
 
     name: str
@@ -110,6 +114,7 @@ class TenantClass:
     sigma: float = 0.02
     keys: int = 8
     zipf_exponent: float = 1.1
+    deadline_range_ms: Optional[Tuple[float, float]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -136,6 +141,13 @@ class TenantClass:
             raise WorkloadError(f"{self.name}: keys must be >= 1")
         if self.zipf_exponent < 0:
             raise WorkloadError(f"{self.name}: zipf_exponent must be >= 0")
+        if self.deadline_range_ms is not None:
+            lo_ms, hi_ms = self.deadline_range_ms
+            if not 0 < lo_ms <= hi_ms:
+                raise WorkloadError(
+                    f"{self.name}: invalid deadline_range_ms "
+                    f"{self.deadline_range_ms}; need 0 < lo <= hi"
+                )
 
     def mean_rate(
         self,
@@ -205,6 +217,7 @@ class ScheduledRequest:
     tenant: str
     key: int                  #: index into the class's fingerprint population
     payload: Dict[str, Any]   #: inline ``solve_request`` body
+    deadline_ms: Optional[float] = None  #: latency budget (also in payload)
 
 
 def _class_keys(
@@ -284,20 +297,27 @@ def generate_schedule(spec: WorkloadSpec) -> List[ScheduledRequest]:
             key = int(rng.choice(cls.keys, p=probabilities))
             n, threshold = keys[key]
             tenant = f"{cls.name}-{int(rng.integers(cls.tenants))}"
+            deadline_ms: Optional[float] = None
+            payload = {
+                "kind": "solve_request",
+                "version": 1,
+                "request_id": f"{cls.name}-{sequence}",
+                "tenant": tenant,
+                "n": n,
+                "threshold": threshold,
+                "bins": bins,
+            }
+            if cls.deadline_range_ms is not None:
+                lo_ms, hi_ms = cls.deadline_range_ms
+                deadline_ms = round(float(rng.uniform(lo_ms, hi_ms)), 3)
+                payload["deadline_ms"] = deadline_ms
             requests.append(ScheduledRequest(
                 at=at,
                 tenant_class=cls.name,
                 tenant=tenant,
                 key=key,
-                payload={
-                    "kind": "solve_request",
-                    "version": 1,
-                    "request_id": f"{cls.name}-{sequence}",
-                    "tenant": tenant,
-                    "n": n,
-                    "threshold": threshold,
-                    "bins": bins,
-                },
+                payload=payload,
+                deadline_ms=deadline_ms,
             ))
     requests.sort(key=lambda r: (r.at, r.tenant_class, r.payload["request_id"]))
     return requests

@@ -36,9 +36,16 @@ from repro.service.api import (
     CACHE_HIT,
     CACHE_MISS,
     CACHE_NONE,
+    TIER_BUILD,
+    TIER_CACHE,
+    TIER_GREEDY,
+    TIER_SOLVER,
     AdmissionError,
+    AuthenticationError,
+    DeadlineExceededError,
     ErrorEnvelope,
     OverloadedError,
+    Provenance,
     RateLimitedError,
     RequestValidationError,
     ServiceClosedError,
@@ -53,6 +60,12 @@ from repro.service.api import (
 from repro.service.async_service import AsyncSladeService
 from repro.service.client import AsyncSladeHttpClient, HttpReply, SladeHttpClient
 from repro.service.facade import SladeService
+from repro.service.normalize import (
+    check_not_expired,
+    parse_request_payload,
+    remaining_budget_seconds,
+    stamp_deadline,
+)
 from repro.service.transport import (
     AdmissionController,
     HttpSladeServer,
@@ -65,14 +78,17 @@ __all__ = [
     "AdmissionError",
     "AsyncSladeHttpClient",
     "AsyncSladeService",
+    "AuthenticationError",
     "CACHE_BYPASS",
     "CACHE_HIT",
     "CACHE_MISS",
     "CACHE_NONE",
+    "DeadlineExceededError",
     "ErrorEnvelope",
     "HttpReply",
     "HttpSladeServer",
     "OverloadedError",
+    "Provenance",
     "RateLimitedError",
     "RequestValidationError",
     "ServiceClosedError",
@@ -82,9 +98,17 @@ __all__ = [
     "SladeService",
     "SolveRequest",
     "SolveResponse",
+    "TIER_BUILD",
+    "TIER_CACHE",
+    "TIER_GREEDY",
+    "TIER_SOLVER",
     "TokenBucket",
+    "check_not_expired",
     "envelope_from_error",
     "failure_response",
     "http_status_for",
+    "parse_request_payload",
+    "remaining_budget_seconds",
     "run_http_server",
+    "stamp_deadline",
 ]

@@ -20,6 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
+from repro.algorithms.anytime import (
+    QUALITY_GREEDY,
+    QUALITY_OPTIMAL,
+    QUALITY_REFINED,
+)
 from repro.core.errors import SladeError
 from repro.core.plan import DecompositionPlan
 from repro.core.problem import SladeProblem
@@ -29,6 +34,15 @@ CACHE_HIT = "hit"          #: the OPQ was served from the plan cache
 CACHE_MISS = "miss"        #: the OPQ was built (and stored) for this request
 CACHE_BYPASS = "bypass"    #: the solver does not consult the plan cache
 CACHE_NONE = "none"        #: the request failed before/without touching the cache
+
+#: Which ladder rung produced the winning plan (:attr:`Provenance.tier`).
+TIER_CACHE = "cache"       #: an OPQ served from the plan cache answered
+TIER_BUILD = "build"       #: a fresh (possibly budgeted) Algorithm 2 run answered
+TIER_GREEDY = "greedy"     #: the immediate greedy floor answered
+TIER_SOLVER = "solver"     #: a cache-bypassing solver answered directly
+
+#: The degradation ladder, best first (:attr:`Provenance.quality` values).
+QUALITIES = (QUALITY_OPTIMAL, QUALITY_REFINED, QUALITY_GREEDY)
 
 
 class ServiceError(SladeError):
@@ -61,6 +75,23 @@ class RateLimitedError(AdmissionError):
 
 class OverloadedError(AdmissionError):
     """The service as a whole is at its global in-flight capacity."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's latency budget expired before a plan could be produced.
+
+    Raised only when there is *nothing* feasible to return: the budget was
+    already blown when the request reached the front of the queue (so the
+    planner never ran), or it expired before even the greedy floor finished.
+    A request whose budget runs out mid-refinement is *not* an error — it gets
+    its best-so-far plan with a degraded :attr:`Provenance.quality`.
+    Transports surface this as a structured 503, counted separately from
+    overload rejections via the ``deadline.expired`` counter.
+    """
+
+
+class AuthenticationError(ServiceError):
+    """The request failed the transport's shared-secret check (HTTP 401)."""
 
 
 @dataclass(frozen=True)
@@ -99,6 +130,36 @@ def envelope_from_error(exc: BaseException) -> ErrorEnvelope:
 
 
 @dataclass(frozen=True)
+class Provenance:
+    """How the answer on a successful response was produced.
+
+    Attributes
+    ----------
+    quality:
+        Degradation marker from the anytime ladder: ``"optimal"`` — the
+        requested computation ran to completion, the answer is undegraded;
+        ``"refined"`` — a deadline truncated the OPQ refinement and a
+        better-than-greedy best-so-far plan was served; ``"greedy"`` — only
+        the immediate greedy floor fit the budget.  Every value denotes a
+        *feasible* plan.
+    tier:
+        Which ladder rung produced the winning plan: :data:`TIER_CACHE`,
+        :data:`TIER_BUILD`, :data:`TIER_GREEDY`, or :data:`TIER_SOLVER`.
+    deadline_ms:
+        The latency budget the request asked for (``None`` when unbudgeted).
+    remaining_budget_ms:
+        Budget left when the planner was dispatched — the requested budget
+        minus queue/coalescing wait.  ``None`` when unbudgeted; ``0.0`` never
+        appears on a response (an exhausted budget fails before dispatch).
+    """
+
+    quality: str
+    tier: str
+    deadline_ms: Optional[float] = None
+    remaining_budget_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class SolveRequest:
     """One decomposition request submitted to the service.
 
@@ -108,7 +169,8 @@ class SolveRequest:
         The SLADE instance to decompose.
     solver:
         Registry name of the solver to use; ``None`` defers to the service's
-        configured default.
+        configured default (or the anytime ladder when ``deadline_ms`` is
+        set).
     options:
         Extra solver keyword arguments, merged over the service's per-solver
         defaults.
@@ -127,6 +189,17 @@ class SolveRequest:
         field names someone else), so an exhausted header tenant is
         rejected without the body ever being read.  The facade itself
         ignores this field.
+    deadline_ms:
+        Optional end-to-end latency budget in milliseconds, measured from the
+        moment the service *receives* the request (wire parse, or facade
+        entry for library callers).  Time spent queueing counts against it;
+        a request whose budget expires before dispatch is rejected with
+        :class:`DeadlineExceededError` and never reaches the planner.
+    deadline_at:
+        Internal absolute form of the budget: the ``time.monotonic()``
+        instant the budget expires, stamped once at receipt so queue wait
+        subtracts naturally.  Never serialised; transports and the facade
+        fill it via :func:`repro.service.normalize.stamp_deadline`.
     """
 
     problem: SladeProblem
@@ -135,12 +208,25 @@ class SolveRequest:
     verify: Optional[bool] = None
     request_id: Optional[str] = None
     tenant: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    deadline_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.problem, SladeProblem):
             raise RequestValidationError(
                 f"problem must be a SladeProblem, got {type(self.problem).__name__}"
             )
+        if self.deadline_ms is not None:
+            try:
+                budget = float(self.deadline_ms)
+            except (TypeError, ValueError):
+                raise RequestValidationError(
+                    f"deadline_ms must be a number, got {self.deadline_ms!r}"
+                ) from None
+            if budget <= 0:
+                raise RequestValidationError(
+                    f"deadline_ms must be > 0; got {self.deadline_ms}"
+                )
 
 
 @dataclass(frozen=True)
@@ -166,6 +252,7 @@ class SolveResponse:
     batch_size: int = 1
     problem_fingerprint: Optional[str] = None
     error: Optional[ErrorEnvelope] = None
+    provenance: Optional[Provenance] = None
 
     def raise_for_error(self) -> "SolveResponse":
         """Raise :class:`ServiceError` if the request failed; else return self.
@@ -210,13 +297,16 @@ def http_status_for(exc: BaseException) -> int:
     """Map an exception to the HTTP status the transport should return.
 
     Admission rejections map to 429 (per-tenant quota) and 503 (global
-    overload / shutting down); every other library-level error is the
-    caller's fault (400); anything unrecognised is a server error (500).
+    overload / shutting down / expired latency budget); failed shared-secret
+    checks map to 401; every other library-level error is the caller's
+    fault (400); anything unrecognised is a server error (500).
     """
     if isinstance(exc, RateLimitedError):
         return 429
-    if isinstance(exc, (OverloadedError, ServiceClosedError)):
+    if isinstance(exc, (OverloadedError, ServiceClosedError, DeadlineExceededError)):
         return 503
+    if isinstance(exc, AuthenticationError):
+        return 401
     if isinstance(exc, (SladeError, KeyError, ValueError, TypeError)):
         return 400
     return 500

@@ -13,6 +13,13 @@ harness (:mod:`repro.loadgen`) can keep hundreds of requests in flight from
 one event loop without a thread per connection.  It returns the same
 :class:`HttpReply` shape with the same never-raise-on-4xx/5xx contract.
 
+Both clients share one request-encoding / path-building / header-building
+pipeline (:func:`_payload_dict`, :func:`_solve_path`, :func:`_build_headers`,
+:func:`_build_reply`), so a feature added to the wire surface — per-request
+deadlines, auth tokens, the ``/v2`` routes — lands in both at once instead
+of drifting apart.  Requests default to the ``/v2`` routes; pass
+``api_version="v1"`` to pin the legacy alias.
+
 Typical use::
 
     from repro.service.client import SladeHttpClient
@@ -20,9 +27,10 @@ Typical use::
     client = SladeHttpClient("http://127.0.0.1:8080", tenant="team-a")
     reply = client.solve({"kind": "solve_request", "version": 1,
                           "n": 1000, "threshold": 0.9,
-                          "bins": [[1, 0.9, 0.10], [2, 0.85, 0.18]]})
+                          "bins": [[1, 0.9, 0.10], [2, 0.85, 0.18]]},
+                         deadline_ms=50)
     reply.raise_for_status()
-    print(reply.payload["total_cost"], reply.payload["cache"])
+    print(reply.payload["total_cost"], reply.payload["provenance"])
 """
 
 from __future__ import annotations
@@ -105,6 +113,11 @@ class SladeHttpClient:
         request; per-call ``tenant=`` arguments override it.
     timeout:
         Socket timeout in seconds for each call.
+    auth_token:
+        Shared secret for servers started with ``repro serve --auth-token``;
+        sent as ``Authorization: Bearer <token>`` on every request.
+    api_version:
+        Route prefix for solve endpoints — ``"v2"`` (default) or ``"v1"``.
     """
 
     def __init__(
@@ -112,10 +125,14 @@ class SladeHttpClient:
         base_url: str,
         tenant: Optional[str] = None,
         timeout: float = 60.0,
+        auth_token: Optional[str] = None,
+        api_version: str = "v2",
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.tenant = tenant
         self.timeout = timeout
+        self.auth_token = auth_token
+        self.api_version = _check_api_version(api_version)
         # A proxy-free opener: localhost servers must not be routed through
         # an environment's HTTP(S)_PROXY.
         self._opener = urllib.request.build_opener(
@@ -129,24 +146,37 @@ class SladeHttpClient:
         request: RequestLike,
         tenant: Optional[str] = None,
         include_plan: Optional[bool] = None,
+        deadline_ms: Optional[float] = None,
     ) -> HttpReply:
-        """POST one solve request to ``/v1/solve``."""
-        path = "/v1/solve"
-        if include_plan is not None:
-            path += f"?plan={'1' if include_plan else '0'}"
-        return self._request("POST", path, self._payload(request), tenant)
+        """POST one solve request to ``/{v}/solve``.
+
+        ``deadline_ms`` stamps (or overrides) the request's latency budget;
+        the server answers best-so-far within it, or a structured 503 when
+        it expires before any feasible plan exists.
+        """
+        path = _solve_path(self.api_version, False, include_plan)
+        body = _payload_dict(request, deadline_ms=deadline_ms)
+        return self._request("POST", path, body, tenant)
 
     def solve_batch(
         self,
         requests: List[RequestLike],
         tenant: Optional[str] = None,
         include_plan: Optional[bool] = None,
+        deadline_ms: Optional[float] = None,
     ) -> HttpReply:
-        """POST a request list to ``/v1/solve/batch``."""
-        path = "/v1/solve/batch"
-        if include_plan is not None:
-            path += f"?plan={'1' if include_plan else '0'}"
-        body = {"requests": [self._payload(entry) for entry in requests]}
+        """POST a request list to ``/{v}/solve/batch``.
+
+        ``deadline_ms`` applies per item (each entry gets the same budget,
+        measured from server receipt) unless an entry carries its own.
+        """
+        path = _solve_path(self.api_version, True, include_plan)
+        body = {
+            "requests": [
+                _payload_dict(entry, deadline_ms=deadline_ms)
+                for entry in requests
+            ]
+        }
         return self._request("POST", path, body, tenant)
 
     def healthz(self) -> HttpReply:
@@ -160,9 +190,6 @@ class SladeHttpClient:
 
     # -- plumbing --------------------------------------------------------------
 
-    def _payload(self, request: RequestLike) -> Dict[str, Any]:
-        return _payload_dict(request)
-
     def _request(
         self,
         method: str,
@@ -171,10 +198,8 @@ class SladeHttpClient:
         tenant: Optional[str],
     ) -> HttpReply:
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        headers = {"Content-Type": "application/json"}
         effective_tenant = tenant if tenant is not None else self.tenant
-        if effective_tenant:
-            headers["X-Tenant"] = effective_tenant
+        headers = _build_headers(effective_tenant, self.auth_token)
         req = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
@@ -201,13 +226,54 @@ def _build_reply(status: int, headers: Dict[str, str], raw: bytes) -> HttpReply:
     return HttpReply(status=status, payload=payload, headers=headers, text=text)
 
 
-def _payload_dict(request: RequestLike) -> Dict[str, Any]:
-    """Normalise a request-like value into a JSON-ready dictionary."""
+def _payload_dict(
+    request: RequestLike, deadline_ms: Optional[float] = None
+) -> Dict[str, Any]:
+    """Normalise a request-like value into a JSON-ready dictionary.
+
+    ``deadline_ms`` is injected when the payload does not already carry its
+    own budget, so a per-call default never silently overrides an explicit
+    per-request one.
+    """
     if isinstance(request, SolveRequest):
         from repro.io.serialization import solve_request_to_dict
 
-        return solve_request_to_dict(request)
-    return dict(request)
+        payload = solve_request_to_dict(request)
+    else:
+        payload = dict(request)
+    if deadline_ms is not None and payload.get("deadline_ms") is None:
+        payload["deadline_ms"] = deadline_ms
+    return payload
+
+
+def _solve_path(
+    api_version: str, batch: bool, include_plan: Optional[bool]
+) -> str:
+    """Build the solve route for one call — shared by both clients."""
+    path = f"/{api_version}/solve/batch" if batch else f"/{api_version}/solve"
+    if include_plan is not None:
+        path += f"?plan={'1' if include_plan else '0'}"
+    return path
+
+
+def _build_headers(
+    tenant: Optional[str], auth_token: Optional[str]
+) -> Dict[str, str]:
+    """Request headers for one call — shared by both clients."""
+    headers = {"Content-Type": "application/json"}
+    if tenant:
+        headers["X-Tenant"] = tenant
+    if auth_token:
+        headers["Authorization"] = f"Bearer {auth_token}"
+    return headers
+
+
+def _check_api_version(api_version: str) -> str:
+    if api_version not in ("v1", "v2"):
+        raise ValueError(
+            f"api_version must be 'v1' or 'v2', got {api_version!r}"
+        )
+    return api_version
 
 
 class AsyncSladeHttpClient:
@@ -239,6 +305,8 @@ class AsyncSladeHttpClient:
         base_url: str,
         tenant: Optional[str] = None,
         timeout: float = 60.0,
+        auth_token: Optional[str] = None,
+        api_version: str = "v2",
     ) -> None:
         parts = urllib.parse.urlsplit(base_url if "//" in base_url
                                       else f"http://{base_url}")
@@ -248,6 +316,8 @@ class AsyncSladeHttpClient:
         self.port = parts.port or 80
         self.tenant = tenant
         self.timeout = timeout
+        self.auth_token = auth_token
+        self.api_version = _check_api_version(api_version)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -258,12 +328,17 @@ class AsyncSladeHttpClient:
         request: RequestLike,
         tenant: Optional[str] = None,
         include_plan: Optional[bool] = None,
+        deadline_ms: Optional[float] = None,
     ) -> HttpReply:
-        """POST one solve request to ``/v1/solve``."""
-        path = "/v1/solve"
-        if include_plan is not None:
-            path += f"?plan={'1' if include_plan else '0'}"
-        return await self._request("POST", path, _payload_dict(request), tenant)
+        """POST one solve request to ``/{v}/solve``.
+
+        Same semantics as :meth:`SladeHttpClient.solve`: ``deadline_ms``
+        stamps the request's latency budget unless the payload already
+        carries one.
+        """
+        path = _solve_path(self.api_version, False, include_plan)
+        body = _payload_dict(request, deadline_ms=deadline_ms)
+        return await self._request("POST", path, body, tenant)
 
     async def healthz(self) -> HttpReply:
         """GET the liveness document."""
@@ -325,12 +400,13 @@ class AsyncSladeHttpClient:
         lines = [
             f"{method} {path} HTTP/1.1",
             f"Host: {self.host}:{self.port}",
-            "Content-Type: application/json",
             f"Content-Length: {len(data)}",
             "Connection: keep-alive",
         ]
-        if tenant:
-            lines.append(f"X-Tenant: {tenant}")
+        lines.extend(
+            f"{name}: {value}"
+            for name, value in _build_headers(tenant, self.auth_token).items()
+        )
         self._writer.write("\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + data)
         await self._writer.drain()
         status, headers, raw = await self._read_response(self._reader)

@@ -21,7 +21,12 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.algorithms.registry import available_solvers, solver_accepts_queue_factory
+from repro.algorithms.anytime import QUALITY_OPTIMAL
+from repro.algorithms.registry import (
+    available_solvers,
+    solver_accepts_budget,
+    solver_accepts_queue_factory,
+)
 from repro.core.errors import SladeError
 from repro.core.problem import SladeProblem
 from repro.core.task import AtomicTask, CrowdsourcingTask
@@ -35,12 +40,22 @@ from repro.service.api import (
     CACHE_HIT,
     CACHE_MISS,
     CACHE_NONE,
+    DeadlineExceededError,
+    Provenance,
     RequestValidationError,
     ServiceConfig,
     SolveRequest,
     SolveResponse,
+    TIER_BUILD,
+    TIER_CACHE,
+    TIER_SOLVER,
     envelope_from_error,
     solver_options_dict,
+)
+from repro.service.normalize import (
+    check_not_expired,
+    remaining_budget_seconds,
+    stamp_deadline,
 )
 from repro.utils.timing import Stopwatch
 
@@ -71,6 +86,21 @@ class _ProvenanceRecorder:
         else:
             self.misses += 1
         return self._cache.queue_for(bins, threshold)
+
+    # The anytime ladder duck-types these off its injected factory: peek
+    # reuses cached frontiers without paying for cold builds, publish lands
+    # budgeted builds back so refined queues overwrite coarse cached ones.
+
+    def peek(self, bins, threshold):
+        queue = self._cache.peek(bins, threshold)
+        if queue is not None:
+            self.hits += 1
+        return queue
+
+    def publish(self, bins, threshold, queue, build_seconds=0.0):
+        stored = self._cache.publish(bins, threshold, queue, build_seconds)
+        self.misses += 1
+        return stored
 
     @property
     def label(self) -> str:
@@ -184,6 +214,23 @@ class SladeService:
         self.telemetry.increment("service.requests")
         request_id = request.request_id or f"req-{next(self._request_ids)}"
 
+        # Library callers may hand over a bare deadline_ms; the wire paths
+        # arrive pre-stamped (at receipt) and this is a no-op for them.
+        request = stamp_deadline(request)
+        budgeted = request.deadline_at is not None
+        if budgeted:
+            self.telemetry.increment("deadline.requests")
+            try:
+                # The moment the budget counts: queue wait inside the async
+                # frontend has already elapsed, and an expired request must
+                # never reach the planner.
+                check_not_expired(request)
+            except DeadlineExceededError as exc:
+                self.telemetry.increment("deadline.expired")
+                return self._failure(
+                    request_id, None, None, exc, watch, batch_size
+                )
+
         try:
             solver_name, options, verify, problem = self._normalize(request)
         except _ENVELOPED_ERRORS as exc:
@@ -198,14 +245,30 @@ class SladeService:
         if solver_accepts_queue_factory(solver_name):
             recorder = _ProvenanceRecorder(self.cache)
             options["queue_factory"] = recorder
+        remaining = remaining_budget_seconds(request)
+        if (budgeted and solver_accepts_budget(solver_name)
+                and "budget_seconds" not in options):
+            options["budget_seconds"] = remaining
         try:
             result = self.planner.solve(
                 problem, solver=solver_name, options=options, verify=verify
             )
         except _ENVELOPED_ERRORS as exc:
+            if budgeted:
+                self.telemetry.increment("deadline.misses")
             return self._failure(
                 request_id, solver_name, problem, exc, watch, batch_size
             )
+
+        provenance = self._provenance(request, result, recorder, remaining)
+        if budgeted:
+            met = remaining_budget_seconds(request)
+            self.telemetry.increment(
+                "deadline.hits" if met is not None and met > 0.0
+                else "deadline.misses"
+            )
+            if provenance.quality != QUALITY_OPTIMAL:
+                self.telemetry.increment("deadline.best_so_far")
 
         watch.stop()
         return SolveResponse(
@@ -220,6 +283,39 @@ class SladeService:
             solve_seconds=result.elapsed_seconds,
             batch_size=batch_size,
             problem_fingerprint=problem.fingerprint,
+            provenance=provenance,
+        )
+
+    def _provenance(
+        self,
+        request: SolveRequest,
+        result: Any,
+        recorder: Optional[_ProvenanceRecorder],
+        remaining_seconds: Optional[float],
+    ) -> Provenance:
+        """Assemble the response provenance block for a successful solve.
+
+        The anytime solver records its own ``quality``/``tier`` metadata;
+        for every other solver the computation ran to completion (quality
+        ``"optimal"`` in the degradation sense) and the tier is derived from
+        the request's cache traffic.
+        """
+        quality = result.metadata.get("quality") or QUALITY_OPTIMAL
+        tier = result.metadata.get("tier")
+        if tier is None:
+            label = recorder.label if recorder is not None else CACHE_BYPASS
+            tier = {
+                CACHE_HIT: TIER_CACHE,
+                CACHE_MISS: TIER_BUILD,
+            }.get(label, TIER_SOLVER)
+        return Provenance(
+            quality=quality,
+            tier=tier,
+            deadline_ms=request.deadline_ms,
+            remaining_budget_ms=(
+                None if remaining_seconds is None
+                else remaining_seconds * 1000.0
+            ),
         )
 
     def _failure(
@@ -254,7 +350,15 @@ class SladeService:
         self, request: SolveRequest
     ) -> Tuple[str, Dict[str, Any], bool, SladeProblem]:
         """Resolve defaults and clamps into concrete dispatch arguments."""
-        solver_name = request.solver or self.config.solver
+        solver_name = request.solver
+        if solver_name is None and request.deadline_ms is not None:
+            # A budgeted request that does not pin a solver goes through the
+            # anytime ladder: feasible answer now, refinement while budget
+            # lasts.  Pinning a solver opts out (the facade still enforces
+            # the pre-dispatch expiry check, but not mid-solve preemption).
+            solver_name = "anytime"
+        if solver_name is None:
+            solver_name = self.config.solver
         if solver_name not in available_solvers():
             known = ", ".join(available_solvers())
             raise RequestValidationError(

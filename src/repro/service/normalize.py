@@ -1,0 +1,108 @@
+"""The one wire-to-request normalisation path shared by every entry point.
+
+Before this module, each transport hand-rolled its own parse: the HTTP
+server, the batch endpoint, and the JSON-lines ``repro serve`` loop all
+called :func:`repro.io.serialization.solve_request_from_dict` with slightly
+different request-id defaulting, and none of them had anywhere to hang
+deadline bookkeeping.  Every entry point now funnels through
+:func:`parse_request_payload`, so a request is validated the same way — and
+its latency budget is stamped at the same instant — no matter which door it
+came in through.
+
+Deadline bookkeeping is deliberately *absolute*: ``deadline_ms`` (the wire
+field) is converted once, at receipt, into ``deadline_at`` — a
+``time.monotonic()`` instant.  Everything downstream (the async frontend's
+micro-batch queue, admission, the facade) just compares against the clock,
+so queue wait subtracts from the budget without any explicit accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Any, Optional
+
+from repro.service.api import DeadlineExceededError, SolveRequest
+
+__all__ = [
+    "parse_request_payload",
+    "stamp_deadline",
+    "remaining_budget_seconds",
+    "check_not_expired",
+]
+
+
+def stamp_deadline(
+    request: SolveRequest, received_at: Optional[float] = None
+) -> SolveRequest:
+    """Convert a relative ``deadline_ms`` into an absolute ``deadline_at``.
+
+    Idempotent: a request already stamped (or without a budget) is returned
+    unchanged, so transports stamp at receipt and the facade's defensive
+    re-stamp for direct library callers is a no-op on the wire path.
+    ``received_at`` is the ``time.monotonic()`` instant the request entered
+    the system (defaults to now).
+    """
+    if request.deadline_ms is None or request.deadline_at is not None:
+        return request
+    if received_at is None:
+        received_at = time.monotonic()
+    return replace(
+        request, deadline_at=received_at + float(request.deadline_ms) / 1000.0
+    )
+
+
+def remaining_budget_seconds(
+    request: SolveRequest, now: Optional[float] = None
+) -> Optional[float]:
+    """Seconds of budget left (possibly negative); ``None`` when unbudgeted."""
+    if request.deadline_at is None:
+        return None
+    if now is None:
+        now = time.monotonic()
+    return request.deadline_at - now
+
+
+def check_not_expired(
+    request: SolveRequest, now: Optional[float] = None, where: str = "dispatch"
+) -> None:
+    """Raise :class:`DeadlineExceededError` when the budget is already blown.
+
+    Transports call this before submitting (so an expired-in-queue request
+    never reaches the planner) and the facade calls it again at dispatch
+    (covering wait inside the micro-batching frontend).
+    """
+    remaining = remaining_budget_seconds(request, now)
+    if remaining is not None and remaining <= 0.0:
+        raise DeadlineExceededError(
+            f"deadline of {request.deadline_ms}ms expired "
+            f"{-remaining * 1000.0:.1f}ms before {where}"
+        )
+
+
+def parse_request_payload(
+    payload: Any,
+    default_request_id: Optional[str] = None,
+    received_at: Optional[float] = None,
+) -> SolveRequest:
+    """Parse one wire payload into a deadline-stamped :class:`SolveRequest`.
+
+    The single normalisation door for the HTTP solve endpoint, the batch
+    endpoint's items, and the JSON-lines loop.  Non-dict payloads, unknown
+    top-level fields, and unsupported schema versions all raise the same
+    :class:`~repro.service.api.RequestValidationError` family regardless of
+    transport.  ``received_at`` anchors the deadline at the moment the bytes
+    were read, not the (later) moment parsing got scheduled.
+    """
+    from repro.io.serialization import solve_request_from_dict
+
+    from repro.service.api import RequestValidationError
+
+    if not isinstance(payload, dict):
+        raise RequestValidationError(
+            f"expected a solve_request object, got {type(payload).__name__}"
+        )
+    request = solve_request_from_dict(
+        payload, default_request_id=default_request_id
+    )
+    return stamp_deadline(request, received_at)

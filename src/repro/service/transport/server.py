@@ -8,14 +8,14 @@ micro-batches and OPQ cache a single-process deployment already exploits.
 
 Routes
 ------
-``POST /v1/solve``
+``POST /v2/solve`` (``/v1/solve`` is a compatible alias)
     One solve request (the :func:`repro.io.serialization.solve_request_to_dict`
     shape, including the compact inline form); answers the matching
     ``solve_response`` JSON.  Application-level failures (infeasible plans,
     unknown solvers) come back as HTTP 200 with ``ok=false`` — the request
     was served; the *solve* failed.  Transport and admission failures use
     4xx/5xx with the same envelope shape.
-``POST /v1/solve/batch``
+``POST /v2/solve/batch`` (``/v1/solve/batch`` is a compatible alias)
     ``{"requests": [...]}``; items are parsed and solved with per-item
     failure isolation and answered in order as ``{"responses": [...]}``.
 ``GET /healthz``
@@ -27,12 +27,25 @@ Routes
     as Prometheus text by default or JSON with ``?format=json``.
 
 Admission control runs before any solve work — and before any *parse* work:
-``/v1/solve`` charges the connection-level identity (``X-Tenant`` header,
+``/v2/solve`` charges the connection-level identity (``X-Tenant`` header,
 else ``anonymous``) ahead of reading the body, then refunds and re-admits
 under the body's ``tenant`` field when it names someone else (the field
 wins).  An exhausted tenant therefore cannot spend server CPU on
 multi-megabyte bodies.  Rejections return structured 429/503 envelopes with
 ``Retry-After`` when the bucket can estimate one.
+
+When a shared secret is configured (``serve --auth-token``), the solve
+endpoints additionally require ``Authorization: Bearer <token>`` (or
+``X-Auth-Token: <token>``) *before* admission is charged, and reply with a
+structured 401 envelope on mismatch — closing the previously-trusted
+``X-Tenant`` rider, where any caller could bill an arbitrary tenant's
+quota.  ``/healthz`` and ``/metrics`` stay open for probes and scrapers.
+
+Deadline propagation: ``deadline_ms`` on a request is converted to an
+absolute instant when the body is parsed, so time spent queueing (admission,
+micro-batch coalescing) counts against the budget.  A budget already blown
+at parse is rejected with a structured 503 envelope before the request is
+ever submitted — an expired-in-queue request never reaches the planner.
 
 Shutdown is clean: :meth:`HttpSladeServer.close` stops accepting
 connections, lets every in-flight request finish and flush its response,
@@ -44,11 +57,14 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import time
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.errors import SladeError
 from repro.engine.telemetry import render_prometheus
 from repro.service.api import (
+    AuthenticationError,
+    DeadlineExceededError,
     RateLimitedError,
     ServiceClosedError,
     ServiceConfig,
@@ -58,6 +74,7 @@ from repro.service.api import (
     http_status_for,
 )
 from repro.service.async_service import AsyncSladeService
+from repro.service.normalize import check_not_expired, parse_request_payload
 from repro.service.transport.admission import DEFAULT_TENANT, AdmissionController
 from repro.service.transport.http11 import (
     MAX_BODY_BYTES,
@@ -91,6 +108,10 @@ class HttpSladeServer:
         ``?plan=0`` / ``?plan=1`` query parameters override it.
     max_body:
         Largest accepted request body in bytes.
+    auth_token:
+        Optional shared secret required on the solve endpoints (via
+        ``Authorization: Bearer <token>`` or ``X-Auth-Token``); ``None``
+        leaves them open.  ``/healthz`` and ``/metrics`` are never gated.
     """
 
     def __init__(
@@ -100,6 +121,7 @@ class HttpSladeServer:
         admission: Optional[AdmissionController] = None,
         include_plans: bool = True,
         max_body: int = MAX_BODY_BYTES,
+        auth_token: Optional[str] = None,
     ) -> None:
         if service is None:
             service = AsyncSladeService(config=config)
@@ -114,6 +136,7 @@ class HttpSladeServer:
         self.admission = admission
         self.include_plans = include_plans
         self.max_body = max_body
+        self.auth_token = auth_token
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -260,16 +283,45 @@ class HttpSladeServer:
             return await asyncio.get_running_loop().run_in_executor(
                 None, self._respond_metrics, request, keep_alive
             )
-        if request.path == "/v1/solve":
+        if request.path in ("/v2/solve", "/v1/solve"):
             if request.method != "POST":
                 return self._method_not_allowed(request, "POST", keep_alive)
+            denied = self._check_auth(request, keep_alive)
+            if denied is not None:
+                return denied
             return await self._respond_solve(request, keep_alive)
-        if request.path == "/v1/solve/batch":
+        if request.path in ("/v2/solve/batch", "/v1/solve/batch"):
             if request.method != "POST":
                 return self._method_not_allowed(request, "POST", keep_alive)
+            denied = self._check_auth(request, keep_alive)
+            if denied is not None:
+                return denied
             return await self._respond_solve_batch(request, keep_alive)
         return self._error_bytes(
             404, SladeError(f"no route for {request.method} {request.path}"),
+            keep_alive=keep_alive,
+        )
+
+    def _check_auth(self, request: HttpRequest, keep_alive: bool) -> Optional[bytes]:
+        """401 bytes when the shared-secret check fails; ``None`` when it passes.
+
+        Runs before admission so an unauthenticated caller can neither bill an
+        arbitrary ``X-Tenant`` bucket nor occupy an in-flight slot.
+        """
+        if self.auth_token is None:
+            return None
+        bearer = request.header("authorization")
+        if bearer is not None and bearer.strip() == f"Bearer {self.auth_token}":
+            return None
+        if request.header("x-auth-token") == self.auth_token:
+            return None
+        self.telemetry.increment("admission.unauthorized")
+        return self._error_bytes(
+            401,
+            AuthenticationError(
+                "missing or invalid auth token; pass 'Authorization: "
+                "Bearer <token>' or 'X-Auth-Token'"
+            ),
             keep_alive=keep_alive,
         )
 
@@ -288,6 +340,10 @@ class HttpSladeServer:
         # body names a different tenant (the field wins), the provisional
         # charge is refunded and the real tenant admitted instead.
         provisional = request.header("x-tenant") or DEFAULT_TENANT
+        # The budget clock starts when the request is in hand, before any
+        # queueing (admission, executor scheduling, micro-batch coalescing)
+        # can eat into it.
+        received_at = time.monotonic()
         try:
             ticket = self.admission.admit(provisional)
         except ServiceError as exc:
@@ -300,7 +356,7 @@ class HttpSladeServer:
         loop = asyncio.get_running_loop()
         try:
             solve_request = await loop.run_in_executor(
-                None, _parse_solve_body, request.body, request_id
+                None, _parse_solve_body, request.body, request_id, received_at
             )
         except _PARSE_ERRORS as exc:
             # No refund: the tenant did consume a parse attempt.
@@ -319,6 +375,18 @@ class HttpSladeServer:
                     http_status_for(exc), exc, keep_alive=keep_alive,
                     request_id=solve_request.request_id or request_id,
                 )
+        # A budget already blown (e.g. burned by admission wait) is rejected
+        # here, before the request is ever enqueued toward the planner.
+        try:
+            check_not_expired(solve_request, where="submit")
+        except DeadlineExceededError as exc:
+            ticket.release()
+            self.telemetry.increment("deadline.requests")
+            self.telemetry.increment("deadline.expired")
+            return self._error_bytes(
+                503, exc, keep_alive=keep_alive,
+                request_id=solve_request.request_id or request_id,
+            )
         self._inflight_solves += 1
         try:
             with ticket:
@@ -343,10 +411,11 @@ class HttpSladeServer:
                 503, ServiceClosedError("server is shutting down"),
                 keep_alive=False, request_id=batch_id,
             )
+        received_at = time.monotonic()
         loop = asyncio.get_running_loop()
         try:
             batch_tenant, entry_count, parsed, failures = await loop.run_in_executor(
-                None, _parse_batch_body, request.body, batch_id
+                None, _parse_batch_body, request.body, batch_id, received_at
             )
         except _PARSE_ERRORS as exc:
             return self._error_bytes(
@@ -499,36 +568,37 @@ class HttpSladeServer:
         )
 
 
-def _request_from_payload(payload: Any, request_id: str) -> SolveRequest:
-    """Parse one solve-request payload, enveloping non-dict bodies too."""
-    from repro.io.serialization import solve_request_from_dict
+def _parse_solve_body(
+    body: bytes, request_id: str, received_at: float
+) -> SolveRequest:
+    """Decode and validate one solve body (runs in the worker executor).
 
-    if not isinstance(payload, dict):
-        raise SladeError(
-            f"expected a solve_request object, got {type(payload).__name__}"
-        )
-    return solve_request_from_dict(payload, default_request_id=request_id)
-
-
-def _parse_solve_body(body: bytes, request_id: str) -> SolveRequest:
-    """Decode and validate one solve body (runs in the worker executor)."""
-    return _request_from_payload(json.loads(body), request_id)
+    Normalisation — including anchoring ``deadline_ms`` at ``received_at`` —
+    goes through the shared :func:`repro.service.normalize.parse_request_payload`
+    door, so the HTTP path accepts and rejects exactly what the JSON-lines
+    loop does.
+    """
+    return parse_request_payload(
+        json.loads(body), default_request_id=request_id, received_at=received_at
+    )
 
 
 def _parse_batch_body(
-    body: bytes, batch_id: str
+    body: bytes, batch_id: str, received_at: float
 ) -> Tuple[Optional[str], int, List[Tuple[int, SolveRequest]], Dict[int, Any]]:
     """Decode a batch body into (payload tenant, entry count, parsed, failures).
 
     Runs in the worker executor.  Per-item failure isolation mirrors
     :meth:`SladeService.solve_batch`: a malformed item becomes its own
-    ``ok=False`` envelope without sinking its batch-mates.
+    ``ok=False`` envelope without sinking its batch-mates.  Every item's
+    deadline is anchored at the same ``received_at``; an item already expired
+    when the batch is dispatched becomes a per-item 200 envelope (the facade
+    rejects it without planner work).
     """
     payload = json.loads(body)
     entries = payload.get("requests") if isinstance(payload, dict) else None
     if not isinstance(entries, list) or not entries:
         raise SladeError("batch payload needs a non-empty 'requests' list")
-    from repro.io.serialization import solve_request_from_dict
 
     parsed: List[Tuple[int, SolveRequest]] = []
     failures: Dict[int, Any] = {}
@@ -536,7 +606,14 @@ def _parse_batch_body(
         item_id = f"{batch_id}-{index}"
         try:
             parsed.append(
-                (index, solve_request_from_dict(entry, default_request_id=item_id))
+                (
+                    index,
+                    parse_request_payload(
+                        entry,
+                        default_request_id=item_id,
+                        received_at=received_at,
+                    ),
+                )
             )
         except _PARSE_ERRORS as exc:
             failures[index] = failure_response(item_id, exc)
@@ -551,6 +628,7 @@ async def run_http_server(
     include_plans: bool = True,
     stop: Optional["asyncio.Event"] = None,
     on_ready: Optional[Callable[["HttpSladeServer"], None]] = None,
+    auth_token: Optional[str] = None,
 ) -> HttpSladeServer:
     """Start a server, run until ``stop`` is set, close cleanly.
 
@@ -563,7 +641,8 @@ async def run_http_server(
     server = await asyncio.get_running_loop().run_in_executor(
         None,
         lambda: HttpSladeServer(
-            config=config, admission=admission, include_plans=include_plans
+            config=config, admission=admission, include_plans=include_plans,
+            auth_token=auth_token,
         ),
     )
     try:

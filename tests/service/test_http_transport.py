@@ -201,11 +201,12 @@ class TestTransportErrors:
     def test_unknown_route_and_wrong_method(self):
         with ServerHandle() as handle:
             client = handle.client()
-            missing = client._request("GET", "/v2/solve", None, None)
+            missing = client._request("GET", "/v3/solve", None, None)
             assert missing.status == 404
             assert missing.payload["error"]["type"] == "SladeError"
-            wrong = client._request("GET", "/v1/solve", None, None)
-            assert wrong.status == 405
+            for path in ("/v1/solve", "/v2/solve"):
+                wrong = client._request("GET", path, None, None)
+                assert wrong.status == 405
 
     def test_batch_payload_must_be_a_request_list(self):
         with ServerHandle() as handle:
