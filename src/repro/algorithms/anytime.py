@@ -39,9 +39,9 @@ from repro.algorithms.opq import (
     OptimalPriorityQueue,
     OPQSolver,
     QueueFactory,
-    build_optimal_priority_queue,
     queue_is_complete,
 )
+from repro.algorithms.opq_vec import build_queue
 from repro.algorithms.opq_extended import (
     assign_to_groups,
     group_thresholds,
@@ -107,6 +107,13 @@ class AnytimeSolver(Solver):
         if peek is None:
             return None
         return peek(problem.bins, threshold)
+
+    def _seed(self, problem: SladeProblem, threshold: float):
+        """Warm-start elements from the cache's plan curve, when it has one."""
+        seed_for = getattr(self._queue_factory, "seed_for", None)
+        if seed_for is None:
+            return None
+        return seed_for(problem.bins, threshold)
 
     def _publish(
         self,
@@ -192,8 +199,9 @@ class AnytimeSolver(Solver):
                 continue
             started = time.monotonic()
             try:
-                queue = build_optimal_priority_queue(
-                    problem.bins, threshold, deadline=deadline
+                queue = build_queue(
+                    problem.bins, threshold, deadline=deadline,
+                    seed=self._seed(problem, threshold),
                 )
             except InfeasiblePlanError:
                 # Deadline elapsed before a single feasible combination was

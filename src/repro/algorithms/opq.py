@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import Solver
 from repro.core.bins import TaskBin, TaskBinSet
@@ -60,31 +60,54 @@ class Combination:
         for cardinality, _count in items:
             if cardinality not in bins:
                 raise KeyError(f"bin set has no cardinality {cardinality}")
-        return cls(items, bins)
+        combination = cls(items, bins)
+        combination._cache_quantities()
+        return combination
 
     # -- core quantities -------------------------------------------------------
+
+    def _cache_quantities(self) -> None:
+        """Precompute the hot quantities once, at construction.
+
+        ``insert``/``dominates`` read ``lcm`` and ``unit_cost`` for every
+        frontier element on every enumeration node; recomputing them per
+        access made Algorithm 2 superlinearly slower as the frontier grew.
+        The dataclass is frozen, hence ``object.__setattr__``.
+        """
+        lcm = lcm_of(cardinality for cardinality, _count in self.counts)
+        unit_cost = 0.0
+        residual = 0.0
+        for cardinality, count in self.counts:
+            task_bin = self.bins[cardinality]
+            unit_cost += (task_bin.cost / cardinality) * count
+            residual += task_bin.residual_contribution * count
+        object.__setattr__(self, "_lcm", lcm)
+        object.__setattr__(self, "_unit_cost", unit_cost)
+        object.__setattr__(self, "_residual", residual)
+
+    def __getattr__(self, name: str):
+        # Combinations built by the bare constructor, or unpickled from cache
+        # payloads written before the cached quantities existed, lack the
+        # precomputed attributes; materialise them on first touch.
+        if name in ("_lcm", "_unit_cost", "_residual"):
+            self._cache_quantities()
+            return object.__getattribute__(self, name)
+        raise AttributeError(name)
 
     @property
     def lcm(self) -> int:
         """Least common multiple of the member cardinalities (block size)."""
-        return lcm_of(cardinality for cardinality, _count in self.counts)
+        return self._lcm
 
     @property
     def unit_cost(self) -> float:
         """Per-atomic-task cost ``UC = sum_k (c_k / k) * n_k``."""
-        total = 0.0
-        for cardinality, count in self.counts:
-            task_bin = self.bins[cardinality]
-            total += (task_bin.cost / cardinality) * count
-        return total
+        return self._unit_cost
 
     @property
     def residual(self) -> float:
         """Reliability (in residual space) granted to each covered task."""
-        total = 0.0
-        for cardinality, count in self.counts:
-            total += self.bins[cardinality].residual_contribution * count
-        return total
+        return self._residual
 
     def satisfies(self, threshold: float) -> bool:
         """Whether the combination meets a reliability threshold."""
@@ -139,6 +162,13 @@ class OptimalPriorityQueue:
     def __init__(self, threshold: float) -> None:
         self.threshold = threshold
         self._elements: List[Combination] = []
+        #: Whether the queue holds the full Pareto frontier for its threshold.
+        #: ``build_optimal_priority_queue`` clears it on deadline truncation
+        #: or when capped below the natural bound; copies must propagate it
+        #: (a restriction of a truncated frontier is still truncated).
+        self.complete: bool = True
+        #: Enumeration counters of the build that produced the queue.
+        self.stats: Dict[str, int] = {}
 
     # -- maintenance -----------------------------------------------------------
 
@@ -207,6 +237,10 @@ class OptimalPriorityQueue:
         """
         copy = OptimalPriorityQueue(self.threshold)
         copy._elements = [c for c in self._elements if c.lcm <= max_lcm]
+        # A restriction of a truncated anytime frontier must not report
+        # itself exhaustive: propagate the provenance markers.
+        copy.complete = self.complete
+        copy.stats = dict(self.stats)
         return copy
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -232,6 +266,7 @@ def build_optimal_priority_queue(
     max_assignments: Optional[int] = None,
     use_pruning: bool = True,
     deadline: Optional[float] = None,
+    seed: Optional[Iterable[Combination]] = None,
 ) -> OptimalPriorityQueue:
     """Algorithm 2: enumerate combinations and keep the Pareto frontier.
 
@@ -257,6 +292,16 @@ def build_optimal_priority_queue(
         yields feasible — merely possibly suboptimal — plans.  This is the
         anytime hook: serve from the truncated frontier now, rebuild the full
         one later.
+    seed:
+        Optional combinations (from the *same* bin menu) to warm-start the
+        frontier with — typically the cached frontier of a nearby threshold
+        on the menu's plan curve.  Every seed is re-validated against this
+        build's threshold and dropped when it falls short, so donors from
+        either direction along the curve are safe; a donor from a *higher*
+        threshold is fully feasible by construction.  Seeding never changes
+        the result (a non-minimal seed is strictly dominated by a
+        combination the enumeration finds), it only strengthens the Lemma 1
+        pruning from the first node onward.
 
     Returns
     -------
@@ -281,8 +326,13 @@ def build_optimal_priority_queue(
         max_assignments = natural_bound
 
     counts: Dict[int, int] = {}
-    stats = {"nodes": 0, "pruned": 0, "inserted": 0}
+    stats = {"nodes": 0, "pruned": 0, "inserted": 0, "seeded": 0}
     truncated = False
+
+    if seed is not None:
+        for donated in seed:
+            if donated.residual >= demand - 1e-12 and queue.insert(donated):
+                stats["seeded"] += 1
 
     def enumerate_from(start_index: int, accumulated: float, used: int) -> None:
         """Depth-first enumeration (SubFunction Enumerate of Algorithm 2)."""
@@ -329,10 +379,8 @@ def build_optimal_priority_queue(
             f"reaches reliability threshold {threshold}"
             + (" within the enumeration deadline" if truncated else "")
         )
-    queue.stats = stats  # type: ignore[attr-defined]
-    queue.complete = (  # type: ignore[attr-defined]
-        not truncated and max_assignments >= natural_bound
-    )
+    queue.stats = stats
+    queue.complete = not truncated and max_assignments >= natural_bound
     return queue
 
 

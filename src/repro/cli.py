@@ -50,6 +50,13 @@ Three sub-commands cover the common workflows:
     budgets, and cache warm rate; ``--output`` writes the full JSON report
     the CI perf-trajectory gate consumes.
 
+``profile``
+    Build a grid of Algorithm 2 frontiers cold under cProfile and print a
+    per-threshold timing table plus the top-N cumulative-time functions —
+    the quickest way to see whether construction time goes to enumeration,
+    frontier maintenance, or Combination quantity (re)computation, and to
+    compare the ``python`` and ``numpy`` cores (``--core``).
+
 Every sub-command reports library-level failures (:class:`SladeError`
 subclasses) as a one-line ``error:`` message on stderr with exit code 2
 instead of a traceback.
@@ -177,6 +184,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="largest micro-batch the HTTP frontend coalesces")
     serve.add_argument("--max-wait-seconds", type=float, default=0.01,
                        help="longest an incomplete micro-batch is held open")
+    serve.add_argument("--opq-core", default=None, dest="opq_core",
+                       choices=["auto", "python", "numpy"],
+                       help="Algorithm 2 construction core for plan-cache "
+                            "builds (default: SLADE_OPQ_CORE env, then auto)")
     serve.add_argument("--auth-token", default=None, metavar="TOKEN",
                        help="shared secret required on solve endpoints "
                             "('Authorization: Bearer <token>' or "
@@ -220,6 +231,24 @@ def _build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--json", action="store_true",
                           help="print the JSON report to stdout instead of "
                                "the summary table")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile Algorithm 2 cold builds (cProfile, top-N cumulative)",
+    )
+    profile.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
+    profile.add_argument("--thresholds", default="0.87,0.9,0.95,0.97,0.99",
+                         help="comma-separated reliability thresholds to build")
+    profile.add_argument("--max-cardinality", type=int, default=20,
+                         help="largest task bin cardinality |B|")
+    profile.add_argument("--core", default=None,
+                         choices=["auto", "python", "numpy"],
+                         help="OPQ construction core (default: SLADE_OPQ_CORE "
+                              "env, then auto)")
+    profile.add_argument("--repeat", type=int, default=3,
+                         help="build each threshold this many times")
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows of the cumulative-time table to print")
 
     calibrate = sub.add_parser("calibrate", help="probe the simulated platform")
     calibrate.add_argument("--dataset", default="jelly", choices=["jelly", "smic"])
@@ -402,6 +431,7 @@ def _serve_http(args: argparse.Namespace) -> int:
         cache_backend=args.cache,
         max_batch_size=args.max_batch_size,
         max_wait_seconds=args.max_wait_seconds,
+        opq_core=args.opq_core,
     )
     admission = AdmissionController(
         rate=args.rate,
@@ -473,6 +503,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         solver=args.solver,
         verify=not args.no_verify,
         cache_backend=args.cache,
+        opq_core=args.opq_core,
     )
     try:
         service = SladeService(config=config)
@@ -608,6 +639,62 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile Algorithm 2 cold builds and print where the time goes.
+
+    Every build runs cold (no plan cache, no curve seeding) so the numbers
+    isolate raw construction cost — the quantity the vectorized core and the
+    :class:`~repro.algorithms.opq.Combination` quantity caching are meant to
+    shrink.  The cProfile table is sorted by cumulative time, which surfaces
+    the enumeration helpers (``residual``/``unit_cost``/``lcm``) directly
+    when they are hot.
+    """
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    from repro.algorithms.opq_vec import build_queue, resolve_core
+
+    if args.repeat < 1:
+        raise SladeError(f"--repeat must be >= 1; got {args.repeat}")
+    if args.top < 1:
+        raise SladeError(f"--top must be >= 1; got {args.top}")
+    thresholds = _parse_grid(args.thresholds, float, "--thresholds")
+    bins = jelly_bin_set(args.max_cardinality) if args.dataset == "jelly" \
+        else smic_bin_set(args.max_cardinality)
+    core = resolve_core(args.core)
+
+    profiler = cProfile.Profile()
+    per_threshold = []
+    for threshold in thresholds:
+        best = float("inf")
+        for _ in range(args.repeat):
+            start = time.perf_counter()
+            profiler.enable()
+            queue = build_queue(bins, threshold, core=core)
+            profiler.disable()
+            best = min(best, time.perf_counter() - start)
+        per_threshold.append((threshold, best, len(queue)))
+
+    print(f"dataset            : {args.dataset} (|B| <= {args.max_cardinality})")
+    print(f"core               : {core}")
+    print(f"repeat             : {args.repeat} (best-of shown per threshold)")
+    print()
+    print(f"{'threshold':>9}  {'build (ms)':>10}  {'frontier':>8}")
+    total = 0.0
+    for threshold, best, size in per_threshold:
+        total += best
+        print(f"{threshold:>9.4f}  {best * 1e3:>10.3f}  {size:>8}")
+    print(f"{'total':>9}  {total * 1e3:>10.3f}")
+    print()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(args.top)
+    print(buffer.getvalue().rstrip())
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     if args.dataset == "jelly":
         platform = jelly_platform(difficulty=args.difficulty, seed=args.seed)
@@ -632,6 +719,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "cached": _cmd_cached,
     "loadtest": _cmd_loadtest,
+    "profile": _cmd_profile,
     "calibrate": _cmd_calibrate,
     "lint": run_lint_command,
 }

@@ -56,6 +56,16 @@ class MemoryBackend:
                 self._entries.move_to_end(key)
             return queue
 
+    def peek(self, key: OPQKey) -> Optional[OptimalPriorityQueue]:
+        """A read that does *not* refresh LRU recency.
+
+        The plan cache's curve seeding probes *other* thresholds' entries to
+        warm-start a build; those probes are opportunistic and must not keep
+        a donor alive at the expense of entries requests actually asked for.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def put(self, key: OPQKey, queue: OptimalPriorityQueue) -> None:
         with self._lock:
             self._entries[key] = queue

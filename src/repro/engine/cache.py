@@ -39,13 +39,14 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
 from repro.algorithms.opq import (
+    Combination,
     OptimalPriorityQueue,
-    build_optimal_priority_queue,
     queue_is_complete,
 )
+from repro.algorithms.opq_vec import build_queue, resolve_core
 from repro.core.bins import TaskBinSet
 from repro.engine.backends import CacheBackend, MemoryBackend
 from repro.engine.fingerprint import OPQKey, opq_key
@@ -91,6 +92,14 @@ class CacheStats:
         Total wall-clock time spent constructing queues on misses.
     evictions:
         Entries dropped by the backend's LRU bound (0 for unbounded stores).
+    partial_hits:
+        ``peek`` calls answered with an *incomplete* (truncated) frontier.
+        The caller typically refines and publishes afterwards, so counting
+        these as plain hits double-counted the request once the publish
+        landed as a miss; they get their own counter instead.
+    curve_seeds:
+        Cold builds warm-started from a nearby threshold's cached frontier
+        on the same bin menu (see :meth:`PlanCache.seed_for`).
     """
 
     hits: int
@@ -98,10 +107,12 @@ class CacheStats:
     entries: int
     build_seconds: float
     evictions: int = 0
+    partial_hits: int = 0
+    curve_seeds: int = 0
 
     @property
     def requests(self) -> int:
-        """Total queue requests served."""
+        """Total queue requests served (partial peeks are counted at publish)."""
         return self.hits + self.misses
 
     @property
@@ -123,6 +134,8 @@ class CacheStats:
             entries=self.entries,
             build_seconds=self.build_seconds - earlier.build_seconds,
             evictions=self.evictions - earlier.evictions,
+            partial_hits=self.partial_hits - earlier.partial_hits,
+            curve_seeds=self.curve_seeds - earlier.curve_seeds,
         )
 
 
@@ -145,9 +158,15 @@ class PlanCache:
     telemetry:
         Optional :class:`~repro.engine.telemetry.Telemetry` registry; when
         set, the cache reports ``cache.hits`` / ``cache.misses`` /
+        ``cache.partial_hits`` / ``cache.curve_seeds`` /
         ``cache.evictions`` counters and ``cache.build_seconds`` alongside
         its own :attr:`stats` (the service layer shares one registry across
         the cache, planner, and transport so ``/metrics`` is one snapshot).
+    opq_core:
+        Algorithm 2 core for cold builds: ``"auto"`` (numpy when available,
+        the default), ``"python"``, or ``"numpy"``; ``None`` defers to the
+        ``SLADE_OPQ_CORE`` environment variable, then ``auto``.  See
+        :func:`repro.algorithms.opq_vec.resolve_core`.
 
     The bound method :meth:`queue_for` matches the
     :data:`~repro.algorithms.opq.QueueFactory` signature, so a cache can be
@@ -161,7 +180,11 @@ class PlanCache:
         max_entries: Optional[int] = None,
         backend: Optional[CacheBackend] = None,
         telemetry: Optional[Telemetry] = None,
+        opq_core: Optional[str] = None,
     ) -> None:
+        if opq_core is not None:
+            resolve_core(opq_core)  # fail fast on an unknown core name
+        self._opq_core = opq_core
         if backend is None:
             backend = MemoryBackend(max_entries=max_entries)
         elif max_entries is not None:
@@ -189,8 +212,16 @@ class PlanCache:
         self._inflight: Dict[OPQKey, _InflightBuild] = {}
         self._hits = 0
         self._misses = 0
+        self._partial_hits = 0
+        self._curve_seeds = 0
         self._build_seconds = 0.0
         self._evictions_seen = getattr(backend, "evictions", 0)
+        #: The plan curve: per bin-menu fingerprint, the thresholds whose
+        #: complete frontiers this process has seen, mapped to their backend
+        #: keys.  Purely an in-process index — the frontiers themselves stay
+        #: in the backend, and a stale curve point (evicted entry) is
+        #: dropped on the next lookup.
+        self._curves: Dict[str, Dict[float, OPQKey]] = {}
 
     # -- the hot path ----------------------------------------------------------
 
@@ -224,14 +255,19 @@ class PlanCache:
             queue = self._guarded(lambda: self.backend.get(key))
             if queue is not None:
                 flight.queue = queue
+                self._register_curve_point(bins, threshold, key, queue)
                 self._record_hit()
                 return queue
+            seed = self.seed_for(bins, threshold)
             watch = Stopwatch()
             with watch:
-                queue = build_optimal_priority_queue(bins, threshold)
+                queue = build_queue(
+                    bins, threshold, seed=seed, core=self._opq_core
+                )
             self._guarded(lambda: self.backend.put(key, queue))
             flight.queue = queue
-            self._record_miss(watch.elapsed)
+            self._register_curve_point(bins, threshold, key, queue)
+            self._record_miss(watch.elapsed, seeded=seed is not None)
             return queue
         finally:
             with self._lock:
@@ -247,16 +283,25 @@ class PlanCache:
 
         The anytime path: a deadline-bounded caller wants the queue *if it is
         already there* but must never pay for a cold Algorithm 2 run it cannot
-        afford.  A found queue counts as a hit; an absent one records nothing
-        (the caller decides whether to build, and :meth:`publish` accounts the
-        build when it lands).  The returned queue may be *incomplete* (a
-        truncated frontier published by an earlier budgeted build) — check
-        :func:`~repro.algorithms.opq.queue_is_complete`.
+        afford.  A found *complete* queue counts as a hit; an absent one
+        records nothing (the caller decides whether to build, and
+        :meth:`publish` accounts the build when it lands).  The returned
+        queue may be *incomplete* (a truncated frontier published by an
+        earlier budgeted build) — check
+        :func:`~repro.algorithms.opq.queue_is_complete`.  An incomplete
+        frontier is counted under ``cache.partial_hits`` instead of
+        ``cache.hits``: the caller will refine and publish it, and counting
+        the same request as both a hit and a (publish-time) miss skewed the
+        warm-rate windows.
         """
         key = opq_key(bins, threshold)
         queue = self._guarded(lambda: self.backend.get(key))
         if queue is not None:
-            self._record_hit()
+            if queue_is_complete(queue):
+                self._register_curve_point(bins, threshold, key, queue)
+                self._record_hit()
+            else:
+                self._record_partial_hit()
         return queue
 
     def publish(
@@ -291,8 +336,65 @@ class PlanCache:
 
         stored = self._guarded(exchange)
         if stored:
+            self._register_curve_point(bins, threshold, key, queue)
             self._record_miss(build_seconds)
         return stored
+
+    # -- cross-threshold plan-curve reuse --------------------------------------
+
+    def seed_for(
+        self, bins: TaskBinSet, threshold: float
+    ) -> Optional[List[Combination]]:
+        """Frontier elements of the nearest cached threshold on ``bins``'s menu.
+
+        The paper's scalability experiments (and production sweeps) vary the
+        threshold over a fixed bin menu; nearby thresholds share Pareto-
+        frontier structure.  This walks the menu's *plan curve* — the
+        thresholds whose complete frontiers this process has already seen —
+        and returns the closest donor's elements to warm-start a cold build
+        (:func:`~repro.algorithms.opq_vec.build_queue` re-validates each
+        element, so donors below the requested threshold are safe too; the
+        nearest donor *at or above* is preferred because its whole frontier
+        is feasible here).  Returns ``None`` when the menu has no usable
+        curve point; stale points (evicted entries) are dropped as they are
+        discovered.
+        """
+        with self._lock:
+            curve = dict(self._curves.get(bins.fingerprint, {}))
+        if not curve:
+            return None
+        above = sorted(t for t in curve if t >= threshold)
+        below = sorted((t for t in curve if t < threshold), reverse=True)
+        # Probe without refreshing recency when the backend distinguishes
+        # the two (the in-memory LRU does): an opportunistic donor read must
+        # not keep the donor alive over entries requests actually asked for.
+        probe = getattr(self.backend, "peek", self.backend.get)
+        for donor in above + below:
+            key = curve[donor]
+            queue = self._guarded(lambda: probe(key))
+            if queue is None:
+                with self._lock:
+                    menu_curve = self._curves.get(bins.fingerprint)
+                    if menu_curve is not None and menu_curve.get(donor) == key:
+                        del menu_curve[donor]
+                continue
+            elements = queue.elements()
+            if elements:
+                return elements
+        return None
+
+    def _register_curve_point(
+        self,
+        bins: TaskBinSet,
+        threshold: float,
+        key: OPQKey,
+        queue: OptimalPriorityQueue,
+    ) -> None:
+        """Remember that the menu's curve has a complete frontier at ``threshold``."""
+        if not queue_is_complete(queue):
+            return
+        with self._lock:
+            self._curves.setdefault(bins.fingerprint, {})[float(threshold)] = key
 
     def _guarded(self, call: Callable[[], _T]) -> _T:
         """Run one backend storage call with the required serialisation."""
@@ -309,9 +411,17 @@ class PlanCache:
             if coalesced:
                 self.telemetry.increment("cache.coalesced_waits")
 
-    def _record_miss(self, build_seconds: float) -> None:
+    def _record_partial_hit(self) -> None:
+        with self._lock:
+            self._partial_hits += 1
+        if self.telemetry is not None:
+            self.telemetry.increment("cache.partial_hits")
+
+    def _record_miss(self, build_seconds: float, seeded: bool = False) -> None:
         with self._lock:
             self._misses += 1
+            if seeded:
+                self._curve_seeds += 1
             self._build_seconds += build_seconds
             # Attribute evictions through the monotone backend counter
             # instead of a before/after diff, which concurrent leaders on
@@ -322,6 +432,8 @@ class PlanCache:
         if self.telemetry is not None:
             self.telemetry.increment("cache.misses")
             self.telemetry.increment("cache.build_seconds", build_seconds)
+            if seeded:
+                self.telemetry.increment("cache.curve_seeds")
             if evicted > 0:
                 self.telemetry.increment("cache.evictions", evicted)
 
@@ -353,6 +465,8 @@ class PlanCache:
         with self._lock:
             hits = self._hits
             misses = self._misses
+            partial_hits = self._partial_hits
+            curve_seeds = self._curve_seeds
             build_seconds = self._build_seconds
             evictions = getattr(self.backend, "evictions", 0)
         # The entry count is read OUTSIDE the hot-path lock: remote/tiered
@@ -367,6 +481,8 @@ class PlanCache:
             entries=len(self.backend),
             build_seconds=build_seconds,
             evictions=evictions,
+            partial_hits=partial_hits,
+            curve_seeds=curve_seeds,
         )
 
     def backend_metrics(self) -> Dict[str, float]:

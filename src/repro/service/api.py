@@ -344,6 +344,11 @@ class ServiceConfig:
         front of the shared tier); ``None`` means a fresh in-memory backend.
     max_cache_entries:
         Optional LRU bound forwarded to the backend.
+    opq_core:
+        Algorithm 2 core for cold OPQ builds: ``"auto"`` (numpy when
+        available), ``"python"``, or ``"numpy"`` (falls back to python when
+        numpy is absent).  ``None`` defers to the ``SLADE_OPQ_CORE``
+        environment variable, then ``auto``.
     """
 
     solver: str = "opq"
@@ -355,8 +360,16 @@ class ServiceConfig:
     max_wait_seconds: float = 0.01
     cache_backend: Optional[str] = None
     max_cache_entries: Optional[int] = None
+    opq_core: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.opq_core is not None and self.opq_core not in (
+            "auto", "python", "numpy"
+        ):
+            raise ServiceError(
+                f"opq_core must be 'auto', 'python', or 'numpy'; "
+                f"got {self.opq_core!r}"
+            )
         if self.max_batch_size < 1:
             raise ServiceError(
                 f"max_batch_size must be >= 1; got {self.max_batch_size}"

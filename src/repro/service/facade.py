@@ -102,6 +102,11 @@ class _ProvenanceRecorder:
         self.misses += 1
         return stored
 
+    def seed_for(self, bins, threshold):
+        # Plan-curve warm starts don't change hit/miss provenance: the build
+        # they accelerate is still accounted as the miss it is.
+        return self._cache.seed_for(bins, threshold)
+
     @property
     def label(self) -> str:
         if self.misses > 0:
@@ -159,7 +164,11 @@ class SladeService:
                     telemetry=self.telemetry,
                 )
             self.planner = BatchPlanner(
-                cache=PlanCache(backend=backend, telemetry=self.telemetry),
+                cache=PlanCache(
+                    backend=backend,
+                    telemetry=self.telemetry,
+                    opq_core=self.config.opq_core,
+                ),
                 solver_options=solver_options_dict(self.config.solver_options),
                 verify=self.config.verify,
                 telemetry=self.telemetry,

@@ -68,6 +68,26 @@ class TestCombination:
         with pytest.raises(InvalidProblemError):
             list(comb.postings_for_block([0, 1, 2]))
 
+    def test_quantities_are_cached_at_construction(self, table1_bins):
+        comb = Combination.from_counts({1: 3, 2: 2, 3: 1}, table1_bins)
+        assert comb.__dict__["_lcm"] == comb.lcm
+        assert comb.__dict__["_unit_cost"] == comb.unit_cost
+        assert comb.__dict__["_residual"] == comb.residual
+
+    def test_bare_constructor_materialises_quantities_lazily(self, table1_bins):
+        # Unpickling old cache payloads restores __dict__ directly, skipping
+        # from_counts; the __getattr__ fallback must fill the cache then.
+        comb = Combination(((3, 2),), table1_bins)
+        assert "_lcm" not in comb.__dict__
+        assert comb.lcm == 3
+        assert comb.unit_cost == pytest.approx(0.16)
+        assert "_residual" in comb.__dict__
+
+    def test_unknown_attribute_still_raises(self, table1_bins):
+        comb = Combination.from_counts({3: 2}, table1_bins)
+        with pytest.raises(AttributeError):
+            _ = comb.nonexistent
+
 
 class TestOptimalPriorityQueueInvariants:
     def test_insert_keeps_pareto_frontier(self, table1_bins):
@@ -96,6 +116,22 @@ class TestOptimalPriorityQueueInvariants:
         assert all(comb.lcm <= 2 for comb in restricted)
         # The original queue is untouched.
         assert any(comb.lcm == 3 for comb in queue)
+
+    def test_restricted_to_lcm_propagates_provenance(self, table1_bins):
+        """A restriction of a truncated frontier is still truncated."""
+        queue = build_optimal_priority_queue(table1_bins, 0.95)
+        queue.complete = False
+        restricted = queue.restricted_to_lcm(2)
+        assert restricted.complete is False
+        assert restricted.stats == queue.stats
+        # The copy's stats are a snapshot, not a shared dict.
+        restricted.stats["nodes"] = -1
+        assert queue.stats["nodes"] != -1
+
+    def test_fresh_queue_is_complete_with_empty_stats(self):
+        queue = OptimalPriorityQueue(0.9)
+        assert queue.complete is True
+        assert queue.stats == {}
 
 
 class TestBuildOptimalPriorityQueue:

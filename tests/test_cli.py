@@ -177,6 +177,59 @@ class TestServeCommand:
         assert exit_code == 0
         assert "cache hits/misses" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("core", ["python", "numpy"])
+    def test_opq_core_flag_serves_identical_answers(self, tmp_path, capsys,
+                                                    example4_problem, core):
+        request_line = json.dumps(
+            solve_request_to_dict(SolveRequest(problem=example4_problem))
+        )
+        input_path = self._write_requests(tmp_path / "requests.jsonl", [request_line])
+        exit_code = main(["serve", "--input", input_path, "--opq-core", core])
+        assert exit_code == 0
+        (response,) = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert response["ok"]
+        # The cores are byte-identical, so the priced plan must not depend
+        # on which one served the request.
+        baseline = main(["serve", "--input", input_path, "--opq-core", "python"])
+        assert baseline == 0
+        (again,) = [
+            json.loads(line) for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert again["total_cost"] == response["total_cost"]
+
+
+class TestProfileCommand:
+    def test_profile_prints_timing_and_cumulative_table(self, capsys):
+        exit_code = main([
+            "profile", "--dataset", "jelly", "--thresholds", "0.9,0.95",
+            "--max-cardinality", "8", "--repeat", "1", "--top", "5",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out and "build (ms)" in out
+        assert "cumtime" in out
+        assert "core               :" in out
+
+    def test_profile_with_explicit_python_core(self, capsys):
+        exit_code = main([
+            "profile", "--core", "python", "--thresholds", "0.9",
+            "--max-cardinality", "6", "--repeat", "1", "--top", "3",
+        ])
+        assert exit_code == 0
+        assert "core               : python" in capsys.readouterr().out
+
+    def test_profile_rejects_bad_repeat(self):
+        exit_code = main([
+            "profile", "--thresholds", "0.9", "--repeat", "0",
+        ])
+        assert exit_code == 2
+
+    def test_profile_rejects_bad_threshold_grid(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--thresholds", "not-a-number"])
+
 
 class TestErrorHandling:
     """Library-level failures exit with code 2 and a one-line message."""
