@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""CI smoke test for the closed calibration loop, over a real subprocess.
+
+Boots ``repro serve --http`` with an aggressive drift sweep, then walks the
+drift scenario end to end on the wire:
+
+1. steady-state solves on a calibrated menu fill the plan cache;
+2. ``POST /v2/feedback`` reports that the three-task bin's accuracy has
+   collapsed from its calibrated 0.8 to ~0.5;
+3. the server's background sweep recalibrates on its own — no restart, no
+   cache flush, no failed request — and ``drift.*`` metrics confirm the
+   targeted invalidation;
+4. the same client, still sending the *stale* menu, receives plans priced
+   at the observed accuracy whose reliability guarantee therefore holds
+   against the crowd's true behaviour;
+5. the server drains to exit 0 on SIGTERM.
+
+Exits non-zero on the first failed check.  Run from the repository root::
+
+    python scripts/ci_drift_smoke.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+USING_SRC_TREE = importlib.util.find_spec("repro") is None
+if USING_SRC_TREE:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import SladeHttpClient  # noqa: E402
+
+#: The calibrated menu; the optimal 0.95 plan uses two three-task bins.
+BINS = [[1, 0.9, 0.10], [2, 0.85, 0.18], [3, 0.8, 0.24]]
+TRUE_ACCURACY = 0.5
+DECAYED_CARDINALITY = 3
+THRESHOLD = 0.95
+STARTUP_TIMEOUT = 60
+SHUTDOWN_TIMEOUT = 30
+SWEEP_TIMEOUT = 30
+
+_checks = 0
+
+
+def check(condition: bool, label: str) -> None:
+    global _checks
+    _checks += 1
+    if condition:
+        print(f"  ok: {label}")
+    else:
+        print(f"  FAIL: {label}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def solve_payload(request_id: str) -> dict:
+    return {
+        "kind": "solve_request",
+        "version": 1,
+        "n": 30,
+        "threshold": THRESHOLD,
+        "bins": BINS,
+        "request_id": request_id,
+    }
+
+
+def start_server() -> "subprocess.Popen[str]":
+    env = dict(os.environ)
+    if USING_SRC_TREE:
+        env["PYTHONPATH"] = (
+            f"{REPO_ROOT / 'src'}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--http", "127.0.0.1:0",
+         "--drift-window", "100",
+         "--drift-min-observations", "20",
+         "--drift-tolerance", "0.05",
+         "--drift-check-seconds", "0.1"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def read_banner(proc: "subprocess.Popen[str]") -> str:
+    lines: "queue.Queue[str]" = queue.Queue()
+    reader = threading.Thread(
+        target=lambda: lines.put(proc.stderr.readline()), daemon=True
+    )
+    reader.start()
+    try:
+        line = lines.get(timeout=STARTUP_TIMEOUT).strip()
+    except queue.Empty:
+        proc.kill()
+        proc.communicate()
+        raise SystemExit(
+            f"server printed nothing within {STARTUP_TIMEOUT}s"
+        ) from None
+    if not line.startswith("listening on http://"):
+        out, err = proc.communicate(timeout=10)
+        raise SystemExit(
+            f"server failed to start: {line!r}\nstdout: {out}\nstderr: {err}"
+        )
+    return line.split(" ", 2)[2]
+
+
+def main() -> None:
+    proc = start_server()
+    try:
+        base_url = read_banner(proc)
+        print(f"server up at {base_url} (pid {proc.pid})")
+        client = SladeHttpClient(base_url, tenant="drift-smoke", timeout=60)
+
+        print("\n[1/4] steady state on the calibrated menu")
+        before = [client.solve(solve_payload(f"pre-{i}")) for i in range(5)]
+        check(all(r.status == 200 and r.payload["ok"] for r in before),
+              "5 solves on the calibrated menu all ok")
+        baseline_cost = before[0].payload["total_cost"]
+        check(all(abs(r.payload["total_cost"] - baseline_cost) < 1e-9
+                  for r in before),
+              "steady-state cost is stable")
+
+        print("\n[2/4] probe outcomes reveal the decay")
+        feedback = {
+            "bins": BINS,
+            "observations": [
+                [DECAYED_CARDINALITY, index % 10 < int(TRUE_ACCURACY * 10)]
+                for index in range(40)
+            ],
+        }
+        posted = client.feedback(feedback)
+        check(posted.status == 200 and posted.payload["recorded"] == 40,
+              "POST /v2/feedback recorded 40 observations")
+
+        print("\n[3/4] the background sweep recalibrates")
+        deadline = time.monotonic() + SWEEP_TIMEOUT
+        metrics = {}
+        while time.monotonic() < deadline:
+            metrics = client.metrics().payload
+            if metrics.get("drift.recalibrations"):
+                break
+            time.sleep(0.1)
+        check(metrics.get("drift.recalibrations", 0.0) >= 1.0,
+              "drift.recalibrations on /metrics")
+        check(metrics.get("drift.invalidated_keys", 0.0) >= 1.0,
+              "stale entries removed with targeted deletes")
+        check(metrics.get("drift.failed_revalidations", 0.0) == 0.0,
+              "no failed revalidations")
+        check(metrics.get("drift.revalidated_entries", 0.0) >= 1.0,
+              "recorded thresholds re-planned at the new epoch")
+
+        print("\n[4/4] stale-menu traffic now prices the true accuracy")
+        after = [client.solve(solve_payload(f"post-{i}")) for i in range(5)]
+        check(all(r.status == 200 and r.payload["ok"] for r in after),
+              "5 solves after recalibration all ok (zero request errors)")
+        recalibrated_cost = after[-1].payload["total_cost"]
+        check(recalibrated_cost > baseline_cost,
+              f"guarantee priced at true accuracy costs more "
+              f"({recalibrated_cost:.2f} > {baseline_cost:.2f})")
+        plan = after[-1].solve_response().plan
+        reliabilities = plan.reliabilities()
+        check(bool(reliabilities)
+              and min(reliabilities.values()) >= THRESHOLD - 1e-9,
+              "served plans meet the threshold against the true accuracies")
+        final = client.metrics().payload
+        check(final.get("service.failures", 0.0) == 0.0,
+              "no service failures across the run")
+        check(final.get("drift.monitored_menus", 0.0) == 1.0,
+              "drift gauges exposed on /metrics")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            _out, err = proc.communicate(timeout=SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+            check(False, "server drained within the shutdown timeout")
+            return
+        check(proc.returncode == 0,
+              f"server exited 0 on SIGTERM (stderr: {err.strip()!r})")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    print(f"\ndrift smoke: all {_checks} checks passed")
+
+
+if __name__ == "__main__":
+    main()

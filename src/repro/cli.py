@@ -193,6 +193,21 @@ def _build_parser() -> argparse.ArgumentParser:
                             "('Authorization: Bearer <token>' or "
                             "'X-Auth-Token'); without it the X-Tenant "
                             "header is trusted as-is (HTTP mode only)")
+    serve.add_argument("--drift-window", type=int, default=200,
+                       help="sliding window of execution outcomes kept per "
+                            "cardinality for drift detection (default: 200)")
+    serve.add_argument("--drift-min-observations", type=int, default=30,
+                       help="observations per cardinality before the drift "
+                            "monitor reports (default: 30)")
+    serve.add_argument("--drift-tolerance", type=float, default=0.05,
+                       help="accuracy shortfall below the calibrated "
+                            "confidence that counts as drift (default: 0.05)")
+    serve.add_argument("--drift-tolerance-above", type=float, default=None,
+                       help="tolerance for observed accuracy exceeding the "
+                            "calibrated confidence (default: --drift-tolerance)")
+    serve.add_argument("--drift-check-seconds", type=float, default=1.0,
+                       help="interval of the background drift sweep in HTTP "
+                            "mode; 0 disables it (default: 1.0)")
 
     cached = sub.add_parser(
         "cached",
@@ -432,6 +447,11 @@ def _serve_http(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         max_wait_seconds=args.max_wait_seconds,
         opq_core=args.opq_core,
+        drift_window=args.drift_window,
+        drift_min_observations=args.drift_min_observations,
+        drift_tolerance=args.drift_tolerance,
+        drift_tolerance_above=args.drift_tolerance_above,
+        drift_check_seconds=args.drift_check_seconds,
     )
     admission = AdmissionController(
         rate=args.rate,
@@ -504,6 +524,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verify=not args.no_verify,
         cache_backend=args.cache,
         opq_core=args.opq_core,
+        drift_window=args.drift_window,
+        drift_min_observations=args.drift_min_observations,
+        drift_tolerance=args.drift_tolerance,
+        drift_tolerance_above=args.drift_tolerance_above,
+        drift_check_seconds=args.drift_check_seconds,
     )
     try:
         service = SladeService(config=config)

@@ -85,10 +85,27 @@ class TaskBinSet:
         The task bins.  Cardinalities must be distinct.
     name:
         Optional label (e.g. ``"jelly-cost0.1"``) used in reports.
+    calibration_epoch:
+        Monotonically increasing recalibration counter (Section 3.1: menus
+        are re-estimated "regularly").  Epoch 0 is the as-published menu;
+        every recalibration bumps it.  A non-zero epoch participates in
+        :attr:`fingerprint`, so a recalibrated menu can never alias a plan
+        cached for an ancestor menu — even when the corrected confidences
+        happen to round back to the originals.
     """
 
-    def __init__(self, bins: Iterable[TaskBin], name: str = "bins") -> None:
+    def __init__(
+        self,
+        bins: Iterable[TaskBin],
+        name: str = "bins",
+        calibration_epoch: int = 0,
+    ) -> None:
+        if calibration_epoch < 0:
+            raise InvalidBinError(
+                f"calibration_epoch must be non-negative; got {calibration_epoch}"
+            )
         self.name = name
+        self.calibration_epoch = calibration_epoch
         self._by_cardinality: Dict[int, TaskBin] = {}
         for task_bin in bins:
             if task_bin.cardinality in self._by_cardinality:
@@ -184,14 +201,17 @@ class TaskBinSet:
         """Stable content digest of the menu, usable as a cache key.
 
         Two bin sets share a fingerprint exactly when they offer the same
-        ``(cardinality, confidence, cost)`` triples; the display ``name`` is
-        deliberately excluded because it never influences a solver's output.
-        The digest is stable across processes (unlike ``hash()``), so the
-        batch planning engine can key shared OPQ caches with it.
+        ``(cardinality, confidence, cost)`` triples at the same calibration
+        epoch; the display ``name`` is deliberately excluded because it never
+        influences a solver's output.  The digest is stable across processes
+        (unlike ``hash()``), so the batch planning engine can key shared OPQ
+        caches with it.  Epoch 0 contributes no token, keeping fingerprints
+        (and persisted cache files) byte-identical to pre-epoch builds.
         """
-        return stable_digest(
-            ("task_bin_set",) + tuple(b.fingerprint_token for b in self)
-        )
+        tokens: Tuple[str, ...] = ("task_bin_set",)
+        if self.calibration_epoch:
+            tokens += (f"epoch={self.calibration_epoch}",)
+        return stable_digest(tokens + tuple(b.fingerprint_token for b in self))
 
     def bins(self) -> List[TaskBin]:
         """Return the bins as a list ordered by cardinality."""
@@ -207,7 +227,37 @@ class TaskBinSet:
             raise InvalidBinError(
                 f"no bins remain with cardinality <= {max_cardinality}"
             )
-        return TaskBinSet(kept, name=name or f"{self.name}<= {max_cardinality}")
+        return TaskBinSet(
+            kept,
+            name=name or f"{self.name}<= {max_cardinality}",
+            calibration_epoch=self.calibration_epoch,
+        )
+
+    def with_epoch(self, calibration_epoch: int, name: Optional[str] = None) -> "TaskBinSet":
+        """Return the same menu stamped with a different calibration epoch."""
+        return TaskBinSet(
+            self.bins(),
+            name=name or self.name,
+            calibration_epoch=calibration_epoch,
+        )
+
+    def next_epoch(
+        self,
+        bins: Optional[Iterable[TaskBin]] = None,
+        name: Optional[str] = None,
+    ) -> "TaskBinSet":
+        """Derive the successor menu one calibration epoch later.
+
+        ``bins`` defaults to the current bins; recalibration passes the
+        corrected triples.  The successor always carries ``epoch + 1`` so its
+        fingerprint differs from every ancestor, even if the corrected
+        confidences are numerically identical.
+        """
+        return TaskBinSet(
+            self.bins() if bins is None else bins,
+            name=name or self.name,
+            calibration_epoch=self.calibration_epoch + 1,
+        )
 
     def is_monotone(self) -> bool:
         """Check the paper's Section 2 observation on this bin set.

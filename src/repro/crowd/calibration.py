@@ -139,6 +139,10 @@ class ProbeCalibrator:
         self.assignments_per_probe = assignments_per_probe
         self.probes_per_cardinality = probes_per_cardinality
         self._rng = ensure_rng(seed)
+        # Probe tasks use negative ids to avoid colliding with real tasks.
+        # The counter lives on the instance so repeated calibrate() runs
+        # against the same platform never reuse an id.
+        self._next_task_id = -1
 
     def calibrate(self, cardinalities: Sequence[int]) -> CalibrationResult:
         """Probe every cardinality at every candidate price.
@@ -159,7 +163,6 @@ class ProbeCalibrator:
         selected: Dict[int, ProbeMeasurement] = {}
         spend_before = self.platform.total_spend
 
-        next_task_id = -1  # probe tasks use negative ids to avoid collisions
         for cardinality in cardinalities:
             for cost in self.candidate_costs:
                 probe_bin = TaskBin(cardinality, 0.5, cost)
@@ -170,8 +173,8 @@ class ProbeCalibrator:
                 for _ in range(self.probes_per_cardinality):
                     truths = {}
                     for _ in range(cardinality):
-                        truths[next_task_id] = bool(self._rng.random() < 0.5)
-                        next_task_id -= 1
+                        truths[self._next_task_id] = bool(self._rng.random() < 0.5)
+                        self._next_task_id -= 1
                     posting = self.platform.post_bin(
                         probe_bin, truths, assignments=self.assignments_per_probe
                     )

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.core.plan import DecompositionPlan
 from repro.core.task import CrowdsourcingTask
+from repro.crowd.monitoring import QualityMonitor
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.responses import AnswerAggregator, BinResponse
 
@@ -81,15 +82,22 @@ class PlanExecutor:
         The simulated platform that will receive the postings.
     aggregator:
         Answer aggregation rule; defaults to any-yes.
+    monitor:
+        Optional :class:`QualityMonitor`.  When set, every in-time answer
+        whose ground truth is known is fed into the monitor as a
+        ``(cardinality, correct)`` observation, closing the Section 3.1
+        probe loop: executed plans double as quality probes.
     """
 
     def __init__(
         self,
         platform: CrowdPlatform,
         aggregator: Optional[AnswerAggregator] = None,
+        monitor: Optional[QualityMonitor] = None,
     ) -> None:
         self.platform = platform
         self.aggregator = aggregator or AnswerAggregator("any-yes")
+        self.monitor = monitor
 
     def execute(
         self,
@@ -129,6 +137,8 @@ class PlanExecutor:
                 assignment.task_bin, bin_truths, assignments=1
             )
             responses.extend(posting.responses)
+            if self.monitor is not None:
+                self._feed_monitor(posting.in_time_responses, bin_truths)
 
         reliabilities = plan.reliabilities()
         planned = [reliabilities.get(atomic.task_id, 0.0) for atomic in task]
@@ -145,3 +155,19 @@ class PlanExecutor:
             ),
             mean_planned_reliability=sum(planned) / len(planned),
         )
+
+    def _feed_monitor(
+        self,
+        responses: List[BinResponse],
+        truths: Dict[int, bool],
+    ) -> None:
+        """Turn in-time answers with known truths into monitor observations."""
+        monitor = self.monitor
+        if monitor is None:
+            return
+        for response in responses:
+            if response.cardinality not in monitor.bins:
+                continue
+            for task_id, answer in response.answers.items():
+                if task_id in truths:
+                    monitor.record(response.cardinality, answer == truths[task_id])

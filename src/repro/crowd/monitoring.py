@@ -48,8 +48,10 @@ class DriftReport:
     observations:
         Number of probe answers in the window.
     drifted:
-        Whether the observed accuracy falls short of the assumed confidence by
-        more than the monitor's tolerance.
+        Whether the observed accuracy escapes the monitor's tolerance band
+        around the assumed confidence — in *either* direction.  Downward
+        drift voids the reliability guarantee; upward drift means the menu
+        underestimates the workers and every plan overpays.
     """
 
     cardinality: int
@@ -60,10 +62,15 @@ class DriftReport:
 
     @property
     def shortfall(self) -> float:
-        """How far observed accuracy sits below the assumed confidence."""
+        """Signed gap ``assumed - observed``.
+
+        Positive when workers perform *worse* than the menu assumes (the
+        guarantee-voiding direction), negative when they perform better
+        (the overpaying direction), ``0.0`` with too few observations.
+        """
         if self.observed_accuracy is None:
             return 0.0
-        return max(0.0, self.assumed_confidence - self.observed_accuracy)
+        return self.assumed_confidence - self.observed_accuracy
 
 
 class QualityMonitor:
@@ -80,6 +87,13 @@ class QualityMonitor:
     tolerance:
         Allowed shortfall between assumed confidence and observed accuracy
         before the cardinality counts as drifted (absolute probability).
+        This bounds the *downward* direction (observed below assumed).
+    tolerance_above:
+        Allowed excess of observed accuracy over the assumed confidence
+        before the cardinality counts as drifted upward.  Defaults to
+        ``tolerance`` (a symmetric band); marketplaces that tolerate
+        overpaying longer than they tolerate a void guarantee pass a wider
+        value here.
     """
 
     def __init__(
@@ -88,6 +102,7 @@ class QualityMonitor:
         window: int = 200,
         min_observations: int = 30,
         tolerance: float = 0.05,
+        tolerance_above: Optional[float] = None,
     ) -> None:
         if window < 1:
             raise SimulationError(f"window must be at least 1; got {window}")
@@ -101,10 +116,18 @@ class QualityMonitor:
             raise SimulationError(
                 f"tolerance must lie strictly between 0 and 1; got {tolerance}"
             )
+        if tolerance_above is None:
+            tolerance_above = tolerance
+        elif not 0.0 < tolerance_above < 1.0:
+            raise SimulationError(
+                "tolerance_above must lie strictly between 0 and 1; "
+                f"got {tolerance_above}"
+            )
         self.bins = bins
         self.window = window
         self.min_observations = min_observations
         self.tolerance = tolerance
+        self.tolerance_above = tolerance_above
         self._observations: Dict[int, Deque[bool]] = {
             task_bin.cardinality: deque(maxlen=window) for task_bin in bins
         }
@@ -138,10 +161,13 @@ class QualityMonitor:
         return sum(answers) / len(answers)
 
     def report(self, cardinality: int) -> DriftReport:
-        """Drift assessment for one cardinality."""
+        """Drift assessment for one cardinality (two-sided)."""
         assumed = self.bins[cardinality].confidence
         observed = self.observed_accuracy(cardinality)
-        drifted = observed is not None and observed < assumed - self.tolerance
+        drifted = observed is not None and (
+            observed < assumed - self.tolerance
+            or observed > assumed + self.tolerance_above
+        )
         return DriftReport(
             cardinality=cardinality,
             assumed_confidence=assumed,
@@ -155,7 +181,7 @@ class QualityMonitor:
         return [self.report(cardinality) for cardinality in self.bins.cardinalities]
 
     def drifted_cardinalities(self) -> List[int]:
-        """Cardinalities whose observed accuracy fell below tolerance."""
+        """Cardinalities whose observed accuracy escaped the tolerance band."""
         return [report.cardinality for report in self.reports() if report.drifted]
 
     @property
@@ -172,6 +198,11 @@ class QualityMonitor:
         (clamped away from the degenerate endpoints); the rest keep their
         assumed confidence.  Feeding the corrected menu back into a solver
         restores the reliability guarantee for the remaining tasks.
+
+        The corrected menu carries the monitored menu's calibration epoch
+        plus one, so its fingerprint — and therefore every OPQ cache key —
+        differs from the ancestor's even when the observed accuracies match
+        the assumed confidences bit-for-bit.
         """
         corrected = []
         for task_bin in self.bins:
@@ -179,4 +210,6 @@ class QualityMonitor:
             confidence = task_bin.confidence if observed is None else observed
             confidence = min(0.999, max(1e-6, confidence))
             corrected.append(TaskBin(task_bin.cardinality, confidence, task_bin.cost))
-        return TaskBinSet(corrected, name=name or f"{self.bins.name}-recalibrated")
+        return self.bins.next_epoch(
+            corrected, name=name or f"{self.bins.name}-recalibrated"
+        )

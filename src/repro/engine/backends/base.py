@@ -11,8 +11,11 @@ and is shared between processes.
 
 Backends store immutable values: the queue for a given
 :data:`~repro.engine.fingerprint.OPQKey` is fully determined by the key
-(Algorithm 2 is deterministic), so backends never need invalidation — only
-insertion, lookup and eviction.
+(Algorithm 2 is deterministic), so a stored entry is never *updated* in
+place.  Entries can however become *irrelevant*: when a menu is recalibrated
+to a new epoch its old keys will never be asked for again, so backends also
+speak targeted per-key :meth:`CacheBackend.delete` — the drift-driven
+invalidation path — alongside insertion, lookup and eviction.
 """
 
 from __future__ import annotations
@@ -54,6 +57,15 @@ class CacheBackend(Protocol):
 
     def snapshot(self) -> Dict[OPQKey, OptimalPriorityQueue]:
         """A picklable dict of every stored entry (for worker shipping)."""
+        ...
+
+    def delete(self, key: OPQKey) -> bool:
+        """Drop one stored entry; return whether anything was removed.
+
+        Distributed backends treat deletion as best-effort fan-out (remove
+        from every replica/tier that answers) and stay fail-open: an
+        unreachable store is reported as ``False``, never an exception.
+        """
         ...
 
     def clear(self) -> None:

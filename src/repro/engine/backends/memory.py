@@ -84,6 +84,10 @@ class MemoryBackend:
         with self._lock:
             return dict(self._entries)
 
+    def delete(self, key: OPQKey) -> bool:
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

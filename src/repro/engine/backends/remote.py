@@ -300,6 +300,11 @@ class RemoteBackend:
         """
         return {}
 
+    def delete(self, key: OPQKey) -> bool:
+        """Drop one entry on the server (fail-open: unreachable is ``False``)."""
+        reply = self._roundtrip(OP_DELETE, encode_key(key))
+        return reply is not None and reply.op == REPLY_OK
+
     def clear(self) -> None:
         self._roundtrip(OP_CLEAR)
 

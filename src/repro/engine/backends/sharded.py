@@ -294,6 +294,20 @@ class ShardedBackend:
         """
         return {}
 
+    def delete(self, key: OPQKey) -> bool:
+        """Drop ``key`` from every replica that answers.
+
+        Best effort per shard, like :meth:`put`: a dead replica keeps its
+        stale copy until read repair next touches the key — but since
+        invalidation accompanies a menu-epoch bump, nothing will ever ask
+        for the stale key again, so the leftover copy only occupies space
+        until the shard's own LRU reclaims it.
+        """
+        removed = False
+        for label in self.owners(key):
+            removed = self.shards[label].delete(key) or removed
+        return removed
+
     def clear(self) -> None:
         for shard in self.shards.values():
             shard.clear()

@@ -190,15 +190,16 @@ class SQLiteBackend:
         for bins_fp, token, payload in rows:
             yield (bins_fp, token), payload
 
-    def delete(self, key: OPQKey) -> None:
-        """Drop one entry (no-op when absent)."""
+    def delete(self, key: OPQKey) -> bool:
+        """Drop one entry; return whether a row was removed."""
         with self._lock:
-            self._conn.execute(
+            cursor = self._conn.execute(
                 "DELETE FROM opq_entries "
                 "WHERE bins_fingerprint = ? AND threshold_token = ?",
                 key,
             )
-            self._memo.pop(key, None)
+            memoed = self._memo.pop(key, None) is not None
+            return cursor.rowcount > 0 or memoed
 
     # -- recency and eviction ---------------------------------------------------
 

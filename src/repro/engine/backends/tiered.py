@@ -144,6 +144,19 @@ class TieredBackend:
         merged.update(self.local.snapshot())
         return merged
 
+    def delete(self, key: OPQKey) -> bool:
+        """Purge ``key`` from *both* tiers.
+
+        Order matters: the far tier goes first so a concurrent reader that
+        races the purge cannot re-promote the entry into a near tier that
+        was already cleaned (promotion's source is gone by the time the near
+        tier is purged).  The far tier's own fail-open semantics are
+        preserved (an unreachable far tier reports ``False`` there).
+        """
+        far = bool(self.remote.delete(key))
+        near = bool(self.local.delete(key))
+        return near or far
+
     def clear(self) -> None:
         self.local.clear()
         self.remote.clear()

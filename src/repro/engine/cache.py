@@ -500,6 +500,46 @@ class PlanCache:
             return {}
         return dict(probe())
 
+    def invalidate(
+        self,
+        bins: TaskBinSet,
+        thresholds: Optional[Iterable[float]] = None,
+    ) -> int:
+        """Targeted per-key removal of a menu's cached plans.
+
+        Drift-driven recalibration retires a menu epoch: its entries are no
+        longer trustworthy, but the rest of the cache is.  This removes the
+        menu's known entries key by key — the menu's in-process plan-curve
+        points plus any explicitly supplied ``thresholds`` — through the
+        backend's ``delete`` (both tiers of a tiered backend, all replicas
+        of a sharded one), never a fleet-wide :meth:`clear`.
+
+        The menu's plan-curve index is dropped first, so a concurrent
+        :meth:`seed_for` cannot resurrect a deleted entry as a warm-start
+        donor: by the time the backend deletes run, the curve no longer
+        points at them.
+
+        Returns the number of keys the backend reported actually removed
+        (fail-open distributed backends may report fewer than targeted).
+        """
+        menu_fp = bins.fingerprint
+        with self._lock:
+            curve = self._curves.pop(menu_fp, {})
+        candidates: Dict[OPQKey, None] = {key: None for key in curve.values()}
+        if thresholds is not None:
+            for threshold in thresholds:
+                candidates[opq_key(bins, threshold)] = None
+        delete = getattr(self.backend, "delete", None)
+        if delete is None:  # third-party backend predating the delete contract
+            return 0
+        removed = 0
+        for key in candidates:
+            if self._guarded(lambda k=key: delete(k)):
+                removed += 1
+        if self.telemetry is not None and removed:
+            self.telemetry.increment("cache.invalidations", removed)
+        return removed
+
     def clear(self) -> None:
         """Drop every stored queue (counters are kept)."""
         self._guarded(self.backend.clear)

@@ -24,6 +24,7 @@ COUNTERS: FrozenSet[str] = frozenset({
     "cache.coalesced_waits",
     "cache.evictions",
     "cache.build_seconds",
+    "cache.invalidations",
     # planner
     "planner.batches",
     "planner.instances",
@@ -60,6 +61,13 @@ COUNTERS: FrozenSet[str] = frozenset({
     # http transport
     "http.requests",
     "http.protocol_errors",
+    # drift-driven calibration loop
+    "drift.observations",
+    "drift.feedback_requests",
+    "drift.recalibrations",
+    "drift.revalidated_entries",
+    "drift.invalidated_keys",
+    "drift.failed_revalidations",
 })
 
 #: Distribution series (``Telemetry.observe``).
@@ -68,6 +76,7 @@ SERIES: FrozenSet[str] = frozenset({
     "service.batch_size",
     "service.queue_wait_seconds",
     "remote_cache.round_trip_seconds",
+    "drift.revalidation_seconds",
 })
 
 #: Point-in-time gauges (snapshot / ``/metrics`` extras).
@@ -82,6 +91,9 @@ GAUGES: FrozenSet[str] = frozenset({
     "sharded_cache.shards",
     "sharded_cache.replicas",
     "sharded_cache.shards_up",
+    "drift.monitored_menus",
+    "drift.drifted_menus",
+    "drift.max_shortfall",
 })
 
 #: Prefixes for names built at runtime (status codes, shard indices).

@@ -108,7 +108,7 @@ def _check_wire_kind(payload: Dict, expected: str) -> int:
 
 def bin_set_to_dict(bins: TaskBinSet) -> Dict:
     """Serialise a task bin set to a JSON-compatible dictionary."""
-    return {
+    payload: Dict = {
         "kind": "task_bin_set",
         "version": FORMAT_VERSION,
         "name": bins.name,
@@ -121,6 +121,10 @@ def bin_set_to_dict(bins: TaskBinSet) -> Dict:
             for task_bin in bins
         ],
     }
+    # Epoch 0 is omitted so pre-epoch files stay byte-identical.
+    if bins.calibration_epoch:
+        payload["calibration_epoch"] = bins.calibration_epoch
+    return payload
 
 
 def bin_set_from_dict(payload: Dict) -> TaskBinSet:
@@ -130,7 +134,11 @@ def bin_set_from_dict(payload: Dict) -> TaskBinSet:
         TaskBin(entry["cardinality"], entry["confidence"], entry["cost"])
         for entry in payload.get("bins", [])
     ]
-    return TaskBinSet(bins, name=payload.get("name", "bins"))
+    return TaskBinSet(
+        bins,
+        name=payload.get("name", "bins"),
+        calibration_epoch=int(payload.get("calibration_epoch", 0)),
+    )
 
 
 def save_bin_set(bins: TaskBinSet, path: PathLike) -> None:

@@ -349,6 +349,17 @@ class ServiceConfig:
         available), ``"python"``, or ``"numpy"`` (falls back to python when
         numpy is absent).  ``None`` defers to the ``SLADE_OPQ_CORE``
         environment variable, then ``auto``.
+    drift_window / drift_min_observations / drift_tolerance /
+    drift_tolerance_above:
+        Per-menu :class:`~repro.crowd.monitoring.QualityMonitor` tunables for
+        the drift-driven calibration loop: sliding-window size, minimum
+        observations before a cardinality can be flagged, and the tolerance
+        band (``drift_tolerance_above`` defaults to ``drift_tolerance``,
+        i.e. a symmetric band).
+    drift_check_seconds:
+        Interval of the HTTP server's background drift sweep; ``0`` disables
+        the background worker (observations are still collected and a sweep
+        can be driven manually).
     """
 
     solver: str = "opq"
@@ -361,6 +372,11 @@ class ServiceConfig:
     cache_backend: Optional[str] = None
     max_cache_entries: Optional[int] = None
     opq_core: Optional[str] = None
+    drift_window: int = 200
+    drift_min_observations: int = 30
+    drift_tolerance: float = 0.05
+    drift_tolerance_above: Optional[float] = None
+    drift_check_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if self.opq_core is not None and self.opq_core not in (
@@ -392,6 +408,27 @@ class ServiceConfig:
             raise ServiceError(
                 f"threshold_floor {self.threshold_floor} exceeds "
                 f"threshold_cap {self.threshold_cap}"
+            )
+        if self.drift_window < 1:
+            raise ServiceError(
+                f"drift_window must be >= 1; got {self.drift_window}"
+            )
+        if not 1 <= self.drift_min_observations <= self.drift_window:
+            raise ServiceError(
+                "drift_min_observations must lie in [1, drift_window]; "
+                f"got {self.drift_min_observations}"
+            )
+        for label, bound in (
+            ("drift_tolerance", self.drift_tolerance),
+            ("drift_tolerance_above", self.drift_tolerance_above),
+        ):
+            if bound is not None and not (0.0 < bound < 1.0):
+                raise ServiceError(
+                    f"{label} must lie strictly between 0 and 1; got {bound}"
+                )
+        if self.drift_check_seconds < 0:
+            raise ServiceError(
+                f"drift_check_seconds must be >= 0; got {self.drift_check_seconds}"
             )
 
     def clamp_threshold(self, threshold: float) -> float:

@@ -179,6 +179,21 @@ class SladeHttpClient:
         }
         return self._request("POST", path, body, tenant)
 
+    def feedback(
+        self,
+        payload: Dict[str, Any],
+        tenant: Optional[str] = None,
+    ) -> HttpReply:
+        """POST execution outcomes to ``/v2/feedback``.
+
+        ``payload`` carries the menu the outcomes were measured against and
+        the per-cardinality probe results::
+
+            {"bins": <bin-set dict or [[l, r, c], ...]>,
+             "observations": [[cardinality, correct], ...]}
+        """
+        return self._request("POST", "/v2/feedback", payload, tenant)
+
     def healthz(self) -> HttpReply:
         """GET the liveness document."""
         return self._request("GET", "/healthz", None, None)

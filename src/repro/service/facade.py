@@ -52,6 +52,7 @@ from repro.service.api import (
     envelope_from_error,
     solver_options_dict,
 )
+from repro.service.drift import DriftController
 from repro.service.normalize import (
     check_not_expired,
     remaining_budget_seconds,
@@ -174,6 +175,17 @@ class SladeService:
                 telemetry=self.telemetry,
             )
         self._request_ids = itertools.count(1)
+        #: The drift-driven calibration loop: per-menu quality monitors plus
+        #: the background revalidation sweep the HTTP server drives.
+        self.drift = DriftController(
+            cache=self.cache,
+            telemetry=self.telemetry,
+            window=self.config.drift_window,
+            min_observations=self.config.drift_min_observations,
+            tolerance=self.config.drift_tolerance,
+            tolerance_above=self.config.drift_tolerance_above,
+            opq_core=self.config.opq_core,
+        )
 
     # -- public surface --------------------------------------------------------
 
@@ -385,7 +397,8 @@ class SladeService:
                 "'queue_factory'/'prebuilt_queue' from request options"
             )
         verify = self.config.verify if request.verify is None else request.verify
-        return solver_name, options, verify, self._clamp_problem(request.problem)
+        problem = self._calibrated_problem(self._clamp_problem(request.problem))
+        return solver_name, options, verify, problem
 
     def _clamp_problem(self, problem: SladeProblem) -> SladeProblem:
         """Apply the configured threshold floor/cap, rebuilding if needed."""
@@ -405,3 +418,22 @@ class SladeService:
             problem.bins,
             name=problem.name,
         )
+
+    def _calibrated_problem(self, problem: SladeProblem) -> SladeProblem:
+        """Serve the request against its menu lineage's *active* epoch.
+
+        Registers the request's menu (and its thresholds, the drift sweep's
+        re-plan worklist) with the drift controller; when the lineage has
+        been recalibrated, the problem is rebuilt against the corrected
+        menu so the plan honours the *calibrated* confidences while the
+        client keeps sending the menu it knows.  Strictly fail-open: any
+        problem here serves the request against the menu it sent.
+        """
+        try:
+            thresholds = sorted({atomic.threshold for atomic in problem.task})
+            active = self.drift.register(problem.bins, thresholds)
+            if active is problem.bins or active.fingerprint == problem.bins.fingerprint:
+                return problem
+            return SladeProblem(problem.task, active, name=problem.name)
+        except Exception:
+            return problem

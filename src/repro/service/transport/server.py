@@ -18,6 +18,12 @@ Routes
 ``POST /v2/solve/batch`` (``/v1/solve/batch`` is a compatible alias)
     ``{"requests": [...]}``; items are parsed and solved with per-item
     failure isolation and answered in order as ``{"responses": [...]}``.
+``POST /v2/feedback``
+    Execution outcomes for the drift-driven calibration loop:
+    ``{"bins": <menu>, "observations": [[cardinality, correct], ...]}``.
+    Observations feed the menu's quality monitor; when drift exceeds the
+    tolerance the background revalidation worker recalibrates the menu at a
+    new epoch and retires the stale cached plans with targeted deletes.
 ``GET /healthz``
     Liveness: a small JSON document answered from the event loop even while
     solves are running in the worker executor.
@@ -150,6 +156,9 @@ class HttpSladeServer:
         self._writers: Set[asyncio.StreamWriter] = set()
         self._handlers: Set["asyncio.Task[None]"] = set()
         self._request_ids = itertools.count(1)
+        #: The background drift-revalidation worker (held so close() can
+        #: cancel it; never fire-and-forget).
+        self._drift_task: Optional["asyncio.Task[None]"] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -172,6 +181,11 @@ class HttpSladeServer:
             raise
         bound = self._server.sockets[0].getsockname()
         self.host, self.port = bound[0], bound[1]
+        interval = self.service.service.config.drift_check_seconds
+        if interval > 0:
+            self._drift_task = asyncio.get_running_loop().create_task(
+                self._drift_loop(interval)
+            )
         return self.host, self.port
 
     async def serve_forever(self) -> None:
@@ -187,6 +201,13 @@ class HttpSladeServer:
         if self._closing:
             return
         self._closing = True
+        if self._drift_task is not None:
+            self._drift_task.cancel()
+            try:
+                await self._drift_task
+            except asyncio.CancelledError:
+                pass
+            self._drift_task = None
         if self._server is not None:
             self._server.close()
         # Let requests already being handled finish and flush their
@@ -208,6 +229,23 @@ class HttpSladeServer:
         """The ``http://host:port`` prefix of the bound server."""
         assert self.host is not None and self.port is not None
         return f"http://{self.host}:{self.port}"
+
+    # -- the drift-revalidation worker -----------------------------------------
+
+    async def _drift_loop(self, interval: float) -> None:
+        """Periodically recalibrate drifted menus off the event loop.
+
+        The sweep runs in the worker executor (it performs Algorithm 2
+        builds and cache-backend round trips) and is itself fail-open, so
+        the worst this loop can do to the serving path is nothing.
+        """
+        loop = asyncio.get_running_loop()
+        drift = self.service.service.drift
+        while not self._closing:
+            await asyncio.sleep(interval)
+            if self._closing:  # pragma: no cover - raced with close()
+                return
+            await loop.run_in_executor(None, drift.revalidate_drifted)
 
     # -- connection handling ---------------------------------------------------
 
@@ -297,6 +335,13 @@ class HttpSladeServer:
             if denied is not None:
                 return denied
             return await self._respond_solve_batch(request, keep_alive)
+        if request.path == "/v2/feedback":
+            if request.method != "POST":
+                return self._method_not_allowed(request, "POST", keep_alive)
+            denied = self._check_auth(request, keep_alive)
+            if denied is not None:
+                return denied
+            return await self._respond_feedback(request, keep_alive)
         return self._error_bytes(
             404, SladeError(f"no route for {request.method} {request.path}"),
             keep_alive=keep_alive,
@@ -474,6 +519,40 @@ class HttpSladeServer:
         }
         return self._json_bytes(200, body, keep_alive)
 
+    async def _respond_feedback(self, request: HttpRequest, keep_alive: bool) -> bytes:
+        """Ingest calibration observations for the drift loop.
+
+        Recording is cheap (deque appends behind a lock) but parsing a
+        multi-megabyte body is not, so both run in the worker executor.
+        Malformed documents get the standard 400 envelope; a valid document
+        always succeeds — observation intake never touches the cache or the
+        planner.
+        """
+        request_id = f"http-{next(self._request_ids)}"
+        if self._closing:
+            return self._error_bytes(
+                503, ServiceClosedError("server is shutting down"),
+                keep_alive=False, request_id=request_id,
+            )
+        drift = self.service.service.drift
+        loop = asyncio.get_running_loop()
+        try:
+            recorded = await loop.run_in_executor(
+                None, lambda: drift.ingest_feedback(json.loads(request.body))
+            )
+        except _PARSE_ERRORS as exc:
+            return self._error_bytes(
+                http_status_for(exc), exc, keep_alive=keep_alive,
+                request_id=request_id,
+            )
+        body = {
+            "kind": "feedback_response",
+            "version": 1,
+            "request_id": request_id,
+            "recorded": recorded,
+        }
+        return self._json_bytes(200, body, keep_alive)
+
     def _tenant_for(
         self, solve_request: SolveRequest, request: HttpRequest
     ) -> str:
@@ -511,6 +590,9 @@ class HttpSladeServer:
         # Tier and server-side gauges from remote/tiered backends (fail-open:
         # an unreachable cache server contributes nothing to the scrape).
         extra.update(facade.cache.backend_metrics())
+        # Drift-loop gauges: monitored/drifted menu counts and the worst
+        # current shortfall across every monitored cardinality.
+        extra.update(facade.drift.gauges())
         snapshot = self.telemetry.snapshot()
         if request.query.get("format") == "json":
             merged = dict(snapshot)

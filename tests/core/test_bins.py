@@ -112,3 +112,35 @@ class TestTaskBinSet:
         for cardinality, confidence, cost in triples:
             assert bins[cardinality].confidence == confidence
             assert bins[cardinality].cost == cost
+
+
+class TestCalibrationEpoch:
+    def test_default_epoch_is_zero(self, table1_bins):
+        assert table1_bins.calibration_epoch == 0
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(InvalidBinError):
+            TaskBinSet([TaskBin(1, 0.9, 0.1)], calibration_epoch=-1)
+
+    def test_with_epoch_keeps_bins_and_name(self, table1_bins):
+        bumped = table1_bins.with_epoch(3)
+        assert bumped.calibration_epoch == 3
+        assert bumped.name == table1_bins.name
+        assert bumped.bins() == table1_bins.bins()
+
+    def test_next_epoch_increments(self, table1_bins):
+        child = table1_bins.next_epoch()
+        grandchild = child.next_epoch()
+        assert child.calibration_epoch == 1
+        assert grandchild.calibration_epoch == 2
+
+    def test_next_epoch_can_replace_bins(self, table1_bins):
+        corrected = [TaskBin(b.cardinality, 0.6, b.cost) for b in table1_bins]
+        child = table1_bins.next_epoch(corrected, name="recal")
+        assert child.calibration_epoch == 1
+        assert child.name == "recal"
+        assert all(b.confidence == 0.6 for b in child)
+
+    def test_restrict_preserves_epoch(self, table1_bins):
+        bumped = table1_bins.with_epoch(2)
+        assert bumped.restrict_max_cardinality(2).calibration_epoch == 2

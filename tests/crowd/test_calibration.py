@@ -79,3 +79,34 @@ class TestCalibrationValidation:
             answers_collected=0,
         )
         assert not measurement.usable
+
+
+class TestRepeatedCalibration:
+    def test_probe_ids_never_reused_across_runs(self):
+        platform = jelly_platform(seed=3)
+        calibrator = ProbeCalibrator(
+            platform,
+            candidate_costs=(0.10,),
+            assignments_per_probe=5,
+            probes_per_cardinality=2,
+            seed=3,
+        )
+        posted_ids = []
+        original_post = platform.post_bin
+
+        def spying_post(task_bin, truths, assignments):
+            posted_ids.append(frozenset(truths))
+            return original_post(task_bin, truths, assignments)
+
+        platform.post_bin = spying_post  # type: ignore[method-assign]
+        try:
+            calibrator.calibrate([1, 2])
+            calibrator.calibrate([1, 2])
+        finally:
+            platform.post_bin = original_post  # type: ignore[method-assign]
+
+        all_ids = [task_id for ids in posted_ids for task_id in ids]
+        assert all(task_id < 0 for task_id in all_ids)
+        # Each posting draws fresh ids: a second calibrate() run against the
+        # same platform must not collide with the first run's probes.
+        assert len(all_ids) == len(set(all_ids))

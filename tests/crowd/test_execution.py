@@ -53,3 +53,29 @@ class TestPlanExecutor:
     def test_mean_planned_reliability_at_least_threshold(self, executed):
         _plan, report = executed
         assert report.mean_planned_reliability >= 0.9 - 1e-9
+
+
+class TestExecutionFeedsMonitor:
+    def test_executed_plans_double_as_probes(self):
+        from repro.crowd.monitoring import QualityMonitor
+
+        bins = jelly_bin_set(8)
+        task = make_workload(n=80, threshold=0.9, positive_rate=0.5, seed=5)
+        problem = SladeProblem(task, bins, name="monitored-execution")
+        plan = OPQSolver().solve(problem).plan
+        monitor = QualityMonitor(bins, min_observations=1)
+        PlanExecutor(jelly_platform(seed=5), monitor=monitor).execute(plan, task)
+        observed = [
+            report for report in monitor.reports() if report.observations > 0
+        ]
+        assert observed, "execution produced no monitor observations"
+        # Every observation belongs to a cardinality the plan actually used.
+        plan_cardinalities = {a.task_bin.cardinality for a in plan}
+        assert {report.cardinality for report in observed} <= plan_cardinalities
+
+    def test_monitorless_executor_unchanged(self):
+        bins = jelly_bin_set(8)
+        task = make_workload(n=40, threshold=0.9, positive_rate=0.5, seed=7)
+        plan = OPQSolver().solve(SladeProblem(task, bins)).plan
+        report = PlanExecutor(jelly_platform(seed=7)).execute(plan, task)
+        assert report.postings == len(plan)

@@ -109,3 +109,71 @@ class TestCorrectedMenu:
         _feed(monitor, 1, 1.0, 50)
         corrected = monitor.corrected_bin_set()
         assert corrected[1].confidence < 1.0
+
+
+class TestTwoSidedDrift:
+    def test_upward_drift_flagged(self, bins):
+        monitor = QualityMonitor(bins, min_observations=20, tolerance=0.05)
+        _feed(monitor, 3, 0.95, 100)  # assumed 0.80 — workers far better
+        assert monitor.report(3).drifted
+        assert monitor.needs_recalibration
+
+    def test_shortfall_is_signed(self, bins):
+        monitor = QualityMonitor(bins, min_observations=20, tolerance=0.05)
+        _feed(monitor, 2, 0.6, 100)   # below assumed 0.85
+        _feed(monitor, 3, 0.95, 100)  # above assumed 0.80
+        assert monitor.report(2).shortfall == pytest.approx(0.25)
+        assert monitor.report(3).shortfall == pytest.approx(-0.15)
+
+    def test_shortfall_zero_without_data(self, bins):
+        monitor = QualityMonitor(bins, min_observations=50)
+        assert monitor.report(1).shortfall == 0.0
+
+    def test_asymmetric_tolerance_band(self, bins):
+        monitor = QualityMonitor(
+            bins, min_observations=20, tolerance=0.05, tolerance_above=0.20
+        )
+        _feed(monitor, 3, 0.95, 100)  # +0.15 over assumed: inside the wide band
+        assert not monitor.report(3).drifted
+        _feed(monitor, 2, 0.75, 100)  # -0.10 under assumed: outside the tight band
+        assert monitor.report(2).drifted
+        assert monitor.drifted_cardinalities() == [2]
+
+    def test_tolerance_above_defaults_to_tolerance(self, bins):
+        monitor = QualityMonitor(bins, tolerance=0.07)
+        assert monitor.tolerance_above == pytest.approx(0.07)
+
+    def test_invalid_tolerance_above_rejected(self, bins):
+        with pytest.raises(SimulationError):
+            QualityMonitor(bins, tolerance_above=0.0)
+        with pytest.raises(SimulationError):
+            QualityMonitor(bins, tolerance_above=1.0)
+
+    def test_boundary_accuracy_is_not_drift(self, bins):
+        # Exactly on the band edge stays calm in both directions.
+        monitor = QualityMonitor(bins, min_observations=20, tolerance=0.05)
+        _feed(monitor, 1, 0.85, 100)  # assumed 0.90, exactly -tolerance
+        assert not monitor.report(1).drifted
+        _feed(monitor, 3, 0.85, 100)  # assumed 0.80, exactly +tolerance_above
+        assert not monitor.report(3).drifted
+
+
+class TestCorrectedMenuEpoch:
+    def test_corrected_menu_bumps_epoch(self, bins):
+        monitor = QualityMonitor(bins, min_observations=20)
+        _feed(monitor, 2, 0.7, 100)
+        corrected = monitor.corrected_bin_set()
+        assert corrected.calibration_epoch == bins.calibration_epoch + 1
+        assert corrected.fingerprint != bins.fingerprint
+
+    def test_epoch_chain_through_repeated_recalibration(self, bins):
+        first = QualityMonitor(bins, min_observations=10)
+        _feed(first, 2, 0.7, 50)
+        generation_one = first.corrected_bin_set()
+        second = QualityMonitor(generation_one, min_observations=10)
+        _feed(second, 2, 0.7, 50)
+        generation_two = second.corrected_bin_set()
+        assert generation_one.calibration_epoch == 1
+        assert generation_two.calibration_epoch == 2
+        # Identical confidences across generations still re-key the cache.
+        assert generation_two.fingerprint != generation_one.fingerprint

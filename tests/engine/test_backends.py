@@ -207,3 +207,31 @@ class TestOpenBackend:
 
         assert issubclass(BackendSpecError, ValueError)
         assert issubclass(BackendSpecError, SladeError)
+
+
+class TestDelete:
+    def test_memory_delete_removes_one_key(self, bins):
+        backend = MemoryBackend()
+        keep, drop = opq_key(bins, 0.90), opq_key(bins, 0.95)
+        backend.put(keep, build(bins, 0.90))
+        backend.put(drop, build(bins, 0.95))
+        assert backend.delete(drop) is True
+        assert drop not in backend
+        assert keep in backend
+
+    def test_memory_delete_missing_is_false(self, bins):
+        assert MemoryBackend().delete(opq_key(bins, 0.9)) is False
+
+    def test_sqlite_delete_removes_row_and_memo(self, bins, tmp_path):
+        backend = SQLiteBackend(tmp_path / "plans.db")
+        key = opq_key(bins, 0.95)
+        backend.put(key, build(bins, 0.95))
+        assert backend.get(key) is not None  # populate the memo
+        assert backend.delete(key) is True
+        assert backend.get(key) is None
+        # A second connection sees the row gone too (not just the memo).
+        assert SQLiteBackend(tmp_path / "plans.db").get(key) is None
+
+    def test_sqlite_delete_missing_is_false(self, bins, tmp_path):
+        backend = SQLiteBackend(tmp_path / "plans.db")
+        assert backend.delete(opq_key(bins, 0.9)) is False

@@ -80,3 +80,42 @@ class TestProblemAndKeyHelpers:
         assert opq_key(bins, 0.9) == opq_key(bins, 0.9)
         assert opq_key(bins, 0.9) != opq_key(bins, 0.9 + 1e-15)
         assert opq_key(bins, 0.9)[0] == bins.fingerprint
+
+
+class TestCalibrationEpochFingerprint:
+    def test_epoch_changes_fingerprint_with_identical_bins(self):
+        base = TaskBinSet.from_triples(TRIPLES)
+        bumped = base.next_epoch()
+        assert bumped.bins() == base.bins()
+        assert bumped.fingerprint != base.fingerprint
+
+    def test_every_epoch_gets_its_own_fingerprint(self):
+        base = TaskBinSet.from_triples(TRIPLES)
+        fingerprints = {base.with_epoch(epoch).fingerprint for epoch in range(5)}
+        assert len(fingerprints) == 5
+
+    def test_epoch_zero_fingerprint_is_the_legacy_one(self):
+        # Epoch 0 contributes no token, so caches populated before the
+        # epoch field existed keep resolving for un-recalibrated menus.
+        base = TaskBinSet.from_triples(TRIPLES)
+        explicit = TaskBinSet.from_triples(TRIPLES)
+        assert explicit.with_epoch(0).fingerprint == base.fingerprint
+
+    def test_opq_key_never_aliases_across_epochs(self):
+        base = TaskBinSet.from_triples(TRIPLES)
+        recalibrated = base.next_epoch()
+        assert opq_key(base, 0.95) != opq_key(recalibrated, 0.95)
+
+    def test_corrected_menu_never_aliases_ancestor(self):
+        from repro.crowd.monitoring import QualityMonitor
+
+        base = TaskBinSet.from_triples(TRIPLES)
+        monitor = QualityMonitor(base, min_observations=10)
+        # Feed observations that exactly match the assumed confidences: the
+        # corrected menu is numerically identical yet must re-key every plan.
+        for _ in range(9):
+            monitor.record(1, True)
+        monitor.record(1, False)  # 9/10 correct == the assumed 0.9 exactly
+        corrected = monitor.corrected_bin_set()
+        assert corrected.calibration_epoch == base.calibration_epoch + 1
+        assert opq_key(corrected, 0.95) != opq_key(base, 0.95)

@@ -135,3 +135,79 @@ class TestThreadSafety:
         assert cache.stats.misses == 1
         assert cache.stats.hits == 7
         assert all(queue is queues[0] for queue in queues)
+
+
+class TestInvalidate:
+    def test_invalidate_drops_only_the_menu(self, bins):
+        other = TaskBinSet.from_triples([(1, 0.8, 0.2), (2, 0.7, 0.3)])
+        cache = PlanCache()
+        cache.queue_for(bins, 0.95)
+        cache.queue_for(bins, 0.90)
+        cache.queue_for(other, 0.95)
+        assert cache.invalidate(bins) == 2
+        assert opq_key(bins, 0.95) not in cache
+        assert opq_key(bins, 0.90) not in cache
+        assert opq_key(other, 0.95) in cache
+
+    def test_invalidate_covers_explicit_thresholds(self, bins):
+        # Entries this process never built (no curve point — e.g. written by
+        # another replica into a shared backend) still die when named.
+        cache = PlanCache()
+        foreign = PlanCache(backend=cache.backend)
+        foreign.queue_for(bins, 0.97)
+        assert cache.invalidate(bins, thresholds=[0.97]) == 1
+        assert opq_key(bins, 0.97) not in cache
+
+    def test_invalidate_counts_telemetry(self, bins):
+        from repro.engine.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        cache = PlanCache(telemetry=telemetry)
+        cache.queue_for(bins, 0.95)
+        cache.invalidate(bins)
+        assert telemetry.counter("cache.invalidations") == 1
+
+    def test_invalidate_is_idempotent(self, bins):
+        cache = PlanCache()
+        cache.queue_for(bins, 0.95)
+        assert cache.invalidate(bins, thresholds=[0.95]) == 1
+        assert cache.invalidate(bins, thresholds=[0.95]) == 0
+
+    def test_deleteless_backend_is_tolerated(self, bins):
+        class LegacyBackend:
+            def __init__(self):
+                self.entries = {}
+            def get(self, key):
+                return self.entries.get(key)
+            def put(self, key, queue):
+                self.entries[key] = queue
+            def clear(self):
+                self.entries.clear()
+            def __len__(self):
+                return len(self.entries)
+            def __contains__(self, key):
+                return key in self.entries
+
+        cache = PlanCache(backend=LegacyBackend())
+        cache.queue_for(bins, 0.95)
+        assert cache.invalidate(bins) == 0
+        assert opq_key(bins, 0.95) in cache
+
+    def test_invalidate_removes_curve_donors(self, bins):
+        # After invalidation the menu has no plan curve left: a build at a
+        # nearby threshold is a cold build, not a seeded one.
+        cache = PlanCache()
+        cache.queue_for(bins, 0.95)
+        assert cache.seed_for(bins, 0.94) is not None
+        cache.invalidate(bins)
+        assert cache.seed_for(bins, 0.94) is None
+
+    def test_new_epoch_entries_survive_old_epoch_invalidation(self, bins):
+        cache = PlanCache()
+        recalibrated = bins.next_epoch()
+        cache.queue_for(bins, 0.95)
+        cache.queue_for(recalibrated, 0.95)
+        cache.invalidate(bins, thresholds=[0.95])
+        assert opq_key(bins, 0.95) not in cache
+        assert opq_key(recalibrated, 0.95) in cache
+        assert cache.seed_for(recalibrated, 0.95) is not None

@@ -213,3 +213,54 @@ class TestPerKeyParallelism:
         run_threads([(lambda t=t: request(t)) for t in thresholds])
         assert backend.concurrent_calls == 1
         assert cache.stats.misses == len(thresholds)
+
+
+class TestInvalidateUnderConcurrency:
+    def test_invalidate_races_concurrent_builds_without_resurrection(self, bins):
+        """Builders racing an invalidation never re-seed from deleted donors.
+
+        The cache drops the menu's plan-curve index before issuing backend
+        deletes, so a concurrent ``seed_for`` either reads the donor while
+        it still exists (fine: the donor epoch was still live) or finds no
+        curve at all — it must never observe a curve point whose entry is
+        already gone and silently fall back mid-iteration to a stale donor.
+        """
+        backend = CountingBackend(latency=0.005)
+        backend._inner = MemoryBackend()  # ensure delete support below
+
+        def delete(key):
+            return backend._inner.delete(key)
+
+        backend.delete = delete
+        cache = PlanCache(backend=backend)
+        for threshold in (0.90, 0.95):
+            cache.queue_for(bins, threshold)
+
+        stop = threading.Event()
+        errors = []
+
+        def builder():
+            thresholds = (0.91, 0.93, 0.96, 0.97)
+            index = 0
+            while not stop.is_set():
+                try:
+                    cache.queue_for(bins, thresholds[index % len(thresholds)])
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+                index += 1
+
+        threads = [threading.Thread(target=builder) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(10):
+            cache.invalidate(bins, thresholds=(0.90, 0.91, 0.93, 0.95, 0.96, 0.97))
+            time.sleep(0.002)
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        # After the last invalidation wave, a rebuild works from scratch.
+        queue = cache.queue_for(bins, 0.97)
+        assert queue is not None

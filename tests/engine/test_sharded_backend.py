@@ -257,3 +257,40 @@ class TestTelemetryAndMetrics:
         assert (warm.stats.hits, warm.stats.misses) == (1, 0)
         warm.close()
         cache.close()
+
+
+class TestShardedDelete:
+    def test_delete_reaches_every_replica(self, bins, fleet):
+        backend = ShardedBackend(endpoints(fleet), replicas=2)
+        key = opq_key(bins, 0.95)
+        backend.put(key, build(bins, 0.95))
+        holders = [
+            label for label, shard in backend.shards.items() if key in shard
+        ]
+        assert len(holders) == 2
+        assert backend.delete(key) is True
+        assert all(key not in shard for shard in backend.shards.values())
+        assert backend.get(key) is None
+        backend.close()
+
+    def test_delete_missing_is_false(self, bins, fleet):
+        backend = ShardedBackend(endpoints(fleet), replicas=2)
+        assert backend.delete(opq_key(bins, 0.9)) is False
+        backend.close()
+
+    def test_delete_survives_a_dead_replica(self, bins, fleet):
+        backend = ShardedBackend(endpoints(fleet), replicas=2)
+        key = opq_key(bins, 0.95)
+        backend.put(key, build(bins, 0.95))
+        owners = backend.owners(key)
+        # Kill one owner: the delete still succeeds on the surviving replica
+        # (fail-open), and the client keeps serving.
+        dead = next(s for s in fleet if f"{s.host}:{s.port}" == owners[0])
+        dead.stop()
+        assert backend.delete(key) is True
+        alive = [
+            shard for label, shard in backend.shards.items()
+            if label != owners[0]
+        ]
+        assert all(key not in shard for shard in alive)
+        backend.close()

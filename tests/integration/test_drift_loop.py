@@ -1,0 +1,173 @@
+"""Live-HTTP scenario for the closed calibration loop (the ISSUE 10 gate).
+
+One server, one client, worker accuracy decaying mid-stream:
+
+1. a stream of solves against a calibrated menu fills the cache;
+2. ``/v2/feedback`` posts probe outcomes showing the single-task bin's
+   accuracy has collapsed well below its calibrated confidence;
+3. the server's background sweep detects the drift, recalibrates the menu
+   at the next calibration epoch, re-plans the recorded thresholds, swaps
+   the active epoch, and issues targeted deletes for the stale entries;
+4. the same client, still sending the *original* menu, now receives plans
+   computed from the corrected confidences — so the reliability guarantee
+   holds against the *true* accuracies;
+5. zero request errors anywhere, and ``drift.*`` metrics tell the story.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service import ServiceConfig
+from repro.service.client import SladeHttpClient
+from repro.service.transport.server import HttpSladeServer
+
+#: Calibrated menu: the three-task bin claims 0.8 accuracy, and the
+#: optimal 0.95 plan on this menu is two three-task bins per task.
+BINS = [[1, 0.9, 0.10], [2, 0.85, 0.18], [3, 0.8, 0.24]]
+#: What the crowd actually delivers on cardinality 3 after the drift.
+TRUE_ACCURACY = 0.5
+DECAYED_CARDINALITY = 3
+THRESHOLD = 0.95
+
+
+class DriftServerHandle:
+    """An HTTP server with an aggressive drift sweep, in a loop thread."""
+
+    def __init__(self) -> None:
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._error = None
+        self.server = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - surfaced on exit
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        config = ServiceConfig(
+            drift_window=100,
+            drift_min_observations=20,
+            drift_tolerance=0.05,
+            drift_check_seconds=0.05,
+        )
+        self.server = HttpSladeServer(config=config)
+        await self.server.start("127.0.0.1", 0)
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.close()
+
+    def __enter__(self) -> "DriftServerHandle":
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join(timeout=30)
+        if self._error is not None:
+            raise self._error
+
+
+def solve_request(request_id: str) -> dict:
+    return {
+        "kind": "solve_request",
+        "version": 1,
+        "n": 12,
+        "threshold": THRESHOLD,
+        "bins": BINS,
+        "request_id": request_id,
+    }
+
+
+def wait_for(predicate, timeout: float = 15.0, interval: float = 0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError("condition not reached before timeout")
+
+
+class TestClosedCalibrationLoop:
+    def test_decay_is_detected_revalidated_and_served(self):
+        with DriftServerHandle() as handle:
+            client = SladeHttpClient(handle.server.base_url)
+
+            # Phase 1: steady-state traffic on the calibrated menu.
+            before = [client.solve(solve_request(f"pre-{i}")) for i in range(6)]
+            assert all(reply.status == 200 for reply in before)
+            assert all(reply.payload["ok"] for reply in before)
+            baseline_cost = before[0].payload["total_cost"]
+            assert all(
+                reply.payload["total_cost"] == pytest.approx(baseline_cost)
+                for reply in before
+            )
+
+            # Phase 2: probe outcomes reveal the three-task bin decayed
+            # to ~0.5 while traffic keeps flowing.
+            feedback = {
+                "bins": BINS,
+                "observations": [
+                    [DECAYED_CARDINALITY, index % 10 < int(TRUE_ACCURACY * 10)]
+                    for index in range(40)
+                ],
+            }
+            reply = client.feedback(feedback)
+            assert reply.status == 200
+            assert reply.payload["recorded"] == 40
+
+            # Phase 3: the background sweep recalibrates (no client action).
+            metrics = wait_for(
+                lambda: (
+                    lambda m: m if m.get("drift.recalibrations") else None
+                )(client.metrics().payload)
+            )
+            assert metrics["drift.recalibrations"] >= 1
+            assert metrics["drift.invalidated_keys"] >= 1
+            assert metrics.get("drift.failed_revalidations", 0) == 0
+
+            # Phase 4: the client still sends the original menu, but plans
+            # now price the observed accuracy: reliability holds against the
+            # true accuracies, and the true cost of that guarantee shows up.
+            after = [client.solve(solve_request(f"post-{i}")) for i in range(6)]
+            assert all(reply.status == 200 for reply in after)
+            assert all(reply.payload["ok"] for reply in after)
+            recalibrated_cost = after[-1].payload["total_cost"]
+            assert recalibrated_cost > baseline_cost
+
+            plan = after[-1].solve_response().plan
+            reliabilities = plan.reliabilities()
+            assert reliabilities, "plan carries no per-task reliabilities"
+            # The plan's bins carry the corrected (= observed) confidences,
+            # so these reliabilities are evaluated at the true accuracies.
+            assert min(reliabilities.values()) >= THRESHOLD - 1e-9
+            for assignment in plan:
+                if assignment.task_bin.cardinality == DECAYED_CARDINALITY:
+                    assert assignment.task_bin.confidence == pytest.approx(
+                        TRUE_ACCURACY, abs=0.05
+                    )
+
+            # Phase 5: zero request errors end to end, and the loop's
+            # telemetry is on /metrics.
+            final = client.metrics().payload
+            assert final.get("service.failures") in (None, 0)
+            assert final.get("http.responses.400") is None
+            assert final.get("http.responses.500") is None
+            assert final["drift.observations"] == 40
+            assert final["drift.monitored_menus"] == 1.0
+            assert final["drift.drifted_menus"] == 0.0  # fresh monitor post-swap
+            assert final["drift.revalidated_entries"] >= 1

@@ -1,0 +1,254 @@
+"""Tests for the drift-driven calibration loop (:mod:`repro.service.drift`).
+
+Unit coverage for :class:`DriftController`: lineage registration and
+request-path resolution, observation intake (direct and via the
+``/v2/feedback`` document format), the revalidation sweep's
+publish-swap-delete ordering, its fail-open contract, and the ``drift.*``
+observability surface.  The live HTTP scenario lives in
+``tests/integration/test_drift_loop.py``.
+"""
+
+import pytest
+
+from repro.algorithms.opq_vec import build_queue
+from repro.core.bins import TaskBinSet
+from repro.engine.cache import PlanCache
+from repro.engine.fingerprint import opq_key
+from repro.engine.telemetry import Telemetry
+from repro.io.serialization import bin_set_to_dict
+from repro.service.api import RequestValidationError
+from repro.service.drift import DriftController
+
+TRIPLES = [(1, 0.9, 0.10), (2, 0.85, 0.18), (3, 0.8, 0.24)]
+
+
+@pytest.fixture
+def bins():
+    return TaskBinSet.from_triples(TRIPLES, name="table1")
+
+
+def controller(cache=None, telemetry=None, **kwargs):
+    kwargs.setdefault("min_observations", 10)
+    kwargs.setdefault("window", 50)
+    if cache is None:  # NB: an empty PlanCache is falsy, so no `or` here
+        cache = PlanCache()
+    return DriftController(cache=cache, telemetry=telemetry, **kwargs)
+
+
+def feed(ctrl, bins, cardinality, accuracy, count):
+    correct = int(round(accuracy * count))
+    for index in range(count):
+        ctrl.observe(bins, cardinality, index < correct)
+
+
+class TestLineage:
+    def test_register_returns_active_menu(self, bins):
+        ctrl = controller()
+        assert ctrl.register(bins, [0.95]) is bins
+        # Same content re-registers into the same lineage.
+        clone = TaskBinSet.from_triples(TRIPLES, name="other-name")
+        assert ctrl.register(clone, [0.9]).fingerprint == bins.fingerprint
+
+    def test_resolve_unknown_menu_is_identity(self, bins):
+        assert controller().resolve(bins) is bins
+
+    def test_lineage_reports_recalibration_count(self, bins):
+        ctrl = controller()
+        ctrl.register(bins)
+        assert ctrl.lineage(bins) == (bins, 0)
+        assert ctrl.lineage(bins.next_epoch()) is None
+
+
+class TestObservation:
+    def test_observe_registers_on_the_fly(self, bins):
+        telemetry = Telemetry()
+        ctrl = controller(telemetry=telemetry)
+        assert ctrl.observe(bins, 2, True) is True
+        assert telemetry.counter("drift.observations") == 1
+        assert ctrl.lineage(bins) is not None
+
+    def test_unknown_cardinality_dropped_not_raised(self, bins):
+        ctrl = controller()
+        assert ctrl.observe(bins, 99, True) is False
+
+    def test_drifted_roots_after_decay(self, bins):
+        ctrl = controller()
+        ctrl.register(bins, [0.95])
+        assert ctrl.drifted_roots() == []
+        feed(ctrl, bins, 2, 0.55, 30)  # assumed 0.85
+        assert ctrl.drifted_roots() == [bins.fingerprint]
+
+
+class TestFeedbackDocuments:
+    def test_triples_form_records_observations(self, bins):
+        ctrl = controller()
+        recorded = ctrl.ingest_feedback({
+            "bins": TRIPLES,
+            "observations": [[2, True], [2, False], [1, True]],
+        })
+        assert recorded == 3
+
+    def test_bin_set_document_form(self, bins):
+        ctrl = controller()
+        recorded = ctrl.ingest_feedback({
+            "bins": bin_set_to_dict(bins),
+            "observations": [[3, False]],
+        })
+        assert recorded == 1
+
+    def test_unknown_cardinalities_are_skipped_in_count(self, bins):
+        ctrl = controller()
+        recorded = ctrl.ingest_feedback({
+            "bins": TRIPLES,
+            "observations": [[2, True], [42, True]],
+        })
+        assert recorded == 1
+
+    @pytest.mark.parametrize("payload", [
+        [],                                            # not an object
+        {"observations": [[1, True]]},                 # missing bins
+        {"bins": "nope", "observations": []},          # bad bins type
+        {"bins": TRIPLES, "observations": {"1": True}},  # bad observations type
+        {"bins": TRIPLES, "observations": [[1]]},      # pair too short
+        {"bins": TRIPLES, "observations": [[True, True]]},  # bool cardinality
+        {"bins": TRIPLES, "observations": [["2", True]]},   # str cardinality
+        {"bins": [[1, 2.0, 0.1]], "observations": []},  # invalid confidence
+    ])
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(RequestValidationError):
+            controller().ingest_feedback(payload)
+
+    def test_feedback_requests_counted(self, bins):
+        telemetry = Telemetry()
+        ctrl = controller(telemetry=telemetry)
+        ctrl.ingest_feedback({"bins": TRIPLES, "observations": []})
+        assert telemetry.counter("drift.feedback_requests") == 1
+
+
+class TestRevalidation:
+    def test_sweep_swaps_epoch_and_deletes_stale_keys(self, bins):
+        telemetry = Telemetry()
+        cache = PlanCache(telemetry=telemetry)
+        ctrl = controller(cache=cache, telemetry=telemetry)
+        thresholds = [0.93, 0.95]
+        for threshold in thresholds:
+            cache.queue_for(bins, threshold)
+        ctrl.register(bins, thresholds)
+        feed(ctrl, bins, 2, 0.55, 30)
+
+        report = ctrl.revalidate_drifted()
+
+        assert report.recalibrated_menus == 1
+        assert report.revalidated_entries == 2
+        assert report.failures == 0
+        active, recalibrations = ctrl.lineage(bins)
+        assert recalibrations == 1
+        assert active.calibration_epoch == 1
+        assert active[2].confidence == pytest.approx(0.55, abs=0.02)
+        for threshold in thresholds:
+            assert opq_key(bins, threshold) not in cache      # stale gone
+            assert opq_key(active, threshold) in cache        # new published
+        assert telemetry.counter("drift.recalibrations") == 1
+        assert telemetry.counter("drift.invalidated_keys") >= 2
+
+    def test_revalidated_plans_meet_threshold_at_observed_accuracy(self, bins):
+        cache = PlanCache()
+        ctrl = controller(cache=cache)
+        cache.queue_for(bins, 0.95)
+        ctrl.register(bins, [0.95])
+        feed(ctrl, bins, 2, 0.55, 30)
+        feed(ctrl, bins, 3, 0.50, 30)
+        ctrl.revalidate_drifted()
+        active, _ = ctrl.lineage(bins)
+        queue = cache.queue_for(active, 0.95)
+        # Every frontier element was validated against the *corrected*
+        # confidences, so meeting the threshold holds at the observed
+        # accuracies — not the stale calibrated ones.
+        assert len(queue) > 0
+        assert all(c.satisfies(0.95) for c in queue.elements())
+
+    def test_requests_resolve_to_new_epoch_after_sweep(self, bins):
+        cache = PlanCache()
+        ctrl = controller(cache=cache)
+        ctrl.register(bins, [0.95])
+        feed(ctrl, bins, 2, 0.55, 30)
+        ctrl.revalidate_drifted()
+        active = ctrl.resolve(bins)
+        assert active.calibration_epoch == 1
+        # Feedback keyed by the stale menu keeps landing in the lineage.
+        assert ctrl.observe(bins, 2, True) is True
+
+    def test_sweep_without_drift_is_a_no_op(self, bins):
+        ctrl = controller()
+        ctrl.register(bins, [0.95])
+        report = ctrl.revalidate_drifted()
+        assert not report.acted
+
+    def test_sweep_failure_is_contained_and_retried(self, bins):
+        telemetry = Telemetry()
+
+        class BrokenSeedCache(PlanCache):
+            broken = True
+
+            def seed_for(self, bins, threshold):
+                if self.broken:
+                    raise OSError("backend down")
+                return super().seed_for(bins, threshold)
+
+        cache = BrokenSeedCache(telemetry=telemetry)
+        ctrl = controller(cache=cache, telemetry=telemetry)
+        ctrl.register(bins, [0.95])
+        feed(ctrl, bins, 2, 0.55, 30)
+
+        report = ctrl.revalidate_drifted()
+        assert report.failures == 1
+        assert report.recalibrated_menus == 0
+        assert ctrl.resolve(bins).calibration_epoch == 0  # lineage untouched
+        assert telemetry.counter("drift.failed_revalidations") == 1
+
+        cache.broken = False
+        retry = ctrl.revalidate_drifted()
+        assert retry.recalibrated_menus == 1
+        assert ctrl.resolve(bins).calibration_epoch == 1
+
+    def test_second_generation_drift_bumps_epoch_again(self, bins):
+        cache = PlanCache()
+        ctrl = controller(cache=cache)
+        ctrl.register(bins, [0.95])
+        feed(ctrl, bins, 2, 0.55, 30)
+        ctrl.revalidate_drifted()
+        feed(ctrl, bins, 2, 0.30, 30)  # keeps decaying
+        ctrl.revalidate_drifted()
+        active, recalibrations = ctrl.lineage(bins)
+        assert active.calibration_epoch == 2
+        assert recalibrations == 2
+
+    def test_warm_started_build_matches_cold_build(self, bins):
+        cache = PlanCache()
+        ctrl = controller(cache=cache)
+        cache.queue_for(bins, 0.95)
+        ctrl.register(bins, [0.95])
+        feed(ctrl, bins, 2, 0.55, 30)
+        ctrl.revalidate_drifted()
+        active, _ = ctrl.lineage(bins)
+        warm = cache.queue_for(active, 0.95)
+        cold = build_queue(active, 0.95)
+        assert [c.counts for c in warm.elements()] == (
+            [c.counts for c in cold.elements()]
+        )
+
+
+class TestGauges:
+    def test_gauges_track_monitored_and_drifted_menus(self, bins):
+        ctrl = controller()
+        assert ctrl.gauges() == {
+            "drift.monitored_menus": 0.0,
+            "drift.drifted_menus": 0.0,
+            "drift.max_shortfall": 0.0,
+        }
+        ctrl.register(bins)
+        feed(ctrl, bins, 2, 0.55, 30)
+        gauges = ctrl.gauges()
+        assert gauges["drift.monitored_menus"] == 1.0
+        assert gauges["drift.drifted_menus"] == 1.0
+        assert gauges["drift.max_shortfall"] == pytest.approx(0.30, abs=0.03)

@@ -516,3 +516,59 @@ class TestServeHttpCli:
             assert "Traceback" not in proc.stderr
         finally:
             blocker.close()
+
+
+class TestFeedbackRoute:
+    def test_feedback_records_observations(self):
+        with ServerHandle() as handle:
+            client = handle.client()
+            reply = client._request(
+                "POST", "/v2/feedback",
+                {"bins": BINS, "observations": [[2, True], [2, False]]},
+                None,
+            )
+            assert reply.status == 200
+            assert reply.payload["kind"] == "feedback_response"
+            assert reply.payload["recorded"] == 2
+            metrics = client.metrics().payload
+            assert metrics["drift.observations"] == 2
+            assert metrics["drift.feedback_requests"] == 1
+            assert metrics["drift.monitored_menus"] == 1.0
+
+    def test_malformed_feedback_is_400(self):
+        with ServerHandle() as handle:
+            client = handle.client()
+            for payload in (
+                None,                                           # not JSON
+                {"bins": BINS},                                 # no observations
+                {"bins": BINS, "observations": [[1]]},          # bad pair
+                {"observations": [[1, True]]},                  # no bins
+            ):
+                reply = client._request("POST", "/v2/feedback", payload, None)
+                assert reply.status == 400, payload
+                assert reply.payload["ok"] is False
+
+    def test_feedback_is_post_only(self):
+        with ServerHandle() as handle:
+            reply = handle.client()._request("GET", "/v2/feedback", None, None)
+            assert reply.status == 405
+
+    def test_feedback_honours_auth_token(self):
+        with ServerHandle(auth_token="sesame") as handle:
+            payload = {"bins": BINS, "observations": [[1, True]]}
+            denied = handle.client()._request(
+                "POST", "/v2/feedback", payload, None
+            )
+            assert denied.status == 401
+            allowed = handle.client(auth_token="sesame").feedback(payload)
+            assert allowed.status == 200
+
+    def test_metrics_exposes_drift_gauges(self):
+        with ServerHandle() as handle:
+            metrics = handle.client().metrics().payload
+            for gauge in (
+                "drift.monitored_menus",
+                "drift.drifted_menus",
+                "drift.max_shortfall",
+            ):
+                assert gauge in metrics

@@ -187,3 +187,53 @@ class TestWiring:
         service.solve(request_for())
         stats = service.cache_stats
         assert (stats.hits, stats.misses) == (1, 1)
+
+
+class TestDriftAwareNormalisation:
+    def test_requests_transparently_use_the_active_epoch(self, table1_bins):
+        service = SladeService()
+        problem = SladeProblem.homogeneous(4, 0.95, table1_bins)
+        first = service.solve(SolveRequest(problem=problem))
+        assert first.ok
+        # Decay cardinality 1 far below its calibrated 0.9 and sweep.
+        for index in range(40):
+            service.drift.observe(table1_bins, 1, index % 2 == 0)
+        report = service.drift.revalidate_drifted()
+        assert report.recalibrated_menus == 1
+        # The client re-sends the menu it has always known; the facade
+        # resolves it to the recalibrated epoch behind its back.
+        after = service.solve(SolveRequest(problem=problem))
+        assert after.ok
+        active, recalibrations = service.drift.lineage(table1_bins)
+        assert recalibrations == 1
+        assert after.problem_fingerprint != first.problem_fingerprint
+        # Plans priced at the observed 0.5 accuracy for the workhorse
+        # single-task bin cost more than plans priced at the stale menu.
+        assert after.total_cost > first.total_cost
+
+    def test_drift_config_validation(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(drift_window=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(drift_min_observations=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(drift_window=10, drift_min_observations=11)
+        with pytest.raises(ServiceError):
+            ServiceConfig(drift_tolerance=0.0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(drift_tolerance_above=1.0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(drift_check_seconds=-1.0)
+
+    def test_drift_settings_reach_the_controller(self):
+        config = ServiceConfig(
+            drift_window=60,
+            drift_min_observations=12,
+            drift_tolerance=0.08,
+            drift_tolerance_above=0.2,
+        )
+        service = SladeService(config=config)
+        assert service.drift.window == 60
+        assert service.drift.min_observations == 12
+        assert service.drift.tolerance == pytest.approx(0.08)
+        assert service.drift.tolerance_above == pytest.approx(0.2)

@@ -64,6 +64,19 @@ class TestBinSetSerialization:
         with pytest.raises((InvalidBinError, ValueError)):
             bin_set_from_dict(payload)
 
+    def test_epoch_round_trips(self, table1_bins):
+        bumped = table1_bins.with_epoch(3)
+        restored = bin_set_from_dict(bin_set_to_dict(bumped))
+        assert restored.calibration_epoch == 3
+        assert restored.fingerprint == bumped.fingerprint
+
+    def test_epoch_zero_payload_is_unchanged(self, table1_bins):
+        # Pre-epoch readers must keep accepting our files and vice versa,
+        # so epoch 0 (the only epoch that existed before) is omitted.
+        payload = bin_set_to_dict(table1_bins)
+        assert "calibration_epoch" not in payload
+        assert bin_set_from_dict(payload).calibration_epoch == 0
+
 
 class TestProblemSerialization:
     def test_round_trip_preserves_thresholds_and_payloads(self, tmp_path):
